@@ -1,0 +1,70 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace wavm3::benchx {
+
+const Pipeline& pipeline() {
+  static const Pipeline p = [] {
+    Pipeline pl;
+    pl.tb_m = exp::testbed_m();
+    pl.tb_o = exp::testbed_o();
+    const exp::CampaignOptions options = exp::paper_campaign_options();
+    pl.campaign_m = exp::run_campaign(pl.tb_m, options, kSeed);
+    pl.campaign_o = exp::run_campaign(pl.tb_o, options, kSeed + 1);
+
+    auto [train, test] = pl.campaign_m.dataset.split_stratified(0.2, kSeed);
+    pl.train_m = std::move(train);
+    pl.test_m = std::move(test);
+
+    pl.wavm3.fit(pl.train_m);
+    pl.wavm3_for_o.fit(pl.train_m);
+    core::transfer_bias(pl.wavm3_for_o, pl.train_m, pl.campaign_o.dataset);
+    pl.huang.fit(pl.train_m);
+    pl.liu.fit(pl.train_m);
+    pl.strunk.fit(pl.train_m);
+
+    pl.rows_m =
+        models::evaluate_models({&pl.wavm3, &pl.huang, &pl.liu, &pl.strunk}, pl.test_m);
+    pl.rows_o = models::evaluate_model(pl.wavm3_for_o, pl.campaign_o.dataset);
+    return pl;
+  }();
+  return p;
+}
+
+void print_banner(const std::string& artefact) {
+  std::printf("==============================================================\n");
+  std::printf("WAVM3 reproduction: %s\n", artefact.c_str());
+  std::printf("(De Maio, Kecskemeti, Prodan - CLUSTER 2015; simulated testbed)\n");
+  std::printf("==============================================================\n\n");
+}
+
+void export_panel(const exp::FigurePanel& panel, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/" + name + ".csv";
+  if (exp::export_figure_csv(panel, path)) {
+    std::printf("[csv] %s\n", path.c_str());
+  } else {
+    std::printf("[csv] could not write %s\n", path.c_str());
+    return;
+  }
+  // Companion gnuplot script for publication-style plots.
+  std::FILE* gp = std::fopen(("bench_out/" + name + ".gp").c_str(), "w");
+  if (gp == nullptr) return;
+  std::fprintf(gp,
+               "# gnuplot script for %s (run: gnuplot -p %s.gp)\n"
+               "set datafile separator ','\n"
+               "set key autotitle columnhead outside\n"
+               "set title '%s'\n"
+               "set xlabel 'TIME [sec]'\n"
+               "set ylabel 'POWER [W]'\n"
+               "set yrange [%.1f:%.1f]\n"
+               "plot for [i=2:%zu] '%s.csv' using 1:i with lines\n",
+               name.c_str(), name.c_str(), panel.title.c_str(), panel.y_min, panel.y_max,
+               panel.series.size() + 1, name.c_str());
+  std::fclose(gp);
+}
+
+}  // namespace wavm3::benchx

@@ -1,0 +1,58 @@
+// Shared pipeline for the reproduction benches: runs the full paper
+// campaign on both testbeds (SV protocol), fits WAVM3 and the three
+// baselines on the 20% m01-m02 training split, applies the SVI-F bias
+// transfer for o1-o2, and evaluates everything. Computed once per
+// process; every bench binary prints its table/figure from this state
+// and then times its slice of the pipeline with google-benchmark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "exp/campaign.hpp"
+#include "exp/figures.hpp"
+#include "exp/tables.hpp"
+#include "models/evaluation.hpp"
+#include "models/huang.hpp"
+#include "models/liu.hpp"
+#include "models/strunk.hpp"
+
+namespace wavm3::benchx {
+
+/// Master seed shared by all bench binaries so their tables agree.
+inline constexpr std::uint64_t kSeed = 2015;
+
+/// Everything the benches report from.
+struct Pipeline {
+  exp::Testbed tb_m;
+  exp::Testbed tb_o;
+  exp::CampaignResult campaign_m;
+  exp::CampaignResult campaign_o;
+
+  models::Dataset train_m;  ///< 20% stratified split of m01-m02
+  models::Dataset test_m;
+
+  core::Wavm3Model wavm3;        ///< fit on train_m
+  core::Wavm3Model wavm3_for_o;  ///< same fit, C2 bias transfer applied
+  models::HuangModel huang;
+  models::LiuModel liu;
+  models::StrunkModel strunk;
+
+  std::vector<models::EvaluationRow> rows_m;  ///< all models on test_m
+  std::vector<models::EvaluationRow> rows_o;  ///< transferred WAVM3 on o1-o2
+};
+
+/// The process-wide pipeline (built on first use).
+const Pipeline& pipeline();
+
+/// Prints a standard header naming the reproduced artefact.
+void print_banner(const std::string& artefact);
+
+/// Writes a figure panel to bench_out/<name>.csv (directory created on
+/// demand); logs the path.
+void export_panel(const exp::FigurePanel& panel, const std::string& name);
+
+}  // namespace wavm3::benchx

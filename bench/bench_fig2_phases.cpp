@@ -1,0 +1,73 @@
+// Reproduces Figure 2: the energy-consumption phase anatomy of non-live
+// and live migration (power trace with ms/ts/te/me markers), and times a
+// single migration simulation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "exp/runner.hpp"
+
+namespace {
+
+using namespace wavm3;
+
+void print_report() {
+  benchx::print_banner("Figure 2: energy phases of non-live and live migration");
+  const auto& pl = benchx::pipeline();
+
+  for (const char* name : {"CPULOAD-SOURCE/0vm/non-live", "CPULOAD-SOURCE/0vm/live"}) {
+    const auto it = pl.campaign_m.representative.find(name);
+    if (it == pl.campaign_m.representative.end()) continue;
+    const exp::RunResult& run = it->second;
+    const exp::FigurePanel panel =
+        exp::make_phase_anatomy_figure(run, models::HostRole::kSource);
+    std::puts(exp::render_figure(panel).c_str());
+    std::printf("phases [s]: initiation=%.1f  transfer=%.1f  activation=%.1f  total=%.1f  "
+                "downtime=%.2f  data=%.2f GB\n\n",
+                run.record.times.initiation_duration(), run.record.times.transfer_duration(),
+                run.record.times.activation_duration(), run.record.times.total_duration(),
+                run.record.downtime, run.record.total_bytes / 1e9);
+    benchx::export_panel(panel, std::string("fig2_") +
+                                    (run.record.type == migration::MigrationType::kLive
+                                         ? "live"
+                                         : "nonlive"));
+  }
+
+  // SV-B's four energy metrics per scenario (initiation / transfer /
+  // activation / total).
+  std::puts(exp::render_phase_energy_table(pl.campaign_m).c_str());
+}
+
+void BM_SingleMigrationRun(benchmark::State& state) {
+  exp::ExperimentRunner runner(exp::testbed_m(), exp::RunnerOptions{}, 77);
+  runner.set_idle_power_reference(433.0);
+  const auto sc = exp::cpuload_source_scenarios().front();
+  int run_index = 0;
+  for (auto _ : state) {
+    const exp::RunResult run = runner.run(sc, run_index++);
+    benchmark::DoNotOptimize(run.record.total_bytes);
+  }
+}
+BENCHMARK(BM_SingleMigrationRun)->Unit(benchmark::kMillisecond);
+
+void BM_PhaseAnatomyRendering(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  const exp::RunResult& run = pl.campaign_m.representative.begin()->second;
+  for (auto _ : state) {
+    const auto panel = exp::make_phase_anatomy_figure(run, models::HostRole::kSource);
+    benchmark::DoNotOptimize(panel.series.size());
+  }
+}
+BENCHMARK(BM_PhaseAnatomyRendering);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

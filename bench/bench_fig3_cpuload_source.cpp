@@ -1,0 +1,26 @@
+// Reproduces Figure 3 (a-d): CPULOAD-SOURCE power traces for non-live
+// and live migration on source and target, one series per load level.
+#include "bench_figures.hpp"
+
+namespace {
+using namespace wavm3;
+using benchx::PanelSpec;
+using migration::MigrationType;
+using models::HostRole;
+
+void BM_CpuloadSourceRun(benchmark::State& state) {
+  benchx::time_family_run(state, exp::Family::kCpuLoadSource);
+}
+BENCHMARK(BM_CpuloadSourceRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchx::figure_bench_main(
+      argc, argv, "Figure 3: CPULOAD-SOURCE results", exp::Family::kCpuLoadSource,
+      {PanelSpec{MigrationType::kNonLive, HostRole::kSource, "(a) Non-live source"},
+       PanelSpec{MigrationType::kNonLive, HostRole::kTarget, "(b) Non-live target"},
+       PanelSpec{MigrationType::kLive, HostRole::kSource, "(c) Live source"},
+       PanelSpec{MigrationType::kLive, HostRole::kTarget, "(d) Live target"}},
+      "fig3");
+}

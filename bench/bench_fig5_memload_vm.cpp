@@ -1,0 +1,24 @@
+// Reproduces Figure 5 (a-b): MEMLOAD-VM live-migration power traces on
+// source and target, one series per dirtying fraction (5-95%).
+#include "bench_figures.hpp"
+
+namespace {
+using namespace wavm3;
+using benchx::PanelSpec;
+using migration::MigrationType;
+using models::HostRole;
+
+void BM_MemloadVmRun(benchmark::State& state) {
+  benchx::time_family_run(state, exp::Family::kMemLoadVm);
+}
+BENCHMARK(BM_MemloadVmRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchx::figure_bench_main(
+      argc, argv, "Figure 5: MEMLOAD-VM results", exp::Family::kMemLoadVm,
+      {PanelSpec{MigrationType::kLive, HostRole::kSource, "(a) Source"},
+       PanelSpec{MigrationType::kLive, HostRole::kTarget, "(b) Target"}},
+      "fig5");
+}

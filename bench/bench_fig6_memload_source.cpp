@@ -1,0 +1,24 @@
+// Reproduces Figure 6 (a-b): MEMLOAD-SOURCE live-migration power traces
+// (DR=95% VM, source CPU sweep) on source and target.
+#include "bench_figures.hpp"
+
+namespace {
+using namespace wavm3;
+using benchx::PanelSpec;
+using migration::MigrationType;
+using models::HostRole;
+
+void BM_MemloadSourceRun(benchmark::State& state) {
+  benchx::time_family_run(state, exp::Family::kMemLoadSource);
+}
+BENCHMARK(BM_MemloadSourceRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchx::figure_bench_main(
+      argc, argv, "Figure 6: MEMLOAD-SOURCE results", exp::Family::kMemLoadSource,
+      {PanelSpec{MigrationType::kLive, HostRole::kSource, "(a) Source"},
+       PanelSpec{MigrationType::kLive, HostRole::kTarget, "(b) Target"}},
+      "fig6");
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 7 (a-b): MEMLOAD-TARGET live-migration power traces
+// (DR=95% VM, target CPU sweep) on source and target.
+#include "bench_figures.hpp"
+
+namespace {
+using namespace wavm3;
+using benchx::PanelSpec;
+using migration::MigrationType;
+using models::HostRole;
+
+void BM_MemloadTargetRun(benchmark::State& state) {
+  benchx::time_family_run(state, exp::Family::kMemLoadTarget);
+}
+BENCHMARK(BM_MemloadTargetRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchx::figure_bench_main(
+      argc, argv, "Figure 7: MEMLOAD-TARGET results", exp::Family::kMemLoadTarget,
+      {PanelSpec{MigrationType::kLive, HostRole::kSource, "(a) Source"},
+       PanelSpec{MigrationType::kLive, HostRole::kTarget, "(b) Target"}},
+      "fig7");
+}

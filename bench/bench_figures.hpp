@@ -1,0 +1,77 @@
+// Shared driver for the Fig. 3-7 benches: prints one ASCII panel per
+// (migration type, host role) combination of a family, exports CSVs,
+// and registers google-benchmark timings of the underlying experiment.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/runner.hpp"
+
+namespace wavm3::benchx {
+
+struct PanelSpec {
+  migration::MigrationType type;
+  models::HostRole role;
+  const char* label;  ///< e.g. "(a) Non-live source"
+};
+
+/// Prints all panels of `family` and exports their CSVs.
+inline void print_family_figure(const std::string& banner, exp::Family family,
+                                const std::vector<PanelSpec>& panels,
+                                const std::string& csv_prefix) {
+  print_banner(banner);
+  const Pipeline& pl = pipeline();
+  for (const PanelSpec& spec : panels) {
+    std::printf("---- %s ----\n", spec.label);
+    const exp::FigurePanel panel =
+        exp::make_power_figure(pl.campaign_m, family, spec.type, spec.role);
+    std::puts(exp::render_figure(panel).c_str());
+    std::string tag = csv_prefix + "_" +
+                      (spec.type == migration::MigrationType::kLive ? "live" : "nonlive") +
+                      "_" + models::to_string(spec.role);
+    export_panel(panel, tag);
+  }
+}
+
+/// Times one full experimental run of the family's first scenario.
+inline void time_family_run(benchmark::State& state, exp::Family family) {
+  exp::ExperimentRunner runner(exp::testbed_m(), exp::RunnerOptions{}, 99);
+  runner.set_idle_power_reference(433.0);
+  exp::ScenarioConfig chosen;
+  bool found = false;
+  for (const auto& sc : exp::all_scenarios()) {
+    if (sc.family == family) {
+      chosen = sc;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    state.SkipWithError("no scenario for family");
+    return;
+  }
+  int run_index = 0;
+  for (auto _ : state) {
+    const exp::RunResult run = runner.run(chosen, run_index++);
+    benchmark::DoNotOptimize(run.record.total_bytes);
+  }
+}
+
+/// Standard main body for a figure bench.
+inline int figure_bench_main(int argc, char** argv, const std::string& banner,
+                             exp::Family family, const std::vector<PanelSpec>& panels,
+                             const std::string& csv_prefix) {
+  print_family_figure(banner, family, panels, csv_prefix);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wavm3::benchx

@@ -1,0 +1,89 @@
+// Extension bench: non-live vs pre-copy live vs post-copy across the
+// dirtying-ratio sweep — the three-way comparison this literature makes
+// (post-copy trades bounded traffic and near-zero downtime for a
+// degraded-service pull period; the paper's model covers the first two
+// flavours, and the planner maps post-copy onto the live table).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cloud/instances.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+using namespace wavm3;
+using migration::MigrationType;
+
+struct Outcome {
+  double transfer = 0.0;
+  double downtime = 0.0;
+  double data_gb = 0.0;
+  double src_energy = 0.0;
+  double tgt_energy = 0.0;
+};
+
+Outcome run_one(double fraction, MigrationType type) {
+  exp::RunnerOptions options;
+  exp::ExperimentRunner runner(exp::testbed_m(), options, benchx::kSeed + 21);
+  runner.set_idle_power_reference(433.0);
+  exp::ScenarioConfig sc;
+  sc.name = std::string("POSTCOPY-X/") + migration::to_string(type);
+  sc.family = exp::Family::kMemLoadVm;
+  sc.type = type;
+  sc.migrating = exp::MigratingKind::kMem;
+  sc.mem_fraction = fraction;
+  sc.sweep_value = fraction * 100.0;
+  const exp::RunResult run = runner.run(sc, 0);
+  Outcome o;
+  o.transfer = run.record.times.transfer_duration();
+  o.downtime = run.record.downtime;
+  o.data_gb = run.record.total_bytes / 1e9;
+  o.src_energy = run.source_obs.observed_energy();
+  o.tgt_energy = run.target_obs.observed_energy();
+  return o;
+}
+
+void print_report() {
+  benchx::print_banner("Extension: non-live vs pre-copy vs post-copy");
+
+  util::AsciiTable table({"Dirtying", "Type", "Transfer [s]", "Downtime [s]", "Data [GB]",
+                          "E_src [kJ]", "E_tgt [kJ]"});
+  table.set_title("Migrating a 4 GB memory-hot VM between idle m-class hosts (1 run each)");
+  for (const double fraction : {0.05, 0.55, 0.95}) {
+    for (const MigrationType type :
+         {MigrationType::kNonLive, MigrationType::kLive, MigrationType::kPostCopy}) {
+      const Outcome o = run_one(fraction, type);
+      table.add_row({util::format("%.0f%%", fraction * 100), migration::to_string(type),
+                     util::fmt_fixed(o.transfer, 1), util::fmt_fixed(o.downtime, 2),
+                     util::fmt_fixed(o.data_gb, 2), util::fmt_fixed(o.src_energy / 1e3, 1),
+                     util::fmt_fixed(o.tgt_energy / 1e3, 1)});
+    }
+    table.add_separator();
+  }
+  std::puts(table.render().c_str());
+  std::puts("Post-copy moves exactly one memory image regardless of the dirtying ratio\n"
+            "and keeps downtime at the handoff (<1 s), where pre-copy degenerates on hot\n"
+            "VMs (3x traffic, tens of seconds suspended). Its cost is the pull window in\n"
+            "which the VM runs with remote memory - invisible to energy, costly to SLAs.\n");
+}
+
+void BM_PostCopyMigration(benchmark::State& state) {
+  for (auto _ : state) {
+    const Outcome o = run_one(0.95, MigrationType::kPostCopy);
+    benchmark::DoNotOptimize(o.src_energy);
+  }
+}
+BENCHMARK(BM_PostCopyMigration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

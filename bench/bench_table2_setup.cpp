@@ -1,0 +1,54 @@
+// Reproduces Tables I and IIa-c (workload impact + experimental setup)
+// and times the scenario/testbed construction path.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void print_report() {
+  using namespace wavm3;
+  benchx::print_banner("Tables I & IIa-c: workload impact and experimental setup");
+  std::puts(exp::render_table1_workload_impact().c_str());
+  std::puts(exp::render_table2_setup(exp::testbed_m(), exp::testbed_o()).c_str());
+  std::printf("Full experimental design: %zu scenarios\n\n", exp::all_scenarios().size());
+}
+
+void BM_ScenarioGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto scenarios = wavm3::exp::all_scenarios();
+    benchmark::DoNotOptimize(scenarios.size());
+  }
+}
+BENCHMARK(BM_ScenarioGeneration);
+
+void BM_TestbedConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto m = wavm3::exp::testbed_m();
+    const auto o = wavm3::exp::testbed_o();
+    benchmark::DoNotOptimize(m.power.idle_watts + o.power.idle_watts);
+  }
+}
+BENCHMARK(BM_TestbedConstruction);
+
+void BM_SetupTableRendering(benchmark::State& state) {
+  for (auto _ : state) {
+    const std::string t =
+        wavm3::exp::render_table2_setup(wavm3::exp::testbed_m(), wavm3::exp::testbed_o());
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_SetupTableRendering);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

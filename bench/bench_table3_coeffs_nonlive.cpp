@@ -1,0 +1,55 @@
+// Reproduces Table III: WAVM3 coefficients for non-live migration
+// (Eq. 5-7 fit on the 20% m01-m02 training split, with the C2 bias for
+// o1-o2), and times the fitting pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+using namespace wavm3;
+
+void print_report() {
+  benchx::print_banner("Table III: coefficients for non-live migration");
+  const auto& pl = benchx::pipeline();
+  std::puts(exp::render_coefficients_table(
+                pl.wavm3, migration::MigrationType::kNonLive, pl.campaign_m.measured_idle_power,
+                pl.campaign_o.measured_idle_power, "Table III: coefficients for non-live migration")
+                .c_str());
+  std::printf("training set: %zu observations (20%% stratified split of %zu)\n\n",
+              pl.train_m.size(), pl.campaign_m.dataset.size());
+}
+
+void BM_FitWavm3(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  for (auto _ : state) {
+    core::Wavm3Model model;
+    model.fit(pl.train_m);
+    benchmark::DoNotOptimize(model.is_fitted());
+  }
+}
+BENCHMARK(BM_FitWavm3)->Unit(benchmark::kMillisecond);
+
+void BM_FitWavm3WithLevenbergMarquardt(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  core::Wavm3Model::Options opts;
+  opts.use_levenberg_marquardt = true;
+  for (auto _ : state) {
+    core::Wavm3Model model(opts);
+    model.fit(pl.train_m);
+    benchmark::DoNotOptimize(model.is_fitted());
+  }
+}
+BENCHMARK(BM_FitWavm3WithLevenbergMarquardt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table IV: WAVM3 coefficients for live migration (includes
+// the dirtying-ratio and VM-CPU transfer terms), and times per-sample
+// power prediction.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+using namespace wavm3;
+
+void print_report() {
+  benchx::print_banner("Table IV: coefficients for live migration");
+  const auto& pl = benchx::pipeline();
+  std::puts(exp::render_coefficients_table(
+                pl.wavm3, migration::MigrationType::kLive, pl.campaign_m.measured_idle_power,
+                pl.campaign_o.measured_idle_power, "Table IV: coefficients for live migration")
+                .c_str());
+  const auto& c = pl.wavm3.coefficients(migration::MigrationType::kLive);
+  std::printf("key workload terms: gamma(t,source)=%.2f W (dirtying ratio), "
+              "delta(t,source)=%.2f W/vCPU (VM CPU), beta(t) source=%.3g target=%.3g W per B/s\n\n",
+              c.source.transfer.gamma, c.source.transfer.delta, c.source.transfer.beta,
+              c.target.transfer.beta);
+}
+
+void BM_PredictPowerPerSample(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  const auto& obs = pl.test_m.observations.front();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = obs.samples[i++ % obs.samples.size()];
+    benchmark::DoNotOptimize(pl.wavm3.predict_power(obs.type, obs.role, s));
+  }
+}
+BENCHMARK(BM_PredictPowerPerSample);
+
+void BM_PredictMigrationEnergy(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& obs = pl.test_m.observations[i++ % pl.test_m.size()];
+    benchmark::DoNotOptimize(pl.wavm3.predict_energy(obs));
+  }
+}
+BENCHMARK(BM_PredictMigrationEnergy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

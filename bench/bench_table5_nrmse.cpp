@@ -1,0 +1,70 @@
+// Reproduces Table V: WAVM3's NRMSE on both testbeds (m01-m02 test
+// split; o1-o2 with the C2 bias transfer), and times the cross-testbed
+// calibration.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+using namespace wavm3;
+
+void print_report() {
+  benchx::print_banner("Table V: NRMSE of WAVM3 on the two datasets");
+  const auto& pl = benchx::pipeline();
+  std::puts(exp::render_table5_nrmse(pl.rows_m, pl.rows_o).c_str());
+  std::printf("idle power: m01-m02 = %.1f W, o1-o2 = %.1f W -> C2 = C1 - %.1f W\n",
+              pl.campaign_m.measured_idle_power, pl.campaign_o.measured_idle_power,
+              pl.campaign_m.measured_idle_power - pl.campaign_o.measured_idle_power);
+
+  // Quantify how much the SVI-F bias transfer buys (the paper's reason
+  // for introducing C2): evaluate the *uncorrected* model on o1-o2.
+  core::Wavm3Model raw;
+  raw.fit(pl.train_m);
+  const auto raw_rows = models::evaluate_model(raw, pl.campaign_o.dataset);
+  std::printf("\nWithout the C2 correction, the m-trained model overestimates o1-o2:\n");
+  for (const auto& r : raw_rows) {
+    const auto& fixed = models::find_row(pl.rows_o, "WAVM3", r.type, r.role);
+    std::printf("  %-8s %-6s : NRMSE %5.1f%% (raw C1)  ->  %5.1f%% (C2-corrected)\n",
+                migration::to_string(r.type), models::to_string(r.role), r.metrics.nrmse * 100,
+                fixed.metrics.nrmse * 100);
+  }
+  std::printf("\n");
+
+  // Phase-level accuracy: where in the migration the model earns it.
+  std::puts(exp::render_phase_accuracy_table(
+                core::evaluate_phase_energies(pl.wavm3, pl.test_m))
+                .c_str());
+}
+
+void BM_BiasTransfer(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  for (auto _ : state) {
+    core::Wavm3Model model;
+    model.fit(pl.train_m);
+    core::transfer_bias(model, pl.train_m, pl.campaign_o.dataset);
+    benchmark::DoNotOptimize(model.is_fitted());
+  }
+}
+BENCHMARK(BM_BiasTransfer)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateOnTestbedO(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  for (auto _ : state) {
+    const auto rows = models::evaluate_model(pl.wavm3_for_o, pl.campaign_o.dataset);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_EvaluateOnTestbedO)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

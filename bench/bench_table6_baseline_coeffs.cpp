@@ -1,0 +1,57 @@
+// Reproduces Table VI: training-phase coefficients of the HUANG, LIU
+// and STRUNK baselines, and times their fitting.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+using namespace wavm3;
+
+void print_report() {
+  benchx::print_banner("Table VI: baseline model coefficients (HUANG / LIU / STRUNK)");
+  const auto& pl = benchx::pipeline();
+  std::puts(exp::render_table6_baselines(pl.huang, pl.liu, pl.strunk).c_str());
+}
+
+void BM_FitHuang(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  for (auto _ : state) {
+    models::HuangModel m;
+    m.fit(pl.train_m);
+    benchmark::DoNotOptimize(m.is_fitted());
+  }
+}
+BENCHMARK(BM_FitHuang)->Unit(benchmark::kMillisecond);
+
+void BM_FitLiu(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  for (auto _ : state) {
+    models::LiuModel m;
+    m.fit(pl.train_m);
+    benchmark::DoNotOptimize(m.is_fitted());
+  }
+}
+BENCHMARK(BM_FitLiu)->Unit(benchmark::kMillisecond);
+
+void BM_FitStrunk(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  for (auto _ : state) {
+    models::StrunkModel m;
+    m.fit(pl.train_m);
+    benchmark::DoNotOptimize(m.is_fitted());
+  }
+}
+BENCHMARK(BM_FitStrunk)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

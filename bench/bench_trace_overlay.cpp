@@ -1,0 +1,86 @@
+// Extension bench: predicted-vs-measured power traces. Overlays the
+// fitted WAVM3 model's per-sample power prediction on the measured
+// trace of representative migrations — the visual sanity check behind
+// every NRMSE number in Tables V/VII.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace {
+using namespace wavm3;
+
+void overlay(const exp::RunResult& run, const core::Wavm3Model& model) {
+  const models::MigrationObservation& obs = run.source_obs;
+
+  util::ChartSeries measured;
+  measured.name = "measured";
+  util::ChartSeries predicted;
+  predicted.name = "WAVM3";
+  std::vector<double> p;
+  std::vector<double> o;
+  const double t0 = obs.times.ms;
+  for (const auto& s : obs.samples) {
+    measured.x.push_back(s.time - t0);
+    measured.y.push_back(s.power_watts);
+    const double watts = model.predict_power(obs.type, obs.role, s);
+    predicted.x.push_back(s.time - t0);
+    predicted.y.push_back(watts);
+    p.push_back(watts);
+    o.push_back(s.power_watts);
+  }
+
+  exp::FigurePanel panel;
+  panel.title = util::format("%s, source host: measured vs predicted", run.scenario.name.c_str());
+  panel.series = {measured, predicted};
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& s : panel.series)
+    for (const double v : s.y) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  panel.y_min = lo * 0.97;
+  panel.y_max = hi * 1.03;
+  std::puts(exp::render_figure(panel).c_str());
+  std::printf("per-sample power: RMSE %.1f W, NRMSE %.2f%% over %zu samples\n\n",
+              stats::rmse(p, o), stats::nrmse(p, o) * 100, p.size());
+  benchx::export_panel(panel, "overlay_" + std::to_string(std::hash<std::string>{}(
+                                               run.scenario.name) % 1000));
+}
+
+void print_report() {
+  benchx::print_banner("Trace overlay: measured vs WAVM3-predicted power");
+  const auto& pl = benchx::pipeline();
+  for (const char* name :
+       {"CPULOAD-SOURCE/5vm/live", "MEMLOAD-VM/95%/live", "CPULOAD-SOURCE/8vm/non-live"}) {
+    const auto it = pl.campaign_m.representative.find(name);
+    if (it == pl.campaign_m.representative.end()) continue;
+    overlay(it->second, pl.wavm3);
+  }
+}
+
+void BM_TracePrediction(benchmark::State& state) {
+  const auto& pl = benchx::pipeline();
+  const auto& obs = pl.test_m.observations.front();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& s : obs.samples) sum += pl.wavm3.predict_power(obs.type, obs.role, s);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TracePrediction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Data-centre simulation: the paper's SVIII integration, end to end.
+//
+// A fleet of m-class hosts runs diurnal-profile VMs for a simulated
+// day. Three consolidation strategies are compared on total fleet
+// energy: never consolidate, consolidate blindly (ignore what the
+// migrations cost), and consolidate only when the WAVM3 forecast says
+// the moves pay for themselves.
+//
+// Build & run:  ./build/examples/datacenter_simulation
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "dcsim/simulation.hpp"
+#include "exp/campaign.hpp"
+
+using namespace wavm3;
+
+int main() {
+  std::puts("== WAVM3 data-centre simulation: one day, 6 hosts, 16 VMs ==\n");
+
+  // Fit the migration-energy model from a reduced measurement campaign.
+  const exp::CampaignResult campaign =
+      exp::run_campaign(exp::testbed_m(), exp::fast_campaign_options(), 2015);
+  core::Wavm3Model model;
+  model.fit(campaign.dataset);
+  const core::MigrationPlanner planner(model);
+
+  const auto scenario = [&](dcsim::Strategy strategy) {
+    dcsim::DcSimConfig cfg = dcsim::make_fleet_scenario(/*n_hosts=*/6, /*n_vms=*/16,
+                                                        /*seed=*/42);
+    cfg.duration = 24.0 * 3600.0;
+    cfg.controller_interval = 900.0;  // every 15 minutes
+    cfg.power_sample_period = 10.0;
+    cfg.strategy = strategy;
+    cfg.policy.underload_fraction = 0.35;
+    cfg.policy.horizon_seconds = 2.0 * 3600.0;
+    return cfg;
+  };
+
+  std::printf("%-18s %14s %12s %10s %10s %10s %12s\n", "strategy", "energy [kWh]",
+              "vs baseline", "migrations", "power-off", "power-on", "downtime [s]");
+
+  double baseline_energy = 0.0;
+  for (const dcsim::Strategy strategy :
+       {dcsim::Strategy::kNoConsolidation, dcsim::Strategy::kCostBlind,
+        dcsim::Strategy::kCostAware}) {
+    dcsim::DataCenterSimulation sim(
+        scenario(strategy),
+        strategy == dcsim::Strategy::kNoConsolidation ? nullptr : &planner);
+    const dcsim::DcSimReport report = sim.run();
+    const double kwh = report.total_energy_joules / 3.6e6;
+    if (strategy == dcsim::Strategy::kNoConsolidation) baseline_energy = kwh;
+    std::printf("%-18s %14.2f %11.1f%% %10d %10d %10d %12.1f\n", to_string(strategy), kwh,
+                100.0 * (kwh - baseline_energy) / baseline_energy, report.migrations_executed,
+                report.power_off_events, report.power_on_events,
+                report.total_migration_downtime);
+  }
+
+  std::puts("\nThe cost-aware strategy only differs from the blind one when migration\n"
+            "energy matters (short horizons, memory-hot VMs) - precisely the regime the\n"
+            "paper's workload-aware model was built to expose.");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the 60-second tour of the WAVM3 library.
+//
+//   1. Run a (reduced) measurement campaign on the simulated m01-m02
+//      testbed — power-metered VM migrations under varied load.
+//   2. Fit the WAVM3 energy model on a training split.
+//   3. Predict the energy of a *planned* migration with the closed-form
+//      planner, before running it.
+//   4. Check the prediction against a fresh simulated migration.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "exp/campaign.hpp"
+#include "models/evaluation.hpp"
+#include "util/units.hpp"
+
+using namespace wavm3;
+
+int main() {
+  std::puts("== WAVM3 quickstart ==\n");
+
+  // 1. Measure: a reduced campaign (extreme sweep points, 3 runs each).
+  const exp::Testbed testbed = exp::testbed_m();
+  const exp::CampaignOptions options = exp::fast_campaign_options();
+  const exp::CampaignResult campaign = exp::run_campaign(testbed, options, /*seed=*/2015);
+  std::printf("campaign: %zu scenarios, %zu observations, measured idle %.1f W\n",
+              campaign.summaries.size(), campaign.dataset.size(),
+              campaign.measured_idle_power);
+
+  // 2. Fit WAVM3 on a stratified training split.
+  const auto [train, test] = campaign.dataset.split_stratified(0.34, /*seed=*/7);
+  core::Wavm3Model model;
+  model.fit(train);
+  const auto rows = models::evaluate_model(model, test);
+  for (const auto& r : rows) {
+    std::printf("held-out accuracy [%-8s %-6s]: NRMSE %.1f%%  (n=%zu migrations)\n",
+                migration::to_string(r.type), models::to_string(r.role),
+                r.metrics.nrmse * 100, r.n_migrations);
+  }
+
+  // 3. Plan: how much energy would migrating this VM cost right now?
+  core::MigrationScenario plan;
+  plan.type = migration::MigrationType::kLive;
+  plan.vm_mem_bytes = util::gib(4);
+  plan.vm_cpu_vcpus = 4.0;             // CPU-bound guest
+  plan.vm_dirty_pages_per_s = 64.0;    // barely dirties memory
+  plan.vm_working_set_pages = 4096.0;
+  plan.source_cpu_load = 16.0;         // half-loaded source
+  plan.target_cpu_load = 0.0;          // idle target
+  const core::MigrationPlanner planner(model);
+  const core::MigrationForecast fc = planner.forecast(plan);
+
+  std::printf("\nplanned live migration of a 4 GB / 4 vCPU guest (half-loaded source):\n");
+  std::printf("  transfer %.1f s at %.1f MB/s, %d pre-copy rounds, downtime %.2f s\n",
+              fc.times.transfer_duration(), fc.bandwidth / 1e6, fc.precopy_rounds,
+              fc.downtime);
+  std::printf("  predicted energy: source %.1f kJ + target %.1f kJ = %.1f kJ\n",
+              fc.source_energy / 1e3, fc.target_energy / 1e3, fc.total_energy() / 1e3);
+
+  // 4. Verify against one fresh simulated migration at the same load.
+  exp::RunnerOptions runner_options;
+  exp::ExperimentRunner runner(testbed, runner_options, /*seed=*/99);
+  runner.set_idle_power_reference(campaign.measured_idle_power);
+  exp::ScenarioConfig sc;
+  sc.name = "quickstart-check";
+  sc.family = exp::Family::kCpuLoadSource;
+  sc.type = migration::MigrationType::kLive;
+  sc.migrating = exp::MigratingKind::kCpu;
+  sc.source_load_vms = 4;  // 16 vCPUs of load
+  const exp::RunResult run = runner.run(sc, 0);
+  const double measured =
+      run.source_obs.observed_energy() + run.target_obs.observed_energy();
+  std::printf("  measured on a fresh run:  %.1f kJ  (prediction off by %.1f%%)\n",
+              measured / 1e3, 100.0 * (fc.total_energy() - measured) / measured);
+  return 0;
+}

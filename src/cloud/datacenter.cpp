@@ -1,0 +1,52 @@
+#include "cloud/datacenter.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::cloud {
+
+Host& DataCenter::add_host(HostSpec spec, HypervisorParams hypervisor_params) {
+  WAVM3_REQUIRE(hosts_.find(spec.name) == hosts_.end(), "duplicate host name: " + spec.name);
+  const std::string name = spec.name;
+  auto host = std::make_unique<Host>(std::move(spec), hypervisor_params);
+  Host& ref = *host;
+  hosts_.emplace(name, std::move(host));
+  return ref;
+}
+
+Host* DataCenter::host(const std::string& name) {
+  const auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+const Host* DataCenter::host(const std::string& name) const {
+  const auto it = hosts_.find(name);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Host*> DataCenter::hosts() {
+  std::vector<Host*> out;
+  out.reserve(hosts_.size());
+  for (auto& [name, h] : hosts_) out.push_back(h.get());
+  return out;
+}
+
+std::vector<const Host*> DataCenter::hosts() const {
+  std::vector<const Host*> out;
+  out.reserve(hosts_.size());
+  for (const auto& [name, h] : hosts_) out.push_back(h.get());
+  return out;
+}
+
+Host* DataCenter::host_of_vm(const std::string& vm_id) {
+  for (auto& [name, h] : hosts_)
+    if (h->has_vm(vm_id)) return h.get();
+  return nullptr;
+}
+
+std::size_t DataCenter::total_vm_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, h] : hosts_) n += h->vm_count();
+  return n;
+}
+
+}  // namespace wavm3::cloud

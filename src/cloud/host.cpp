@@ -1,0 +1,100 @@
+#include "cloud/host.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::cloud {
+
+Host::Host(HostSpec spec, HypervisorParams hypervisor_params)
+    : spec_(std::move(spec)), hypervisor_(hypervisor_params) {
+  WAVM3_REQUIRE(!spec_.name.empty(), "host name must not be empty");
+  WAVM3_REQUIRE(spec_.vcpus >= 1, "host needs at least one vCPU");
+  WAVM3_REQUIRE(spec_.ram_bytes > 0.0, "host needs memory");
+}
+
+void Host::add_vm(VmPtr vm) {
+  WAVM3_REQUIRE(vm != nullptr, "cannot add a null VM");
+  WAVM3_REQUIRE(!has_vm(vm->id()), "duplicate VM id on host " + spec_.name);
+  WAVM3_REQUIRE(can_fit(vm->spec()), "VM does not fit in host RAM");
+  vms_.emplace(vm->id(), std::move(vm));
+}
+
+VmPtr Host::remove_vm(const std::string& vm_id) {
+  const auto it = vms_.find(vm_id);
+  WAVM3_REQUIRE(it != vms_.end(), "VM not on this host: " + vm_id);
+  VmPtr out = it->second;
+  vms_.erase(it);
+  return out;
+}
+
+VmPtr Host::vm(const std::string& vm_id) const {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? nullptr : it->second;
+}
+
+std::vector<VmPtr> Host::vms() const {
+  std::vector<VmPtr> out;
+  out.reserve(vms_.size());
+  for (const auto& [id, v] : vms_) out.push_back(v);
+  return out;
+}
+
+std::size_t Host::running_vm_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, v] : vms_)
+    if (v->state() == VmState::kRunning) ++n;
+  return n;
+}
+
+void Host::set_migration_cpu_demand(double vcpus) {
+  WAVM3_REQUIRE(vcpus >= 0.0, "migration demand must be nonnegative");
+  migration_cpu_demand_ = vcpus;
+}
+
+double Host::total_vm_demand(double t) const {
+  double sum = 0.0;
+  for (const auto& [id, v] : vms_) sum += v->cpu_demand(t);
+  return sum;
+}
+
+double Host::guest_network_demand(double t) const {
+  double sum = 0.0;
+  for (const auto& [id, v] : vms_) sum += v->network_demand(t);
+  return sum;
+}
+
+double Host::vmm_demand(double /*t*/) const {
+  return hypervisor_.vmm_demand(running_vm_count());
+}
+
+double Host::cpu_used(double t) const {
+  const double demand = vmm_demand(t) + total_vm_demand(t) + migration_cpu_demand_;
+  return std::min(demand, cpu_capacity());
+}
+
+double Host::cpu_granted_to(const std::string& vm_id, double t) const {
+  const VmPtr v = vm(vm_id);
+  if (!v) return 0.0;
+  const double demand = v->cpu_demand(t);
+  if (demand == 0.0) return 0.0;
+  const double total = vmm_demand(t) + total_vm_demand(t) + migration_cpu_demand_;
+  if (total <= cpu_capacity()) return demand;
+  return demand * cpu_capacity() / total;
+}
+
+double Host::headroom_excluding_migration(double t) const {
+  return std::max(0.0, cpu_capacity() - vmm_demand(t) - total_vm_demand(t));
+}
+
+double Host::ram_committed() const {
+  double sum = 0.0;
+  for (const auto& [id, v] : vms_) sum += v->spec().ram_bytes;
+  return sum;
+}
+
+bool Host::can_fit(const VmSpec& vm_spec) const {
+  return ram_committed() + vm_spec.ram_bytes <= spec_.ram_bytes;
+}
+
+}  // namespace wavm3::cloud

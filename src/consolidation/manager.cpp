@@ -1,0 +1,139 @@
+#include "consolidation/manager.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::consolidation {
+
+ConsolidationManager::ConsolidationManager(ConsolidationPolicy policy,
+                                           const core::MigrationPlanner& planner,
+                                           HostPowerEstimate host_power)
+    : policy_(policy), planner_(&planner), host_power_(host_power) {
+  WAVM3_REQUIRE(policy_.underload_fraction > 0.0 && policy_.underload_fraction < 1.0,
+                "underload fraction must be in (0,1)");
+  WAVM3_REQUIRE(policy_.overload_fraction > policy_.underload_fraction &&
+                    policy_.overload_fraction <= 1.0,
+                "overload fraction must exceed the underload fraction");
+  WAVM3_REQUIRE(policy_.horizon_seconds > 0.0, "horizon must be positive");
+}
+
+core::MigrationScenario ConsolidationManager::scenario_for(const cloud::DataCenter& /*dc*/,
+                                                           const cloud::Vm& vm,
+                                                           const cloud::Host& source,
+                                                           const cloud::Host& target,
+                                                           double link_payload_rate,
+                                                           double now) const {
+  core::MigrationScenario sc;
+  sc.type = policy_.migration_type;
+  sc.vm_mem_bytes = vm.spec().ram_bytes;
+  sc.vm_cpu_vcpus = vm.cpu_demand(now);
+  sc.vm_dirty_pages_per_s = vm.dirty_page_rate(now);
+  sc.vm_working_set_pages = static_cast<double>(vm.working_set_pages());
+  // Demand-level (uncapped) loads: under multiplexing the capped
+  // utilisation would hide the missing migration-helper headroom.
+  sc.source_cpu_load = std::max(
+      0.0, source.vmm_demand(now) + source.total_vm_demand(now) - vm.cpu_demand(now));
+  sc.source_cpu_capacity = source.cpu_capacity();
+  sc.target_cpu_load = target.vmm_demand(now) + target.total_vm_demand(now);
+  sc.target_cpu_capacity = target.cpu_capacity();
+  sc.link_payload_rate = link_payload_rate;
+  return sc;
+}
+
+std::optional<ConsolidationPlan> ConsolidationManager::plan_vacate(
+    cloud::DataCenter& dc, const std::string& host_name, double link_payload_rate,
+    const std::set<std::string>& excluded_targets, double now) const {
+  cloud::Host* source = dc.host(host_name);
+  WAVM3_REQUIRE(source != nullptr, "unknown host: " + host_name);
+
+  ConsolidationPlan plan;
+  plan.vacated_host = host_name;
+
+  // Targets ordered most-loaded-first: packing onto already-busy hosts
+  // leaves more hosts empty later.
+  std::vector<cloud::Host*> targets;
+  for (cloud::Host* h : dc.hosts()) {
+    if (h->name() == host_name) continue;
+    if (excluded_targets.count(h->name()) != 0) continue;
+    targets.push_back(h);
+  }
+  std::sort(targets.begin(), targets.end(), [now](cloud::Host* a, cloud::Host* b) {
+    return a->cpu_utilisation(now) > b->cpu_utilisation(now);
+  });
+
+  // Track planned extra load per target so multiple VMs don't all pick
+  // the same host past its threshold.
+  std::vector<double> planned_cpu(targets.size(), 0.0);
+  std::vector<double> planned_ram(targets.size(), 0.0);
+
+  // Move the biggest VMs first (classic FFD).
+  std::vector<cloud::VmPtr> vms = source->vms();
+  std::sort(vms.begin(), vms.end(), [now](const cloud::VmPtr& a, const cloud::VmPtr& b) {
+    return a->cpu_demand(now) > b->cpu_demand(now);
+  });
+
+  for (const cloud::VmPtr& vm : vms) {
+    bool placed = false;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      cloud::Host* t = targets[i];
+      const double cpu_after = t->cpu_used(now) + planned_cpu[i] + vm->cpu_demand(now);
+      const bool cpu_ok = cpu_after <= policy_.overload_fraction * t->cpu_capacity();
+      const bool ram_ok =
+          t->ram_committed() + planned_ram[i] + vm->spec().ram_bytes <= t->spec().ram_bytes;
+      if (!cpu_ok || !ram_ok) continue;
+
+      // Forecast this move with the target's *planned* load included.
+      core::MigrationScenario sc = scenario_for(dc, *vm, *source, *t, link_payload_rate, now);
+      sc.target_cpu_load += planned_cpu[i];
+      const core::MigrationForecast fc = planner_->forecast(sc);
+
+      MigrationProposal prop;
+      prop.vm_id = vm->id();
+      prop.source = host_name;
+      prop.target = t->name();
+      prop.forecast = fc;
+      // Cost above baseline: the hosts would have drawn their steady
+      // power anyway; only the excess is attributable to the migration.
+      const double duration = fc.times.total_duration();
+      const double baseline =
+          (host_power_.power(sc.source_cpu_load + sc.vm_cpu_vcpus) +
+           host_power_.power(sc.target_cpu_load)) *
+          duration;
+      prop.migration_energy_joules = std::max(0.0, fc.total_energy() - baseline);
+
+      plan.migrations.push_back(std::move(prop));
+      planned_cpu[i] += vm->cpu_demand(now);
+      planned_ram[i] += vm->spec().ram_bytes;
+      placed = true;
+      break;
+    }
+    if (!placed) return std::nullopt;  // cannot empty this host
+  }
+
+  for (const auto& m : plan.migrations) plan.migration_cost_joules += m.migration_energy_joules;
+  plan.steady_saving_joules = host_power_.idle_watts * policy_.horizon_seconds;
+  plan.net_benefit_joules = plan.steady_saving_joules - plan.migration_cost_joules;
+  plan.beneficial = plan.net_benefit_joules > 0.0;
+  return plan;
+}
+
+std::vector<ConsolidationPlan> ConsolidationManager::plan(
+    cloud::DataCenter& dc, double link_payload_rate,
+    const std::set<std::string>& excluded_targets, double now) const {
+  std::vector<ConsolidationPlan> plans;
+  for (cloud::Host* h : dc.hosts()) {
+    if (h->vm_count() == 0) continue;  // already empty
+    if (h->cpu_utilisation(now) > policy_.underload_fraction) continue;
+    if (auto p = plan_vacate(dc, h->name(), link_payload_rate, excluded_targets, now)) {
+      plans.push_back(std::move(*p));
+    }
+  }
+  std::sort(plans.begin(), plans.end(), [](const ConsolidationPlan& a,
+                                           const ConsolidationPlan& b) {
+    return a.net_benefit_joules > b.net_benefit_joules;
+  });
+  return plans;
+}
+
+}  // namespace wavm3::consolidation

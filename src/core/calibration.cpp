@@ -1,0 +1,26 @@
+#include "core/calibration.hpp"
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::core {
+
+double dataset_idle_power(const models::Dataset& dataset) {
+  WAVM3_REQUIRE(!dataset.observations.empty(), "empty dataset");
+  std::vector<double> idles;
+  idles.reserve(dataset.observations.size());
+  for (const auto& obs : dataset.observations) idles.push_back(obs.idle_power_watts);
+  return stats::mean(idles);
+}
+
+double idle_bias_delta(const models::Dataset& train, const models::Dataset& target) {
+  return dataset_idle_power(train) - dataset_idle_power(target);
+}
+
+void transfer_bias(models::EnergyModel& model, const models::Dataset& train,
+                   const models::Dataset& target) {
+  WAVM3_REQUIRE(model.is_fitted(), "transfer_bias: model must be fitted first");
+  model.apply_idle_bias_correction(idle_bias_delta(train, target));
+}
+
+}  // namespace wavm3::core

@@ -1,0 +1,24 @@
+// Cross-testbed calibration (SVI-F): a model trained on machine set A
+// overestimates on machine set B by the idle-power difference, because
+// the fitted bias embeds A's idle draw. The paper replaces C1 by
+// C2 = C1 - (idle_A - idle_B); these helpers implement that transfer.
+#pragma once
+
+#include "models/dataset.hpp"
+#include "models/energy_model.hpp"
+
+namespace wavm3::core {
+
+/// Mean idle power of the machines behind a dataset, from the
+/// observations' recorded testbed idle draw.
+double dataset_idle_power(const models::Dataset& dataset);
+
+/// Idle-power delta (train minus target) between two datasets.
+double idle_bias_delta(const models::Dataset& train, const models::Dataset& target);
+
+/// Applies the SVI-F bias transfer in place: shifts every power-like
+/// constant of `model` by -(idle(train) - idle(target)).
+void transfer_bias(models::EnergyModel& model, const models::Dataset& train,
+                   const models::Dataset& target);
+
+}  // namespace wavm3::core

@@ -1,0 +1,100 @@
+#include "core/coeff_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::core {
+
+namespace {
+
+using migration::MigrationType;
+
+const std::vector<std::string>& columns() {
+  static const std::vector<std::string> cols = {"type",  "role",  "phase", "alpha",
+                                                "beta",  "gamma", "delta", "c"};
+  return cols;
+}
+
+double to_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  WAVM3_REQUIRE(end != s.c_str() && *end == '\0', "malformed number in coefficients CSV: " + s);
+  return v;
+}
+
+void write_phase(util::CsvWriter& csv, const char* type, const char* role, const char* phase,
+                 const PhaseCoefficients& k) {
+  csv.row_text({type, role, phase, util::format("%.17g", k.alpha),
+                util::format("%.17g", k.beta), util::format("%.17g", k.gamma),
+                util::format("%.17g", k.delta), util::format("%.17g", k.c)});
+}
+
+PhaseCoefficients* phase_slot(Wavm3Coefficients& table, const std::string& role,
+                              const std::string& phase) {
+  RoleCoefficients* rc = nullptr;
+  if (role == "source") rc = &table.source;
+  else if (role == "target") rc = &table.target;
+  else throw util::ContractError("unknown role in coefficients CSV: " + role);
+  if (phase == "initiation") return &rc->initiation;
+  if (phase == "transfer") return &rc->transfer;
+  if (phase == "activation") return &rc->activation;
+  throw util::ContractError("unknown phase in coefficients CSV: " + phase);
+}
+
+}  // namespace
+
+bool save_coefficients_csv(const Wavm3Model& model, const std::string& path) {
+  WAVM3_REQUIRE(model.is_fitted(), "cannot save an unfitted model");
+  std::ofstream out(path);
+  if (!out) return false;
+  util::CsvWriter csv(out);
+  csv.header(columns());
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    const Wavm3Coefficients* table = nullptr;
+    try {
+      table = &model.coefficients(type);
+    } catch (const util::ContractError&) {
+      continue;  // model not fitted for this type
+    }
+    const char* type_name = migration::to_string(type);
+    write_phase(csv, type_name, "source", "initiation", table->source.initiation);
+    write_phase(csv, type_name, "source", "transfer", table->source.transfer);
+    write_phase(csv, type_name, "source", "activation", table->source.activation);
+    write_phase(csv, type_name, "target", "initiation", table->target.initiation);
+    write_phase(csv, type_name, "target", "transfer", table->target.transfer);
+    write_phase(csv, type_name, "target", "activation", table->target.activation);
+  }
+  return static_cast<bool>(out);
+}
+
+Wavm3Model load_coefficients_csv(const std::string& path) {
+  Wavm3Model model;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  if (!util::read_csv_file(path, header, rows)) return model;
+  WAVM3_REQUIRE(header == columns(), "unexpected coefficients CSV header in " + path);
+
+  std::map<MigrationType, Wavm3Coefficients> tables;
+  for (const auto& r : rows) {
+    MigrationType type;
+    if (r[0] == "live") type = MigrationType::kLive;
+    else if (r[0] == "non-live") type = MigrationType::kNonLive;
+    else throw util::ContractError("unknown migration type in coefficients CSV: " + r[0]);
+
+    PhaseCoefficients* slot = phase_slot(tables[type], r[1], r[2]);
+    slot->alpha = to_double(r[3]);
+    slot->beta = to_double(r[4]);
+    slot->gamma = to_double(r[5]);
+    slot->delta = to_double(r[6]);
+    slot->c = to_double(r[7]);
+  }
+  for (const auto& [type, table] : tables) model.set_coefficients(type, table);
+  return model;
+}
+
+}  // namespace wavm3::core

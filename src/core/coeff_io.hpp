@@ -1,0 +1,22 @@
+// Coefficient persistence: save/load fitted WAVM3 coefficient tables as
+// CSV (one row per type/role/phase), so a model calibrated once can be
+// shipped and used for prediction without the training data.
+#pragma once
+
+#include <string>
+
+#include "core/wavm3_model.hpp"
+
+namespace wavm3::core {
+
+/// Writes every fitted coefficient table of `model` to `path`.
+/// Returns false when the file cannot be opened.
+bool save_coefficients_csv(const Wavm3Model& model, const std::string& path);
+
+/// Loads coefficient tables from `path` into a fresh Wavm3Model (no
+/// training data required; is_fitted() becomes true). Throws
+/// util::ContractError on malformed input; returns an unfitted model
+/// when the file cannot be opened.
+Wavm3Model load_coefficients_csv(const std::string& path);
+
+}  // namespace wavm3::core

@@ -1,0 +1,43 @@
+#include "core/phase_eval.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::core {
+
+std::vector<PhaseEvaluationRow> evaluate_phase_energies(const Wavm3Model& model,
+                                                        const models::Dataset& test) {
+  WAVM3_REQUIRE(model.is_fitted(), "evaluate_phase_energies: model is not fitted");
+  using migration::MigrationPhase;
+  using migration::MigrationType;
+  using models::HostRole;
+
+  std::vector<PhaseEvaluationRow> rows;
+  for (const auto type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const auto role : {HostRole::kSource, HostRole::kTarget}) {
+      const auto slice = test.select(type, role);
+      if (slice.empty()) continue;
+      for (const auto phase : {MigrationPhase::kInitiation, MigrationPhase::kTransfer,
+                               MigrationPhase::kActivation}) {
+        std::vector<double> predicted;
+        std::vector<double> observed;
+        for (const auto* obs : slice) {
+          const double o = obs->observed_phase_energy(phase);
+          if (o <= 0.0) continue;  // phase missing from this observation's samples
+          observed.push_back(o);
+          predicted.push_back(model.predict_phase_energy(*obs, phase));
+        }
+        if (observed.size() < 3) continue;
+        PhaseEvaluationRow row;
+        row.type = type;
+        row.role = role;
+        row.phase = phase;
+        row.n_migrations = observed.size();
+        row.metrics = stats::compute_error_metrics(predicted, observed);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace wavm3::core

@@ -1,0 +1,30 @@
+// Phase-level evaluation of WAVM3: the paper extracts four energy
+// metrics per migration (initiation, transfer, activation, total;
+// SV-B) — this evaluates the model's prediction of each of them
+// separately, which shows *where* in the migration the model earns its
+// accuracy.
+#pragma once
+
+#include <vector>
+
+#include "core/wavm3_model.hpp"
+#include "stats/metrics.hpp"
+
+namespace wavm3::core {
+
+/// One phase-level evaluation row.
+struct PhaseEvaluationRow {
+  migration::MigrationType type = migration::MigrationType::kNonLive;
+  models::HostRole role = models::HostRole::kSource;
+  migration::MigrationPhase phase = migration::MigrationPhase::kInitiation;
+  std::size_t n_migrations = 0;
+  stats::ErrorMetrics metrics;  ///< over per-migration phase energies
+};
+
+/// Evaluates predicted vs observed *per-phase* energies over every
+/// (type, role, phase) slice present in `test`. Slices with no
+/// observations (or zero observed phase energy throughout) are omitted.
+std::vector<PhaseEvaluationRow> evaluate_phase_energies(const Wavm3Model& model,
+                                                        const models::Dataset& test);
+
+}  // namespace wavm3::core

@@ -1,0 +1,222 @@
+#include "core/wavm3_model.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/linreg.hpp"
+#include "stats/lm.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::core {
+
+namespace {
+
+using migration::MigrationPhase;
+using migration::MigrationType;
+using models::HostRole;
+using models::MigrationSample;
+
+/// Which regressors Eq. 5-7 use in each phase. Order fixed:
+/// transfer -> {cpu_host, bw, dr, cpu_vm}; others -> {cpu_host, cpu_vm}.
+std::vector<double> raw_features(MigrationPhase phase, const MigrationSample& s) {
+  if (phase == MigrationPhase::kTransfer) {
+    return {s.cpu_host, s.bandwidth, s.dirty_ratio, s.cpu_vm};
+  }
+  return {s.cpu_host, s.cpu_vm};
+}
+
+/// Applies the ablation mask to a transfer-phase feature vector.
+void apply_ablation(MigrationPhase phase, const Wavm3Model::Ablation& ab,
+                    std::vector<double>& f) {
+  if (phase == MigrationPhase::kTransfer) {
+    if (ab.drop_bandwidth) f[1] = 0.0;
+    if (ab.drop_dirty_ratio) f[2] = 0.0;
+    if (ab.drop_vm_cpu) f[3] = 0.0;
+  } else {
+    if (ab.drop_vm_cpu) f[1] = 0.0;
+  }
+}
+
+PhaseCoefficients pack(MigrationPhase phase, const std::vector<double>& coeffs) {
+  PhaseCoefficients out;
+  if (phase == MigrationPhase::kTransfer) {
+    out.alpha = coeffs[0];
+    out.beta = coeffs[1];
+    out.gamma = coeffs[2];
+    out.delta = coeffs[3];
+    out.c = coeffs[4];
+  } else {
+    out.alpha = coeffs[0];
+    out.beta = coeffs[1];
+    out.c = coeffs[2];
+  }
+  return out;
+}
+
+double evaluate(MigrationPhase phase, const PhaseCoefficients& k, const MigrationSample& s) {
+  if (phase == MigrationPhase::kTransfer) {
+    return k.alpha * s.cpu_host + k.beta * s.bandwidth + k.gamma * s.dirty_ratio +
+           k.delta * s.cpu_vm + k.c;
+  }
+  return k.alpha * s.cpu_host + k.beta * s.cpu_vm + k.c;
+}
+
+const PhaseCoefficients& phase_coeffs(const RoleCoefficients& rc, MigrationPhase phase) {
+  switch (phase) {
+    case MigrationPhase::kInitiation: return rc.initiation;
+    case MigrationPhase::kTransfer: return rc.transfer;
+    case MigrationPhase::kActivation: return rc.activation;
+    case MigrationPhase::kNormal: break;
+  }
+  // Samples at the very boundary of [ms, me] may carry kNormal; the
+  // initiation model (plain CPU + bias) is the natural fallback.
+  return rc.initiation;
+}
+
+}  // namespace
+
+Wavm3Model::Wavm3Model(Options options) : options_(options) {}
+
+PhaseCoefficients Wavm3Model::fit_phase(const models::Dataset& train, MigrationType type,
+                                        HostRole role, MigrationPhase phase) const {
+  std::vector<std::vector<double>> features;
+  std::vector<double> power;
+  for (const auto& obs : train.observations) {
+    if (obs.type != type || obs.role != role) continue;
+    for (const auto& s : obs.samples) {
+      if (s.phase != phase) continue;
+      std::vector<double> f = raw_features(phase, s);
+      apply_ablation(phase, options_.ablation, f);
+      features.push_back(std::move(f));
+      power.push_back(s.power_watts);
+    }
+  }
+  const std::size_t n_features = phase == MigrationPhase::kTransfer ? 4 : 2;
+  WAVM3_REQUIRE(features.size() >= n_features + 1,
+                "WAVM3: too few samples to fit a phase model");
+
+  // Prune zero-variance columns (e.g. CPU(v,t)==0 on the target during
+  // transfer, SIV-C.2): they are collinear with the intercept, and the
+  // paper's tables report exactly 0 for them.
+  std::vector<bool> keep(n_features, false);
+  for (std::size_t j = 0; j < n_features; ++j) {
+    std::vector<double> col(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i) col[i] = features[i][j];
+    const auto summary = stats::summarize(col);
+    keep[j] = summary.stddev > 1e-9 * (1.0 + std::abs(summary.mean));
+  }
+
+  std::vector<std::size_t> kept_idx;
+  for (std::size_t j = 0; j < n_features; ++j)
+    if (keep[j]) kept_idx.push_back(j);
+
+  std::vector<double> full(n_features + 1, 0.0);  // +1: intercept last
+  if (kept_idx.empty()) {
+    // Degenerate phase (all features constant): bias-only model.
+    full[n_features] = stats::mean(power);
+    return pack(phase, full);
+  }
+
+  std::vector<std::vector<double>> reduced(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    reduced[i].reserve(kept_idx.size());
+    for (const std::size_t j : kept_idx) reduced[i].push_back(features[i][j]);
+  }
+
+  std::vector<double> solution;
+  stats::LinregOptions linreg;
+  linreg.nonnegative = options_.nonnegative_coefficients;
+  const stats::LinearFit ols = stats::fit_linear(reduced, power, linreg);
+  if (options_.use_levenberg_marquardt) {
+    // SVI-F fits with non-linear least squares; for this linear model
+    // LM converges to the same optimum. Seed at zero to make the
+    // equivalence a meaningful check rather than a tautology.
+    const auto model_fn = [](const std::vector<double>& params,
+                             const std::vector<double>& f) {
+      double y = params.back();
+      for (std::size_t j = 0; j < f.size(); ++j) y += params[j] * f[j];
+      return y;
+    };
+    const stats::LmResult lm = stats::levenberg_marquardt(
+        stats::curve_residuals(model_fn, reduced, power),
+        std::vector<double>(kept_idx.size() + 1, 0.0));
+    solution = lm.params;
+  } else {
+    solution = ols.coefficients;
+  }
+
+  for (std::size_t k = 0; k < kept_idx.size(); ++k) full[kept_idx[k]] = solution[k];
+  full[n_features] = solution[kept_idx.size()];
+  return pack(phase, full);
+}
+
+void Wavm3Model::fit(const models::Dataset& train) {
+  fits_.clear();
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    bool any = false;
+    for (const auto& obs : train.observations)
+      if (obs.type == type) any = true;
+    if (!any) continue;
+
+    Wavm3Coefficients table;
+    for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+      RoleCoefficients rc;
+      rc.initiation = fit_phase(train, type, role, MigrationPhase::kInitiation);
+      rc.transfer = fit_phase(train, type, role, MigrationPhase::kTransfer);
+      rc.activation = fit_phase(train, type, role, MigrationPhase::kActivation);
+      (role == HostRole::kSource ? table.source : table.target) = rc;
+    }
+    fits_[type] = table;
+  }
+  WAVM3_REQUIRE(!fits_.empty(), "WAVM3: training set contained no observations");
+}
+
+void Wavm3Model::set_coefficients(MigrationType type, const Wavm3Coefficients& table) {
+  fits_[type] = table;
+}
+
+const Wavm3Coefficients& Wavm3Model::coefficients(MigrationType type) const {
+  const auto it = fits_.find(type);
+  WAVM3_REQUIRE(it != fits_.end(), "WAVM3: not fitted for this migration type");
+  return it->second;
+}
+
+double Wavm3Model::predict_power(MigrationType type, HostRole role,
+                                 const MigrationSample& sample) const {
+  const Wavm3Coefficients& table = coefficients(type);
+  const RoleCoefficients& rc = role == HostRole::kSource ? table.source : table.target;
+  return evaluate(sample.phase == MigrationPhase::kNormal ? MigrationPhase::kInitiation
+                                                          : sample.phase,
+                  phase_coeffs(rc, sample.phase), sample);
+}
+
+double Wavm3Model::predict_energy(const models::MigrationObservation& obs) const {
+  return models::integrate_predicted_power(obs, [this, &obs](const MigrationSample& s) {
+    return predict_power(obs.type, obs.role, s);
+  });
+}
+
+double Wavm3Model::predict_phase_energy(const models::MigrationObservation& obs,
+                                        MigrationPhase phase) const {
+  double energy = 0.0;
+  const auto& s = obs.samples;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1].phase != phase || s[i].phase != phase) continue;
+    const double pa = predict_power(obs.type, obs.role, s[i - 1]);
+    const double pb = predict_power(obs.type, obs.role, s[i]);
+    energy += 0.5 * (pa + pb) * (s[i].time - s[i - 1].time);
+  }
+  return energy;
+}
+
+void Wavm3Model::apply_idle_bias_correction(double idle_delta_watts) {
+  for (auto& [type, table] : fits_) {
+    for (RoleCoefficients* rc : {&table.source, &table.target}) {
+      rc->initiation.c -= idle_delta_watts;
+      rc->transfer.c -= idle_delta_watts;
+      rc->activation.c -= idle_delta_watts;
+    }
+  }
+}
+
+}  // namespace wavm3::core

@@ -1,0 +1,294 @@
+#include "dcsim/simulation.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::dcsim {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kNoConsolidation: return "no-consolidation";
+    case Strategy::kCostBlind: return "cost-blind";
+    case Strategy::kCostAware: return "cost-aware";
+  }
+  return "?";
+}
+
+/// All mutable simulation state; lives only inside run().
+struct DataCenterSimulation::Runtime {
+  const DcSimConfig& cfg;
+  const core::MigrationPlanner* planner;
+
+  sim::Simulator sim;
+  cloud::DataCenter dc;
+  power::HostPowerModel power_model;
+  std::unique_ptr<migration::MigrationEngine> engine;
+  std::unique_ptr<consolidation::ConsolidationManager> manager;
+
+  std::set<std::string> powered_off;
+  std::deque<consolidation::MigrationProposal> pending;  ///< plan being executed
+  std::string vacating_host;                             ///< host the plan empties
+
+  // Trapezoidal energy accounting.
+  std::map<std::string, double> energy;
+  std::map<std::string, double> last_power;
+  double last_sample_time = 0.0;
+  double performance_sum = 0.0;  ///< accumulates vm_mean_performance
+
+  DcSimReport report;
+
+  explicit Runtime(const DcSimConfig& config, const core::MigrationPlanner* pl)
+      : cfg(config), planner(pl), power_model(config.power) {}
+
+  double host_true_power(const cloud::Host& host) const {
+    if (powered_off.count(host.name()) != 0) return cfg.standby_watts;
+    return power_model.true_power(engine->activity_of(host));
+  }
+
+  void sample_power() {
+    const double t = sim.now();
+    const double dt = t - last_sample_time;
+    for (const cloud::Host* h : std::as_const(dc).hosts()) {
+      const double p = host_true_power(*h);
+      if (dt > 0.0) energy[h->name()] += 0.5 * (last_power[h->name()] + p) * dt;
+      last_power[h->name()] = p;
+    }
+    last_sample_time = t;
+  }
+
+  /// Starts the next queued migration of the active plan, or finalises
+  /// the plan (powering the vacated host off when it emptied).
+  void execute_next_migration() {
+    while (!pending.empty()) {
+      const consolidation::MigrationProposal prop = pending.front();
+      pending.pop_front();
+      cloud::Host* source = dc.host(prop.source);
+      cloud::Host* target = dc.host(prop.target);
+      if (source == nullptr || target == nullptr || !source->has_vm(prop.vm_id)) continue;
+      try {
+        engine->migrate(prop.vm_id, prop.source, prop.target, cfg.policy.migration_type, {},
+                        [this](const migration::MigrationRecord& r) {
+                          ++report.migrations_executed;
+                          report.total_migration_downtime += r.downtime;
+                          performance_sum += r.vm_mean_performance;
+                          execute_next_migration();
+                        });
+        return;  // one at a time; continue from the completion callback
+      } catch (const util::ContractError& e) {
+        util::log_warn(std::string("dcsim: dropping planned migration: ") + e.what());
+      }
+    }
+    // Plan drained: power the vacated host off when it is really empty.
+    if (!vacating_host.empty()) {
+      cloud::Host* host = dc.host(vacating_host);
+      if (host != nullptr && host->vm_count() == 0 &&
+          powered_off.insert(vacating_host).second) {
+        ++report.power_off_events;
+      }
+      vacating_host.clear();
+    }
+  }
+
+  /// Moves one VM off an overloaded host, powering a standby host on
+  /// when no powered-on target has room.
+  void relieve_overload(double now) {
+    for (cloud::Host* h : dc.hosts()) {
+      if (powered_off.count(h->name()) != 0) continue;
+      if (h->cpu_utilisation(now) <= cfg.policy.overload_fraction) continue;
+      const auto vms = h->vms();
+      if (vms.size() < 2) continue;  // nothing sensible to shed
+
+      // Shed the smallest VM (cheapest move).
+      const cloud::VmPtr vm = *std::min_element(
+          vms.begin(), vms.end(), [now](const cloud::VmPtr& a, const cloud::VmPtr& b) {
+            return a->cpu_demand(now) < b->cpu_demand(now);
+          });
+
+      // Least-loaded powered-on target with CPU and RAM room.
+      cloud::Host* best = nullptr;
+      for (cloud::Host* t : dc.hosts()) {
+        if (t == h || powered_off.count(t->name()) != 0) continue;
+        if (!t->can_fit(vm->spec())) continue;
+        const double after = t->cpu_used(now) + vm->cpu_demand(now);
+        if (after > cfg.policy.overload_fraction * t->cpu_capacity()) continue;
+        if (best == nullptr || t->cpu_utilisation(now) < best->cpu_utilisation(now)) best = t;
+      }
+      if (best == nullptr) {
+        // Wake a standby machine.
+        for (cloud::Host* t : dc.hosts()) {
+          if (powered_off.count(t->name()) != 0 && t->can_fit(vm->spec())) {
+            powered_off.erase(t->name());
+            ++report.power_on_events;
+            best = t;
+            break;
+          }
+        }
+      }
+      if (best == nullptr) continue;
+
+      try {
+        engine->migrate(vm->id(), h->name(), best->name(), cfg.policy.migration_type, {},
+                        [this](const migration::MigrationRecord& r) {
+                          ++report.migrations_executed;
+                          report.total_migration_downtime += r.downtime;
+                          performance_sum += r.vm_mean_performance;
+                        });
+      } catch (const util::ContractError& e) {
+        util::log_warn(std::string("dcsim: overload relief failed: ") + e.what());
+      }
+      return;  // at most one relief migration per tick
+    }
+  }
+
+  void try_consolidate(double now) {
+    const auto plans = manager->plan(dc, net::Link(cfg.link).max_payload_rate(), powered_off,
+                                     now);
+    for (const auto& plan : plans) {
+      if (cfg.strategy == Strategy::kCostAware && !plan.beneficial) {
+        ++report.plans_rejected_by_cost;
+        continue;
+      }
+      vacating_host = plan.vacated_host;
+      pending.assign(plan.migrations.begin(), plan.migrations.end());
+      execute_next_migration();
+      return;  // one plan at a time
+    }
+  }
+
+  void controller_tick() {
+    if (cfg.strategy == Strategy::kNoConsolidation) return;
+    if (engine->migration_active() || !pending.empty()) return;
+    const double now = sim.now();
+    relieve_overload(now);
+    if (engine->migration_active()) return;
+    try_consolidate(now);
+  }
+};
+
+DataCenterSimulation::DataCenterSimulation(DcSimConfig config,
+                                           const core::MigrationPlanner* planner)
+    : config_(std::move(config)), planner_(planner) {
+  WAVM3_REQUIRE(config_.hosts.size() >= 2, "need at least two hosts");
+  WAVM3_REQUIRE(config_.duration > 0.0, "duration must be positive");
+  WAVM3_REQUIRE(config_.controller_interval > 0.0, "controller interval must be positive");
+  WAVM3_REQUIRE(config_.power_sample_period > 0.0, "sample period must be positive");
+  WAVM3_REQUIRE(config_.strategy == Strategy::kNoConsolidation || planner_ != nullptr,
+                "consolidating strategies need a planner");
+}
+
+DcSimReport DataCenterSimulation::run() {
+  WAVM3_REQUIRE(!ran_, "a DataCenterSimulation is single-use");
+  ran_ = true;
+
+  Runtime rt(config_, planner_);
+  rt.report.strategy = config_.strategy;
+  rt.report.duration = config_.duration;
+
+  // Build the fleet and its full-mesh network.
+  for (const auto& spec : config_.hosts) rt.dc.add_host(spec);
+  for (std::size_t i = 0; i < config_.hosts.size(); ++i) {
+    for (std::size_t j = i + 1; j < config_.hosts.size(); ++j) {
+      rt.dc.network().connect(config_.hosts[i].name, config_.hosts[j].name, config_.link);
+    }
+  }
+  for (const auto& placement : config_.vms) {
+    cloud::Host* host = rt.dc.host(placement.host);
+    WAVM3_REQUIRE(host != nullptr, "placement names unknown host: " + placement.host);
+    auto vm = std::make_shared<cloud::Vm>(placement.vm_id, placement.spec);
+    vm->set_workload(std::make_shared<TracedWorkload>(placement.workload));
+    vm->start();
+    host->add_vm(std::move(vm));
+  }
+
+  rt.engine = std::make_unique<migration::MigrationEngine>(
+      rt.sim, rt.dc, net::BandwidthModel(config_.bandwidth), config_.migration);
+  if (planner_ != nullptr) {
+    consolidation::HostPowerEstimate estimate;
+    estimate.idle_watts = config_.power.idle_watts;
+    estimate.watts_per_vcpu = config_.power.watts_per_vcpu;
+    rt.manager = std::make_unique<consolidation::ConsolidationManager>(config_.policy,
+                                                                       *planner_, estimate);
+  }
+
+  // Initial power sample, then periodic accounting and control.
+  rt.sample_power();
+  auto sampler = rt.sim.schedule_periodic(config_.power_sample_period,
+                                          config_.power_sample_period,
+                                          [&rt] { rt.sample_power(); });
+  auto controller = rt.sim.schedule_periodic(config_.controller_interval,
+                                             config_.controller_interval,
+                                             [&rt] { rt.controller_tick(); });
+
+  rt.sim.run_until(config_.duration);
+  sampler.cancel();
+  controller.cancel();
+  // Let any in-flight migration finish so engine state unwinds cleanly,
+  // but account energy only up to `duration`.
+  rt.sim.run_to_completion();
+
+  rt.report.host_energy = rt.energy;
+  for (const auto& [name, joules] : rt.energy) rt.report.total_energy_joules += joules;
+  rt.report.final_powered_on_hosts =
+      static_cast<double>(config_.hosts.size() - rt.powered_off.size());
+  if (rt.report.migrations_executed > 0) {
+    rt.report.mean_migration_performance =
+        rt.performance_sum / rt.report.migrations_executed;
+  }
+  return rt.report;
+}
+
+DcSimConfig make_fleet_scenario(int n_hosts, int n_vms, std::uint64_t seed) {
+  WAVM3_REQUIRE(n_hosts >= 2 && n_vms >= 1, "need >= 2 hosts and >= 1 VM");
+  util::RngFactory rng_factory(seed);
+  util::RngStream rng = rng_factory.stream("fleet");
+
+  DcSimConfig cfg;
+  for (int i = 0; i < n_hosts; ++i) {
+    cloud::HostSpec h;
+    h.name = util::format("host%02d", i);
+    h.vcpus = 32;
+    h.ram_bytes = util::gib(32);
+    cfg.hosts.push_back(h);
+  }
+  // m-class ground truth (same machines as the paper's m01-m02 pair).
+  cfg.power.machine_class = "m-class (Opteron 8356)";
+  cfg.power.idle_watts = 430.0;
+  cfg.power.vcpus = 32.0;
+  cfg.power.watts_per_vcpu = 11.0;
+  cfg.power.cpu_convexity_watts = 60.0;
+  cfg.power.fan_watts_full = 50.0;
+  cfg.link.name = "fleet GbE";
+  cfg.link.wire_rate = util::gbit_per_s(1);
+
+  for (int i = 0; i < n_vms; ++i) {
+    VmPlacement p;
+    p.vm_id = util::format("vm%03d", i);
+    p.host = cfg.hosts[static_cast<std::size_t>(i) % cfg.hosts.size()].name;
+    p.spec.instance_type = "fleet-vm";
+    p.spec.vcpus = static_cast<int>(rng.uniform_int(1, 4));
+    p.spec.ram_bytes = util::gib(static_cast<double>(rng.uniform_int(1, 4)));
+    p.spec.storage_bytes = util::gib(6);
+    // Staggered diurnal profiles: load peaks at different times, so
+    // consolidation opportunities open and close over the day.
+    const double low = rng.uniform(0.05, 0.25);
+    const double high = rng.uniform(0.5, 1.0);
+    const double phase = rng.uniform(0.0, 86400.0);
+    p.workload.profile = LoadProfile::diurnal(low, high, 86400.0, phase);
+    p.workload.vcpus = p.spec.vcpus;
+    p.workload.dirty_pages_per_s_full = rng.uniform(500.0, 20000.0);
+    p.workload.working_set_pages = static_cast<std::uint64_t>(
+        rng.uniform(0.05, 0.5) * p.spec.ram_bytes / util::kPageSize);
+    cfg.vms.push_back(std::move(p));
+  }
+  return cfg;
+}
+
+}  // namespace wavm3::dcsim

@@ -1,0 +1,100 @@
+#include "exp/campaign.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::exp {
+
+CampaignOptions paper_campaign_options() {
+  CampaignOptions o;
+  o.repetition.min_runs = 10;
+  o.repetition.max_runs = 14;
+  o.repetition.variance_delta = 0.10;
+  o.scenarios = all_scenarios();
+  return o;
+}
+
+CampaignOptions fast_campaign_options() {
+  CampaignOptions o;
+  o.repetition.min_runs = 3;
+  o.repetition.max_runs = 3;
+  o.repetition.variance_delta = 0.10;
+  o.idle_measurement_duration = 12.0;
+  // A trimmed sweep: the extreme points of each family's axis.
+  for (const auto& sc : all_scenarios()) {
+    const bool keep = sc.family == Family::kMemLoadVm
+                          ? (sc.sweep_value <= 5.0 || sc.sweep_value >= 95.0)
+                          : (sc.sweep_value == 0.0 || sc.sweep_value == 8.0);
+    if (keep) o.scenarios.push_back(sc);
+  }
+  return o;
+}
+
+CampaignResult run_campaign(const Testbed& testbed, const CampaignOptions& options,
+                            std::uint64_t seed) {
+  ExperimentRunner runner(testbed, options.runner, seed);
+
+  CampaignResult result;
+  result.testbed_name = testbed.name;
+  result.dataset.name = testbed.name;
+
+  result.measured_idle_power = runner.measure_idle_power(options.idle_measurement_duration);
+  runner.set_idle_power_reference(result.measured_idle_power);
+  util::log_info(util::format("[%s] measured idle power: %.1f W", testbed.name.c_str(),
+                              result.measured_idle_power));
+
+  for (const ScenarioConfig& scenario : options.scenarios) {
+    stats::RunRepetition repetition(options.repetition);
+    ScenarioSummary summary;
+    summary.config = scenario;
+
+    while (!repetition.converged()) {
+      const int run_index = static_cast<int>(repetition.runs());
+      RunResult run = runner.run(scenario, run_index);
+
+      const double src_energy = run.source_obs.observed_energy();
+      const double tgt_energy = run.target_obs.observed_energy();
+      // The repetition criterion watches the headline scalar: total
+      // migration energy on the source.
+      repetition.add_run(src_energy);
+
+      summary.mean_source_energy += src_energy;
+      summary.mean_target_energy += tgt_energy;
+      summary.mean_source_phase_energy[0] +=
+          run.source_obs.observed_phase_energy(migration::MigrationPhase::kInitiation);
+      summary.mean_source_phase_energy[1] +=
+          run.source_obs.observed_phase_energy(migration::MigrationPhase::kTransfer);
+      summary.mean_source_phase_energy[2] +=
+          run.source_obs.observed_phase_energy(migration::MigrationPhase::kActivation);
+      summary.mean_transfer_duration += run.record.times.transfer_duration();
+      summary.mean_total_bytes += run.record.total_bytes;
+      summary.mean_downtime += run.record.downtime;
+
+      result.dataset.observations.push_back(run.source_obs);
+      result.dataset.observations.push_back(run.target_obs);
+      if (run_index == 0) {
+        result.representative.emplace(scenario.name, std::move(run));
+      }
+    }
+
+    const double n = static_cast<double>(repetition.runs());
+    summary.runs = repetition.runs();
+    summary.mean_source_energy /= n;
+    summary.mean_target_energy /= n;
+    for (double& e : summary.mean_source_phase_energy) e /= n;
+    summary.mean_transfer_duration /= n;
+    summary.mean_total_bytes /= n;
+    summary.mean_downtime /= n;
+    summary.final_variance_delta = repetition.last_variance_delta();
+    result.summaries.push_back(summary);
+
+    util::log_info(util::format(
+        "[%s] %-34s runs=%zu  E_src=%.1f kJ  E_tgt=%.1f kJ  transfer=%.1f s",
+        testbed.name.c_str(), scenario.name.c_str(), summary.runs,
+        summary.mean_source_energy / 1e3, summary.mean_target_energy / 1e3,
+        summary.mean_transfer_duration));
+  }
+  return result;
+}
+
+}  // namespace wavm3::exp

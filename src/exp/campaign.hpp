@@ -1,0 +1,61 @@
+// Campaign driver: runs every scenario of the experimental design with
+// the SV-B repetition protocol (repeat until the run-variance delta is
+// below 10%, at least ten runs) and assembles the per-testbed Dataset
+// the regression pipeline consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "stats/convergence.hpp"
+
+namespace wavm3::exp {
+
+/// Campaign-level options.
+struct CampaignOptions {
+  RunnerOptions runner;
+  stats::RepetitionOptions repetition;           ///< min 10 runs, <10% variance delta
+  std::vector<ScenarioConfig> scenarios;         ///< default: all_scenarios()
+  double idle_measurement_duration = 30.0;
+};
+
+/// Default options reproducing the paper's protocol.
+CampaignOptions paper_campaign_options();
+
+/// Reduced options (3 runs, trimmed sweeps) for unit/integration tests.
+CampaignOptions fast_campaign_options();
+
+/// Per-scenario aggregate, averaged across converged runs (the paper
+/// averages each result over its runs, SVI).
+struct ScenarioSummary {
+  ScenarioConfig config;
+  std::size_t runs = 0;
+  double mean_source_energy = 0.0;      ///< joules over [ms, me]
+  double mean_target_energy = 0.0;
+  /// SV-B's "four energy metrics": per-phase source-host energies
+  /// (initiation, transfer, activation); their sum approximates
+  /// mean_source_energy up to the phase-boundary sample intervals.
+  double mean_source_phase_energy[3] = {0.0, 0.0, 0.0};
+  double mean_transfer_duration = 0.0;  ///< seconds
+  double mean_total_bytes = 0.0;
+  double mean_downtime = 0.0;
+  double final_variance_delta = 0.0;    ///< repetition criterion at stop
+};
+
+/// Everything a campaign produced.
+struct CampaignResult {
+  std::string testbed_name;
+  models::Dataset dataset;                         ///< 2 observations per run
+  std::vector<ScenarioSummary> summaries;
+  std::map<std::string, RunResult> representative; ///< scenario name -> first run
+  double measured_idle_power = 0.0;
+};
+
+/// Runs the full campaign on one testbed. Deterministic in `seed`.
+CampaignResult run_campaign(const Testbed& testbed, const CampaignOptions& options,
+                            std::uint64_t seed);
+
+}  // namespace wavm3::exp

@@ -1,0 +1,147 @@
+#include "exp/figures.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::exp {
+
+using migration::MigrationType;
+using models::HostRole;
+
+namespace {
+
+std::string sweep_label(const ScenarioConfig& sc) {
+  switch (sc.family) {
+    case Family::kMemLoadVm:
+      return util::format("%.0f%%", sc.sweep_value);
+    case Family::kNetLoadVm:
+      return util::format("%.0f Mbit", sc.sweep_value);
+    default:
+      return util::format("%d VM", static_cast<int>(sc.sweep_value));
+  }
+}
+
+util::ChartSeries series_from_run(const RunResult& run, HostRole role, double pre_margin) {
+  const power::PowerTrace& trace =
+      role == HostRole::kSource ? run.source_trace : run.target_trace;
+  util::ChartSeries s;
+  s.name = sweep_label(run.scenario);
+  const double t0 = run.record.times.ms - pre_margin;
+  for (const auto& sample : trace.samples()) {
+    if (sample.time < t0) continue;
+    s.x.push_back(sample.time - t0);
+    s.y.push_back(sample.watts);
+  }
+  return s;
+}
+
+}  // namespace
+
+FigurePanel make_power_figure(const CampaignResult& campaign, Family family, MigrationType type,
+                              HostRole role, double pre_margin) {
+  FigurePanel panel;
+  panel.title = util::format("%s, %s migration, %s host (%s)", to_string(family),
+                             migration::to_string(type), models::to_string(role),
+                             campaign.testbed_name.c_str());
+
+  std::vector<const RunResult*> runs;
+  for (const auto& [name, run] : campaign.representative) {
+    if (run.scenario.family == family && run.scenario.type == type) runs.push_back(&run);
+  }
+  std::sort(runs.begin(), runs.end(), [](const RunResult* a, const RunResult* b) {
+    return a->scenario.sweep_value < b->scenario.sweep_value;
+  });
+  WAVM3_REQUIRE(!runs.empty(), "no representative runs for this figure");
+
+  double y_max = 0.0;
+  for (const RunResult* run : runs) {
+    panel.series.push_back(series_from_run(*run, role, pre_margin));
+    for (const double v : panel.series.back().y) y_max = std::max(y_max, v);
+  }
+  // Paper-style fixed band: m-class plots use 400-900 W; adapt when the
+  // data sits elsewhere (o-class machines).
+  if (y_max < 395.0 || y_max > 905.0) {
+    double y_min = panel.series.front().y.front();
+    for (const auto& s : panel.series)
+      for (const double v : s.y) y_min = std::min(y_min, v);
+    panel.y_min = y_min * 0.95;
+    panel.y_max = y_max * 1.05;
+  }
+  return panel;
+}
+
+FigurePanel make_phase_anatomy_figure(const RunResult& run, HostRole role) {
+  FigurePanel panel;
+  panel.title = util::format("Migration phases: %s migration, %s host (%s)",
+                             migration::to_string(run.record.type), models::to_string(role),
+                             run.scenario.name.c_str());
+  const double pre_margin = 20.0;
+  panel.series.push_back(series_from_run(run, role, pre_margin));
+  panel.series.front().name = "power";
+
+  // Phase-boundary markers as vertical spike series.
+  const auto& times = run.record.times;
+  const double t0 = times.ms - pre_margin;
+  const char* names[4] = {"ms", "ts", "te", "me"};
+  const double stamps[4] = {times.ms, times.ts, times.te, times.me};
+  double y_min = 1e18;
+  double y_max = 0.0;
+  for (const double v : panel.series.front().y) {
+    y_min = std::min(y_min, v);
+    y_max = std::max(y_max, v);
+  }
+  for (int i = 0; i < 4; ++i) {
+    util::ChartSeries marker;
+    marker.name = names[i];
+    for (int k = 0; k <= 10; ++k) {
+      marker.x.push_back(stamps[i] - t0);
+      marker.y.push_back(y_min + (y_max - y_min) * k / 10.0);
+    }
+    panel.series.push_back(std::move(marker));
+  }
+  panel.y_min = y_min * 0.98;
+  panel.y_max = y_max * 1.02;
+  return panel;
+}
+
+std::string render_figure(const FigurePanel& panel, int width, int height) {
+  util::ChartOptions opts;
+  opts.width = width;
+  opts.height = height;
+  opts.x_label = "TIME [sec]";
+  opts.y_label = panel.title + "\nPOWER [W]";
+  opts.y_fixed = true;
+  opts.y_min = panel.y_min;
+  opts.y_max = panel.y_max;
+  return util::render_ascii_chart(panel.series, opts);
+}
+
+bool export_figure_csv(const FigurePanel& panel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{"time_s"};
+  for (const auto& s : panel.series) header.push_back(s.name + "_watts");
+  csv.header(header);
+
+  // Series share a 0.5 s cadence but can differ in length; emit the
+  // union of rows indexed by the longest series.
+  std::size_t longest = 0;
+  for (const auto& s : panel.series) longest = std::max(longest, s.x.size());
+  for (std::size_t i = 0; i < longest; ++i) {
+    std::vector<std::string> row;
+    row.push_back(i < panel.series.front().x.size()
+                      ? util::fmt_fixed(panel.series.front().x[i], 3)
+                      : util::fmt_fixed(static_cast<double>(i) * 0.5, 3));
+    for (const auto& s : panel.series)
+      row.push_back(i < s.y.size() ? util::fmt_fixed(s.y[i], 2) : "");
+    csv.row_text(row);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace wavm3::exp

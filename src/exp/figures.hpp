@@ -1,0 +1,42 @@
+// Figure builders: extract the power-vs-time series the paper plots
+// (Figs. 2-7) from a campaign's representative runs, render them as
+// ASCII charts, and export CSV for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace wavm3::exp {
+
+/// One figure panel (e.g. "Fig. 3a: non-live source").
+struct FigurePanel {
+  std::string title;
+  std::vector<util::ChartSeries> series;  ///< one per sweep level
+  double y_min = 400.0;                   ///< paper-style fixed axis
+  double y_max = 900.0;
+};
+
+/// Builds the panel for one (family, migration type, host role)
+/// combination, one series per sweep level. Time is rebased so the
+/// migration starts at `pre_margin` seconds, like the paper's figures
+/// which show a normal-execution lead-in.
+FigurePanel make_power_figure(const CampaignResult& campaign, Family family,
+                              migration::MigrationType type, models::HostRole role,
+                              double pre_margin = 20.0);
+
+/// Builds the Fig. 2 phase-anatomy panel from one run: power trace plus
+/// vertical markers (as separate spike series) at ms/ts/te/me.
+FigurePanel make_phase_anatomy_figure(const RunResult& run, models::HostRole role);
+
+/// Renders a panel as an ASCII chart block.
+std::string render_figure(const FigurePanel& panel, int width = 100, int height = 22);
+
+/// Exports a panel to CSV at `path`: time column plus one column per
+/// series (aligned on each series' own time base; missing cells empty).
+/// Returns false when the file cannot be written.
+bool export_figure_csv(const FigurePanel& panel, const std::string& path);
+
+}  // namespace wavm3::exp

@@ -1,0 +1,98 @@
+// Executes one experimental run exactly as SV-B prescribes: meter both
+// hosts at 2 Hz, wait for power stabilisation (20 consecutive readings
+// within 0.3%), issue the migration, keep sampling until the power
+// stabilises again, and record power + dstat-style features throughout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "exp/testbeds.hpp"
+#include "migration/engine.hpp"
+#include "migration/feature_trace.hpp"
+#include "models/dataset.hpp"
+#include "power/power_meter.hpp"
+#include "power/stabilization.hpp"
+#include "util/rng.hpp"
+
+namespace wavm3::exp {
+
+/// Run-protocol and jitter knobs.
+struct RunnerOptions {
+  power::MeterSpec meter;                      ///< 2 Hz, 0.3% accuracy
+  power::StabilizationSpec stabilization;      ///< 20 readings within 0.3%
+  double min_warmup = 12.0;      ///< seconds of pre-migration metering at minimum
+  double forced_issue_time = 45.0;  ///< issue anyway if stabilisation is elusive
+  double post_margin = 12.0;     ///< seconds of post-migration metering at minimum
+  double max_sim_time = 1800.0;  ///< watchdog on one run
+
+  // Run-to-run environment variation, as on a real testbed.
+  double bandwidth_jitter = 0.04;       ///< +-4% link throughput
+  double initiation_jitter = 0.15;      ///< +-15% toolstack setup time
+  double activation_jitter = 0.10;      ///< +-10% resume/cleanup time
+  double dirty_rate_jitter = 0.08;      ///< +-8% workload dirtying intensity
+  double ambient_jitter_watts = 3.0;    ///< +-3 W ambient/PSU drift per run
+  double load_efficiency_jitter = 0.03; ///< load VMs run at [1-j, 1] efficiency
+
+  // Per-run, per-host ground-truth drift: the same physical machine does
+  // not draw identical power across runs (thermal state, PSU efficiency
+  // point, fan hysteresis). These are unobservable to the models and set
+  // the honest NRMSE floor the paper also faces.
+  double idle_drift = 0.02;             ///< +-2% idle draw per run/host
+  double cpu_power_drift = 0.08;        ///< +-8% per-vCPU power per run/host
+  double fan_gain_jitter = 0.50;        ///< +-50% cooling gain per run/host
+
+  // Instrumentation error on the recorded features (dstat/ifstat are
+  // not power-analyser-grade): multiplicative, per sample.
+  double cpu_reading_noise = 0.02;      ///< +-2% on CPU readings
+  double bw_reading_noise = 0.03;       ///< +-3% on bandwidth readings
+
+  migration::MigrationConfig migration;  ///< engine tunables
+};
+
+/// Everything one run produced.
+struct RunResult {
+  ScenarioConfig scenario;
+  int run_index = 0;
+  migration::MigrationRecord record;
+  power::PowerTrace source_trace;  ///< full trace, absolute sim time
+  power::PowerTrace target_trace;
+  models::MigrationObservation source_obs;  ///< samples within [ms, me]
+  models::MigrationObservation target_obs;
+  /// The raw dstat-style instrumentation stream over the whole run
+  /// (also outside [ms, me]); cpu_vm is the migrating VM's granted CPU
+  /// on whichever host runs it.
+  migration::FeatureTrace features;
+  migration::RunJitter jitter;
+};
+
+/// Stateless-between-runs experiment executor for one testbed.
+class ExperimentRunner {
+ public:
+  ExperimentRunner(Testbed testbed, RunnerOptions options, std::uint64_t seed);
+
+  const Testbed& testbed() const { return testbed_; }
+  const RunnerOptions& options() const { return options_; }
+
+  /// Observed idle power used to stamp observations for the SVI-F bias
+  /// transfer; measured by measure_idle_power() or set explicitly.
+  void set_idle_power_reference(double watts) { idle_power_reference_ = watts; }
+  double idle_power_reference() const { return idle_power_reference_; }
+
+  /// Meters an empty host of this testbed for `duration` seconds and
+  /// returns the mean reading — the observable idle draw.
+  double measure_idle_power(double duration = 30.0);
+
+  /// Executes one full run of `scenario`. Deterministic in
+  /// (seed, scenario.name, run_index).
+  RunResult run(const ScenarioConfig& scenario, int run_index);
+
+ private:
+  Testbed testbed_;
+  RunnerOptions options_;
+  util::RngFactory rng_;
+  double idle_power_reference_ = 0.0;
+};
+
+}  // namespace wavm3::exp

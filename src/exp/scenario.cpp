@@ -1,0 +1,149 @@
+#include "exp/scenario.hpp"
+
+#include "util/strings.hpp"
+
+namespace wavm3::exp {
+
+using migration::MigrationType;
+
+const char* to_string(Family f) {
+  switch (f) {
+    case Family::kCpuLoadSource: return "CPULOAD-SOURCE";
+    case Family::kCpuLoadTarget: return "CPULOAD-TARGET";
+    case Family::kMemLoadVm: return "MEMLOAD-VM";
+    case Family::kMemLoadSource: return "MEMLOAD-SOURCE";
+    case Family::kMemLoadTarget: return "MEMLOAD-TARGET";
+    case Family::kNetLoadVm: return "NETLOAD-VM";
+  }
+  return "?";
+}
+
+const std::vector<int>& cpu_sweep_vm_counts() {
+  static const std::vector<int> counts = {0, 1, 3, 5, 7, 8};
+  return counts;
+}
+
+const std::vector<double>& mem_sweep_fractions() {
+  static const std::vector<double> fractions = {0.05, 0.15, 0.35, 0.55, 0.75, 0.95};
+  return fractions;
+}
+
+namespace {
+
+std::string scenario_name(Family family, const std::string& sweep_label, MigrationType type) {
+  return std::string(to_string(family)) + "/" + sweep_label + "/" + to_string(type);
+}
+
+}  // namespace
+
+std::vector<ScenarioConfig> cpuload_source_scenarios() {
+  std::vector<ScenarioConfig> out;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const int n : cpu_sweep_vm_counts()) {
+      ScenarioConfig sc;
+      sc.family = Family::kCpuLoadSource;
+      sc.type = type;
+      sc.migrating = MigratingKind::kCpu;
+      sc.source_load_vms = n;
+      sc.sweep_value = n;
+      sc.name = scenario_name(sc.family, util::format("%dvm", n), type);
+      out.push_back(sc);
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioConfig> cpuload_target_scenarios() {
+  std::vector<ScenarioConfig> out;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const int n : cpu_sweep_vm_counts()) {
+      ScenarioConfig sc;
+      sc.family = Family::kCpuLoadTarget;
+      sc.type = type;
+      sc.migrating = MigratingKind::kCpu;
+      sc.target_load_vms = n;
+      sc.sweep_value = n;
+      sc.name = scenario_name(sc.family, util::format("%dvm", n), type);
+      out.push_back(sc);
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioConfig> memload_vm_scenarios() {
+  std::vector<ScenarioConfig> out;
+  for (const double f : mem_sweep_fractions()) {
+    ScenarioConfig sc;
+    sc.family = Family::kMemLoadVm;
+    sc.type = MigrationType::kLive;
+    sc.migrating = MigratingKind::kMem;
+    sc.mem_fraction = f;
+    sc.sweep_value = f * 100.0;
+    sc.name = scenario_name(sc.family, util::format("%.0f%%", f * 100.0), sc.type);
+    out.push_back(sc);
+  }
+  return out;
+}
+
+std::vector<ScenarioConfig> memload_source_scenarios() {
+  std::vector<ScenarioConfig> out;
+  for (const int n : cpu_sweep_vm_counts()) {
+    ScenarioConfig sc;
+    sc.family = Family::kMemLoadSource;
+    sc.type = MigrationType::kLive;
+    sc.migrating = MigratingKind::kMem;
+    sc.mem_fraction = 0.95;
+    sc.source_load_vms = n;
+    sc.sweep_value = n;
+    sc.name = scenario_name(sc.family, util::format("%dvm", n), sc.type);
+    out.push_back(sc);
+  }
+  return out;
+}
+
+std::vector<ScenarioConfig> memload_target_scenarios() {
+  std::vector<ScenarioConfig> out;
+  for (const int n : cpu_sweep_vm_counts()) {
+    ScenarioConfig sc;
+    sc.family = Family::kMemLoadTarget;
+    sc.type = MigrationType::kLive;
+    sc.migrating = MigratingKind::kMem;
+    sc.mem_fraction = 0.95;
+    sc.target_load_vms = n;
+    sc.sweep_value = n;
+    sc.name = scenario_name(sc.family, util::format("%dvm", n), sc.type);
+    out.push_back(sc);
+  }
+  return out;
+}
+
+std::vector<ScenarioConfig> netload_vm_scenarios() {
+  std::vector<ScenarioConfig> out;
+  // Payload rates from idle to beyond the ~117 MB/s link payload
+  // capacity, in Mbit/s (the unit iperf reports).
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const double mbit : {0.0, 200.0, 400.0, 600.0, 800.0, 940.0}) {
+      ScenarioConfig sc;
+      sc.family = Family::kNetLoadVm;
+      sc.type = type;
+      sc.migrating = MigratingKind::kNet;
+      sc.net_rate = mbit * 1e6 / 8.0;
+      sc.sweep_value = mbit;
+      sc.name = scenario_name(sc.family, util::format("%.0fMbit", mbit), type);
+      out.push_back(sc);
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioConfig> all_scenarios() {
+  std::vector<ScenarioConfig> out;
+  for (const auto& gen :
+       {cpuload_source_scenarios(), cpuload_target_scenarios(), memload_vm_scenarios(),
+        memload_source_scenarios(), memload_target_scenarios()}) {
+    out.insert(out.end(), gen.begin(), gen.end());
+  }
+  return out;
+}
+
+}  // namespace wavm3::exp

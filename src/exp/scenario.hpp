@@ -1,0 +1,69 @@
+// Experiment scenarios: one entry of Table IIa instantiated at one
+// sweep point (a load level or a dirtying fraction), for one migration
+// type. The five families generate lists of these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "migration/engine.hpp"
+
+namespace wavm3::exp {
+
+/// Which VM instance migrates.
+enum class MigratingKind { kCpu, kMem, kNet };
+
+/// The five experiment families of SV-A.
+enum class Family {
+  kCpuLoadSource,
+  kCpuLoadTarget,
+  kMemLoadVm,
+  kMemLoadSource,
+  kMemLoadTarget,
+  kNetLoadVm,  ///< extension: network-intensive migrating VM (SVIII)
+};
+
+const char* to_string(Family f);
+
+/// One fully specified experimental scenario.
+struct ScenarioConfig {
+  std::string name;        ///< e.g. "CPULOAD-SOURCE/3vm/live"
+  Family family = Family::kCpuLoadSource;
+  migration::MigrationType type = migration::MigrationType::kLive;
+  MigratingKind migrating = MigratingKind::kCpu;
+  int source_load_vms = 0;     ///< load-cpu instances placed on the source
+  int target_load_vms = 0;     ///< load-cpu instances placed on the target
+  double mem_fraction = 0.95;  ///< pagedirtier footprint (MigratingKind::kMem)
+  double net_rate = 0.0;       ///< netstream traffic, bytes/s (MigratingKind::kNet)
+  double sweep_value = 0.0;    ///< the swept parameter (VM count or DR%), for table axes
+};
+
+/// The load-VM counts used by the CPU sweeps: 0,1,3,5,7 cover 0..100%
+/// of a 32-thread host in ~25% steps, and 8 forces CPU multiplexing
+/// ("the case in which the VMs require more CPUs than the host can
+/// offer", SV-A.1).
+const std::vector<int>& cpu_sweep_vm_counts();
+
+/// The dirtying-fraction sweep of MEMLOAD-VM (Table IIa: 5%..95%).
+const std::vector<double>& mem_sweep_fractions();
+
+/// Scenario generators, one per family. CPULOAD families produce both
+/// live and non-live scenarios; MEMLOAD families are live-only (DR = 0
+/// under non-live migration, SV-A.2).
+std::vector<ScenarioConfig> cpuload_source_scenarios();
+std::vector<ScenarioConfig> cpuload_target_scenarios();
+std::vector<ScenarioConfig> memload_vm_scenarios();
+std::vector<ScenarioConfig> memload_source_scenarios();
+std::vector<ScenarioConfig> memload_target_scenarios();
+
+/// All scenarios of all five families (the paper's Table IIa design;
+/// the NETLOAD extension is *not* included here).
+std::vector<ScenarioConfig> all_scenarios();
+
+/// Extension experiment (SVIII future work): live and non-live
+/// migration of a network-streaming VM, sweeping its traffic rate from
+/// idle to near link saturation. Verifies the paper's SIII-B assumption
+/// that guest network load only affects migration near saturation.
+std::vector<ScenarioConfig> netload_vm_scenarios();
+
+}  // namespace wavm3::exp

@@ -1,0 +1,235 @@
+#include "exp/tables.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::exp {
+
+using migration::MigrationType;
+using models::HostRole;
+using util::AsciiTable;
+using util::fmt_fixed;
+using util::fmt_percent;
+using util::format;
+
+std::string render_table1_workload_impact() {
+  AsciiTable t({"Workload", "Migration type", "Migrating VM", "Source host", "Target host"});
+  t.set_title("Table I: workload impact on VM migration according to the hosting actor");
+  t.set_alignment({util::Align::kLeft, util::Align::kLeft, util::Align::kLeft, util::Align::kLeft,
+                   util::Align::kLeft});
+  t.add_row({"CPU-intensive", "LIVE / NON-LIVE", "source/target load-dependent",
+             "slowdown for state transfer", "slowdown for VM start/state transfer"});
+  t.add_row({"MEMORY-intensive", "LIVE", "multiple transfers of VM state",
+             "slight performance degradation", "slight performance degradation"});
+  t.add_row({"MEMORY-intensive", "NON-LIVE", "no influence", "no influence", "no influence"});
+  return t.render();
+}
+
+std::string render_table2_setup(const Testbed& m, const Testbed& o) {
+  std::string out;
+  {
+    AsciiTable t({"Experiment", "Source host", "Target host", "Migrating VM"});
+    t.set_title("Table IIa: experimental design");
+    t.set_alignment(
+        {util::Align::kLeft, util::Align::kLeft, util::Align::kLeft, util::Align::kLeft});
+    t.add_row({"CPULOAD-SOURCE", "[0-100]% CPU, 5% mem", "idle", "migrating-cpu (100%/5%)"});
+    t.add_row({"CPULOAD-TARGET", "1x migrating-cpu", "[0-100]% CPU", "migrating-cpu (100%/5%)"});
+    t.add_row({"MEMLOAD-VM", "idle", "idle", "migrating-mem (100%/[5-95]%)"});
+    t.add_row({"MEMLOAD-SOURCE", "[0-100]% CPU", "idle", "migrating-mem (100%/95%)"});
+    t.add_row({"MEMLOAD-TARGET", "1x migrating-mem", "[0-100]% CPU", "migrating-mem (100%/95%)"});
+    out += t.render();
+  }
+  {
+    AsciiTable t({"ID", "vCPUs", "Kernel", "RAM", "Workload", "Storage"});
+    t.set_title("Table IIb: VM configurations");
+    t.add_row({"load-cpu", "4", "2.6.32", "512MB", "matrixmult", "1GB"});
+    t.add_row({"migrating-cpu", "4", "2.6.32", "4GB", "matrixmult", "6GB"});
+    t.add_row({"migrating-mem", "1", "2.6.32", "4GB", "pagedirtier", "6GB"});
+    t.add_row({"dom-0", "1", "3.11.4", "512MB", "VMM", "115GB"});
+    out += t.render();
+  }
+  {
+    AsciiTable t({"Machine", "vCPUs", "RAM", "NIC", "Switch", "Xen"});
+    t.set_title("Table IIc: hardware configuration");
+    for (const Testbed* tb : {&m, &o}) {
+      t.add_row({tb->host_a.name + "/" + tb->host_b.name,
+                 format("%d (%s)", tb->host_a.vcpus, tb->host_a.cpu_model.c_str()),
+                 format("%.0fGB", tb->host_a.ram_bytes / util::gib(1)), tb->host_a.nic_model,
+                 tb->link.name, tb->host_a.xen_version});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+namespace {
+
+void add_coefficient_rows(AsciiTable& t, const char* host, const core::RoleCoefficients& rc,
+                          bool live, double c2_delta) {
+  // C1 is the fitted bias; C2 = C1 - (idle_train - idle_target).
+  std::vector<std::string> row{host};
+  const auto push = [&row](double v, int digits = 2) { row.push_back(fmt_fixed(v, digits)); };
+  push(rc.initiation.alpha);
+  push(rc.initiation.beta);
+  push(rc.initiation.c);
+  push(rc.initiation.c - c2_delta);
+  push(rc.transfer.alpha);
+  row.push_back(util::fmt_sci(rc.transfer.beta, 2));
+  if (live) {
+    push(rc.transfer.gamma);
+    push(rc.transfer.delta);
+  }
+  push(rc.transfer.c);
+  push(rc.transfer.c - c2_delta);
+  push(rc.activation.alpha);
+  push(rc.activation.beta);
+  push(rc.activation.c);
+  push(rc.activation.c - c2_delta);
+  t.add_row(std::move(row));
+}
+
+}  // namespace
+
+std::string render_coefficients_table(const core::Wavm3Model& model, MigrationType type,
+                                      double train_idle_watts, double target_idle_watts,
+                                      const std::string& title) {
+  const bool live = type == MigrationType::kLive;
+  const double c2_delta = train_idle_watts - target_idle_watts;
+
+  std::vector<std::string> header{"Host", "a(i)", "b(i)", "C1(i)", "C2(i)", "a(t)", "b(t)"};
+  if (live) {
+    header.push_back("g(t)");
+    header.push_back("d(t)");
+  }
+  for (const char* h : {"C1(t)", "C2(t)", "a(a)", "b(a)", "C1(a)", "C2(a)"})
+    header.emplace_back(h);
+
+  AsciiTable t(header);
+  t.set_title(title);
+  const core::Wavm3Coefficients& c = model.coefficients(type);
+  add_coefficient_rows(t, "Source", c.source, live, c2_delta);
+  add_coefficient_rows(t, "Target", c.target, live, c2_delta);
+  return t.render();
+}
+
+namespace {
+
+std::string nrmse_of(const std::vector<models::EvaluationRow>& rows, const std::string& model,
+                     MigrationType type, HostRole role) {
+  for (const auto& r : rows) {
+    if (r.model == model && r.type == type && r.role == role)
+      return fmt_percent(r.metrics.nrmse, 1);
+  }
+  return "n/a";
+}
+
+}  // namespace
+
+std::string render_table5_nrmse(const std::vector<models::EvaluationRow>& rows_m,
+                                const std::vector<models::EvaluationRow>& rows_o) {
+  AsciiTable t({"Model", "Host", "NRMSE (non-live) m01-m02", "NRMSE (live) m01-m02",
+                "NRMSE (non-live) o1-o2", "NRMSE (live) o1-o2"});
+  t.set_title("Table V: NRMSE of WAVM3 on the two datasets");
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    t.add_row({"WAVM3", role == HostRole::kSource ? "Source" : "Target",
+               nrmse_of(rows_m, "WAVM3", MigrationType::kNonLive, role),
+               nrmse_of(rows_m, "WAVM3", MigrationType::kLive, role),
+               nrmse_of(rows_o, "WAVM3", MigrationType::kNonLive, role),
+               nrmse_of(rows_o, "WAVM3", MigrationType::kLive, role)});
+  }
+  return t.render();
+}
+
+std::string render_table6_baselines(const models::HuangModel& huang, const models::LiuModel& liu,
+                                    const models::StrunkModel& strunk) {
+  AsciiTable t({"Model", "Host", "alpha", "beta", "C"});
+  t.set_title("Table VI: training-phase coefficients for HUANG, LIU and STRUNK");
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    const auto c = huang.coefficients(role);
+    t.add_row({"HUANG", role == HostRole::kSource ? "Source" : "Target", fmt_fixed(c.alpha, 2),
+               "-", fmt_fixed(c.c, 2)});
+  }
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    const auto c = liu.coefficients(role);
+    t.add_row({"LIU", role == HostRole::kSource ? "Source" : "Target",
+               fmt_fixed(c.alpha_per_gb, 2) + " J/GB", "-", fmt_fixed(c.c, 2)});
+  }
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    const auto c = strunk.coefficients(role);
+    t.add_row({"STRUNK", role == HostRole::kSource ? "Source" : "Target",
+               fmt_fixed(c.alpha_per_gib, 2) + " J/GiB", fmt_fixed(c.beta_per_mbs, 2) + " J/MBps",
+               fmt_fixed(c.c, 2)});
+  }
+  return t.render();
+}
+
+std::string render_table7_comparison(const std::vector<models::EvaluationRow>& rows) {
+  AsciiTable t({"Model", "Host", "MAE (non-live) [kJ]", "RMSE (non-live) [J]", "NRMSE (non-live)",
+                "MAE (live) [kJ]", "RMSE (live) [J]", "NRMSE (live)"});
+  t.set_title("Table VII: comparison of WAVM3 with other models on dataset m01-m02");
+  for (const std::string model : {"WAVM3", "HUANG", "LIU", "STRUNK"}) {
+    for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+      std::vector<std::string> row{model, role == HostRole::kSource ? "Source" : "Target"};
+      for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+        bool found = false;
+        for (const auto& r : rows) {
+          if (r.model == model && r.type == type && r.role == role) {
+            row.push_back(fmt_fixed(r.metrics.mae / 1e3, 2));
+            row.push_back(fmt_fixed(r.metrics.rmse, 0));
+            row.push_back(fmt_percent(r.metrics.nrmse, 1));
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          row.insert(row.end(), {"n/a", "n/a", "n/a"});
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    t.add_separator();
+  }
+  return t.render();
+}
+
+std::string render_campaign_summary(const CampaignResult& campaign) {
+  AsciiTable t({"Scenario", "Runs", "E_src [kJ]", "E_tgt [kJ]", "Transfer [s]", "Data [GB]",
+                "Downtime [s]"});
+  t.set_title(format("Campaign summary: %s (idle %.1f W)", campaign.testbed_name.c_str(),
+                     campaign.measured_idle_power));
+  for (const auto& s : campaign.summaries) {
+    t.add_row({s.config.name, format("%zu", s.runs), fmt_fixed(s.mean_source_energy / 1e3, 1),
+               fmt_fixed(s.mean_target_energy / 1e3, 1), fmt_fixed(s.mean_transfer_duration, 1),
+               fmt_fixed(s.mean_total_bytes / 1e9, 2), fmt_fixed(s.mean_downtime, 2)});
+  }
+  return t.render();
+}
+
+std::string render_phase_accuracy_table(const std::vector<core::PhaseEvaluationRow>& rows) {
+  AsciiTable t({"Type", "Host", "Phase", "n", "MAE [kJ]", "NRMSE"});
+  t.set_title("WAVM3 phase-level prediction accuracy (SV-B's four metrics, predicted)");
+  for (const auto& r : rows) {
+    t.add_row({migration::to_string(r.type),
+               r.role == models::HostRole::kSource ? "Source" : "Target",
+               migration::to_string(r.phase), format("%zu", r.n_migrations),
+               fmt_fixed(r.metrics.mae / 1e3, 2), fmt_percent(r.metrics.nrmse, 1)});
+  }
+  return t.render();
+}
+
+std::string render_phase_energy_table(const CampaignResult& campaign) {
+  AsciiTable t({"Scenario", "E_init [kJ]", "E_transfer [kJ]", "E_activation [kJ]",
+                "E_total [kJ]"});
+  t.set_title(format("Per-phase source-host energies (SV-B's four metrics), %s",
+                     campaign.testbed_name.c_str()));
+  for (const auto& s : campaign.summaries) {
+    t.add_row({s.config.name, fmt_fixed(s.mean_source_phase_energy[0] / 1e3, 2),
+               fmt_fixed(s.mean_source_phase_energy[1] / 1e3, 2),
+               fmt_fixed(s.mean_source_phase_energy[2] / 1e3, 2),
+               fmt_fixed(s.mean_source_energy / 1e3, 2)});
+  }
+  return t.render();
+}
+
+}  // namespace wavm3::exp

@@ -1,0 +1,57 @@
+// Renderers for every table in the paper, fed from fitted models and
+// evaluation rows. Each returns a ready-to-print ASCII block whose rows
+// mirror the paper's layout (values are this reproduction's, shapes are
+// the paper's).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/phase_eval.hpp"
+#include "core/wavm3_model.hpp"
+#include "exp/campaign.hpp"
+#include "exp/testbeds.hpp"
+#include "models/evaluation.hpp"
+#include "models/huang.hpp"
+#include "models/liu.hpp"
+#include "models/strunk.hpp"
+
+namespace wavm3::exp {
+
+/// Table I: qualitative workload-impact summary (static content).
+std::string render_table1_workload_impact();
+
+/// Tables IIa-c: experimental design, VM catalogue, hardware.
+std::string render_table2_setup(const Testbed& m, const Testbed& o);
+
+/// Tables III/IV: WAVM3 coefficients for one migration type. C1 is the
+/// bias fitted on `train_idle_watts` machines; C2 the SVI-F transfer to
+/// machines idling at `target_idle_watts`.
+std::string render_coefficients_table(const core::Wavm3Model& model,
+                                      migration::MigrationType type, double train_idle_watts,
+                                      double target_idle_watts, const std::string& title);
+
+/// Table V: WAVM3 NRMSE on both testbeds.
+std::string render_table5_nrmse(const std::vector<models::EvaluationRow>& rows_m,
+                                const std::vector<models::EvaluationRow>& rows_o);
+
+/// Table VI: baseline coefficients after training.
+std::string render_table6_baselines(const models::HuangModel& huang,
+                                    const models::LiuModel& liu,
+                                    const models::StrunkModel& strunk);
+
+/// Table VII: WAVM3 vs baselines on the m01-m02 test set.
+std::string render_table7_comparison(const std::vector<models::EvaluationRow>& rows);
+
+/// Per-scenario campaign summary (not a paper table; diagnostic).
+std::string render_campaign_summary(const CampaignResult& campaign);
+
+/// SV-B's four energy metrics per scenario: initiation, transfer and
+/// activation energy plus their total, on the source host.
+std::string render_phase_energy_table(const CampaignResult& campaign);
+
+/// Phase-level prediction accuracy of WAVM3 (NRMSE of each phase's
+/// energy prediction, per type and role).
+std::string render_phase_accuracy_table(const std::vector<core::PhaseEvaluationRow>& rows);
+
+}  // namespace wavm3::exp

@@ -1,0 +1,38 @@
+// The two machine pairs of Table IIc, as simulated testbeds: host specs,
+// ground-truth power parameters, and network hardware.
+//
+//   m01-m02: 32 hardware threads (16x Opteron 8356, dual threaded),
+//            32 GB RAM, Broadcom BCM5704 GbE via a Cisco Catalyst 3750.
+//   o1-o2:   40 hardware threads (20x Xeon E5-2690, dual threaded),
+//            128 GB RAM, Intel 82574L GbE via an HP 1810-8G.
+//
+// Ground-truth power parameters are calibrated so the m-class traces
+// span the 400-900 W band of Figs. 3-7; the o-class machines are newer
+// and idle far lower (which is what makes the SVI-F bias transfer
+// necessary).
+#pragma once
+
+#include "cloud/host.hpp"
+#include "net/bandwidth_model.hpp"
+#include "net/link.hpp"
+#include "power/host_power_model.hpp"
+
+namespace wavm3::exp {
+
+/// One homogeneous host pair plus its instrumentation parameters.
+struct Testbed {
+  std::string name;                  ///< "m01-m02" or "o1-o2"
+  cloud::HostSpec host_a;            ///< source-side machine
+  cloud::HostSpec host_b;            ///< target-side machine
+  power::HostPowerParams power;      ///< ground truth (hidden from models)
+  net::LinkSpec link;
+  net::BandwidthModelParams bandwidth;
+};
+
+/// The m01-m02 Opteron pair.
+Testbed testbed_m();
+
+/// The o1-o2 Xeon pair.
+Testbed testbed_o();
+
+}  // namespace wavm3::exp

@@ -1,0 +1,22 @@
+#include "migration/phases.hpp"
+
+namespace wavm3::migration {
+
+const char* to_string(MigrationPhase p) {
+  switch (p) {
+    case MigrationPhase::kNormal: return "normal";
+    case MigrationPhase::kInitiation: return "initiation";
+    case MigrationPhase::kTransfer: return "transfer";
+    case MigrationPhase::kActivation: return "activation";
+  }
+  return "?";
+}
+
+MigrationPhase PhaseTimestamps::phase_at(double t) const {
+  if (t < ms || t > me) return MigrationPhase::kNormal;
+  if (t < ts) return MigrationPhase::kInitiation;
+  if (t < te) return MigrationPhase::kTransfer;
+  return MigrationPhase::kActivation;
+}
+
+}  // namespace wavm3::migration

@@ -1,0 +1,34 @@
+// Migration phases and their delimiting timestamps (SIII-D, SIV-A):
+// ms = migration start, ts/te = transfer start/end, me = migration end.
+//   [ms, ts)  initiation
+//   [ts, te)  transfer
+//   [te, me]  activation
+#pragma once
+
+namespace wavm3::migration {
+
+/// Energy phases of a migration, plus kNormal outside any migration.
+enum class MigrationPhase { kNormal, kInitiation, kTransfer, kActivation };
+
+const char* to_string(MigrationPhase p);
+
+/// The four delimiting instants of one migration.
+struct PhaseTimestamps {
+  double ms = 0.0;  ///< migration requested
+  double ts = 0.0;  ///< transfer starts
+  double te = 0.0;  ///< transfer ends
+  double me = 0.0;  ///< VM running on target, resources freed
+
+  double initiation_duration() const { return ts - ms; }
+  double transfer_duration() const { return te - ts; }
+  double activation_duration() const { return me - te; }
+  double total_duration() const { return me - ms; }
+
+  /// Phase containing time t (kNormal outside [ms, me]).
+  MigrationPhase phase_at(double t) const;
+
+  /// True when ms <= ts <= te <= me.
+  bool well_formed() const { return ms <= ts && ts <= te && te <= me; }
+};
+
+}  // namespace wavm3::migration

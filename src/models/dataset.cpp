@@ -1,0 +1,108 @@
+#include "models/dataset.hpp"
+
+#include <map>
+
+#include "stats/split.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::models {
+
+const char* to_string(HostRole r) {
+  switch (r) {
+    case HostRole::kSource: return "source";
+    case HostRole::kTarget: return "target";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Trapezoidal integral of `value(sample)` over the observation's
+/// sample times, restricted to samples whose phase matches `phase`
+/// (or all in-migration samples when phase == kNormal is passed as the
+/// "no filter" convention used internally).
+double integrate(const MigrationObservation& obs,
+                 const std::function<double(const MigrationSample&)>& value,
+                 bool filter_phase, migration::MigrationPhase phase) {
+  double energy = 0.0;
+  const auto& s = obs.samples;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const auto& a = s[i - 1];
+    const auto& b = s[i];
+    if (filter_phase && (a.phase != phase || b.phase != phase)) continue;
+    energy += 0.5 * (value(a) + value(b)) * (b.time - a.time);
+  }
+  return energy;
+}
+
+}  // namespace
+
+double MigrationObservation::observed_energy() const {
+  return integrate(*this, [](const MigrationSample& s) { return s.power_watts; }, false,
+                   migration::MigrationPhase::kNormal);
+}
+
+double MigrationObservation::observed_phase_energy(migration::MigrationPhase phase) const {
+  return integrate(*this, [](const MigrationSample& s) { return s.power_watts; }, true, phase);
+}
+
+std::vector<const MigrationObservation*> Dataset::select(migration::MigrationType type,
+                                                         HostRole role) const {
+  std::vector<const MigrationObservation*> out;
+  for (const auto& obs : observations)
+    if (obs.type == type && obs.role == role) out.push_back(&obs);
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction, std::uint64_t seed) const {
+  WAVM3_REQUIRE(observations.size() >= 2, "need at least two observations to split");
+  const stats::IndexSplit idx =
+      stats::train_test_split(observations.size(), train_fraction, seed);
+  Dataset train;
+  train.name = name + "/train";
+  Dataset test;
+  test.name = name + "/test";
+  for (const std::size_t i : idx.train) train.observations.push_back(observations[i]);
+  for (const std::size_t i : idx.test) test.observations.push_back(observations[i]);
+  return {std::move(train), std::move(test)};
+}
+
+std::pair<Dataset, Dataset> Dataset::split_stratified(double train_fraction,
+                                                      std::uint64_t seed) const {
+  WAVM3_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0,1)");
+  // Group observation indices by (experiment, role): every scenario
+  // must contribute training data for *both* meter positions, or a
+  // (type, role, phase) regression cell can end up without the load
+  // variation it needs and collapse to a bias-only fit.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    groups[observations[i].experiment + "|" + to_string(observations[i].role)].push_back(i);
+  }
+
+  Dataset train;
+  train.name = name + "/train";
+  Dataset test;
+  test.name = name + "/test";
+  std::uint64_t group_salt = 0;
+  for (const auto& [experiment, indices] : groups) {
+    ++group_salt;
+    if (indices.size() == 1) {
+      // A lone observation goes to training so the scenario is covered.
+      train.observations.push_back(observations[indices.front()]);
+      continue;
+    }
+    const stats::IndexSplit idx =
+        stats::train_test_split(indices.size(), train_fraction, seed ^ (group_salt * 0x9E37ULL));
+    for (const std::size_t i : idx.train) train.observations.push_back(observations[indices[i]]);
+    for (const std::size_t i : idx.test) test.observations.push_back(observations[indices[i]]);
+  }
+  WAVM3_REQUIRE(!test.observations.empty(), "stratified split produced an empty test set");
+  return {std::move(train), std::move(test)};
+}
+
+double integrate_predicted_power(const MigrationObservation& obs,
+                                 const std::function<double(const MigrationSample&)>& predictor) {
+  return integrate(obs, predictor, false, migration::MigrationPhase::kNormal);
+}
+
+}  // namespace wavm3::models

@@ -1,0 +1,125 @@
+#include "models/dataset_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::models {
+
+namespace {
+
+using migration::MigrationPhase;
+using migration::MigrationType;
+
+const std::vector<std::string>& columns() {
+  static const std::vector<std::string> cols = {
+      "dataset",   "experiment",  "run",        "testbed",  "type",
+      "role",      "ms",          "ts",         "te",       "me",
+      "mem_bytes", "data_bytes",  "avg_bw",     "idle_w",   "time",
+      "power_w",   "cpu_host",    "cpu_vm",     "dirty_ratio", "bandwidth",
+      "phase"};
+  return cols;
+}
+
+const char* phase_name(MigrationPhase p) { return migration::to_string(p); }
+
+MigrationPhase parse_phase(const std::string& s) {
+  if (s == "initiation") return MigrationPhase::kInitiation;
+  if (s == "transfer") return MigrationPhase::kTransfer;
+  if (s == "activation") return MigrationPhase::kActivation;
+  if (s == "normal") return MigrationPhase::kNormal;
+  throw util::ContractError("unknown phase in dataset CSV: " + s);
+}
+
+MigrationType parse_type(const std::string& s) {
+  if (s == "live") return MigrationType::kLive;
+  if (s == "non-live") return MigrationType::kNonLive;
+  throw util::ContractError("unknown migration type in dataset CSV: " + s);
+}
+
+HostRole parse_role(const std::string& s) {
+  if (s == "source") return HostRole::kSource;
+  if (s == "target") return HostRole::kTarget;
+  throw util::ContractError("unknown host role in dataset CSV: " + s);
+}
+
+double to_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  WAVM3_REQUIRE(end != s.c_str() && *end == '\0', "malformed number in dataset CSV: " + s);
+  return v;
+}
+
+}  // namespace
+
+bool save_dataset_csv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  util::CsvWriter csv(out);
+  csv.header(columns());
+  for (const auto& obs : dataset.observations) {
+    for (const auto& s : obs.samples) {
+      csv.row_text({dataset.name, obs.experiment, util::format("%d", obs.run), obs.testbed,
+                    migration::to_string(obs.type), to_string(obs.role),
+                    util::format("%.17g", obs.times.ms), util::format("%.17g", obs.times.ts),
+                    util::format("%.17g", obs.times.te), util::format("%.17g", obs.times.me),
+                    util::format("%.17g", obs.mem_bytes),
+                    util::format("%.17g", obs.data_bytes),
+                    util::format("%.17g", obs.avg_bandwidth),
+                    util::format("%.17g", obs.idle_power_watts),
+                    util::format("%.17g", s.time), util::format("%.17g", s.power_watts),
+                    util::format("%.17g", s.cpu_host), util::format("%.17g", s.cpu_vm),
+                    util::format("%.17g", s.dirty_ratio), util::format("%.17g", s.bandwidth),
+                    phase_name(s.phase)});
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+Dataset load_dataset_csv(const std::string& path) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  Dataset dataset;
+  if (!util::read_csv_file(path, header, rows)) return dataset;
+  WAVM3_REQUIRE(header == columns(), "unexpected dataset CSV header in " + path);
+
+  std::string current_key;
+  MigrationObservation* obs = nullptr;
+  for (const auto& r : rows) {
+    const std::string key = r[1] + "|" + r[2] + "|" + r[5] + "|" + r[3];
+    if (obs == nullptr || key != current_key) {
+      dataset.observations.emplace_back();
+      obs = &dataset.observations.back();
+      current_key = key;
+      dataset.name = r[0];
+      obs->experiment = r[1];
+      obs->run = static_cast<int>(to_double(r[2]));
+      obs->testbed = r[3];
+      obs->type = parse_type(r[4]);
+      obs->role = parse_role(r[5]);
+      obs->times.ms = to_double(r[6]);
+      obs->times.ts = to_double(r[7]);
+      obs->times.te = to_double(r[8]);
+      obs->times.me = to_double(r[9]);
+      obs->mem_bytes = to_double(r[10]);
+      obs->data_bytes = to_double(r[11]);
+      obs->avg_bandwidth = to_double(r[12]);
+      obs->idle_power_watts = to_double(r[13]);
+    }
+    MigrationSample s;
+    s.time = to_double(r[14]);
+    s.power_watts = to_double(r[15]);
+    s.cpu_host = to_double(r[16]);
+    s.cpu_vm = to_double(r[17]);
+    s.dirty_ratio = to_double(r[18]);
+    s.bandwidth = to_double(r[19]);
+    s.phase = parse_phase(r[20]);
+    obs->samples.push_back(s);
+  }
+  return dataset;
+}
+
+}  // namespace wavm3::models

@@ -1,0 +1,24 @@
+// Dataset persistence: save/load observation datasets as a flat CSV
+// (one row per time-aligned sample, observation metadata repeated), so
+// users can fit the models from traces recorded elsewhere and archive
+// campaign output for external analysis.
+#pragma once
+
+#include <string>
+
+#include "models/dataset.hpp"
+
+namespace wavm3::models {
+
+/// Writes `dataset` to `path` as CSV. Returns false when the file
+/// cannot be opened. Observations with no samples are skipped.
+bool save_dataset_csv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset previously written by save_dataset_csv. Rows are
+/// grouped into observations by (experiment, run, role, testbed); rows
+/// of one observation must be contiguous and time-ordered, which the
+/// writer guarantees. Throws util::ContractError on malformed input;
+/// returns an empty-named dataset when the file cannot be opened.
+Dataset load_dataset_csv(const std::string& path);
+
+}  // namespace wavm3::models

@@ -1,0 +1,3 @@
+#include "models/energy_model.hpp"
+
+// Interface-only translation unit: anchors the vtable.

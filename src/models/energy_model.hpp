@@ -1,0 +1,45 @@
+// Common interface of all migration-energy models (WAVM3 and the three
+// baselines of SVII). A model is fit on a training Dataset and then
+// predicts the total energy of unseen migrations from their workload
+// features — never from their observed power.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/dataset.hpp"
+
+namespace wavm3::models {
+
+/// Abstract migration-energy model.
+class EnergyModel {
+ public:
+  virtual ~EnergyModel() = default;
+
+  /// Model name as used in the paper's tables ("WAVM3", "HUANG", ...).
+  virtual std::string name() const = 0;
+
+  /// Fits the model's coefficients on the training observations.
+  /// Implementations partition internally by host role (and, where the
+  /// paper does, by migration type and phase).
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicts the total migration energy (joules, full AC draw over
+  /// [ms, me]) for one observation's features.
+  virtual double predict_energy(const MigrationObservation& obs) const = 0;
+
+  /// Bias transfer across testbeds (SVI-F): the fitted constants embed
+  /// the training machines' idle power; predicting for a machine set
+  /// whose idle draw differs by `idle_delta_watts` (train minus target)
+  /// shifts every constant down by that amount. Default: no-op for
+  /// models whose constant is not power-like.
+  virtual void apply_idle_bias_correction(double idle_delta_watts) { (void)idle_delta_watts; }
+
+  /// Whether fit() has been called successfully.
+  virtual bool is_fitted() const = 0;
+};
+
+using EnergyModelPtr = std::unique_ptr<EnergyModel>;
+
+}  // namespace wavm3::models

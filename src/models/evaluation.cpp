@@ -1,0 +1,97 @@
+#include "models/evaluation.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "stats/descriptive.hpp"
+#include "stats/resampling.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::models {
+
+std::vector<EvaluationRow> evaluate_model(const EnergyModel& model, const Dataset& test) {
+  WAVM3_REQUIRE(model.is_fitted(), "evaluate_model: model is not fitted");
+  std::vector<EvaluationRow> rows;
+  for (const auto type : {migration::MigrationType::kNonLive, migration::MigrationType::kLive}) {
+    for (const auto role : {HostRole::kSource, HostRole::kTarget}) {
+      const auto slice = test.select(type, role);
+      if (slice.empty()) continue;
+      std::vector<double> predicted;
+      std::vector<double> observed;
+      predicted.reserve(slice.size());
+      observed.reserve(slice.size());
+      for (const MigrationObservation* obs : slice) {
+        predicted.push_back(model.predict_energy(*obs));
+        observed.push_back(obs->observed_energy());
+      }
+      EvaluationRow row;
+      row.model = model.name();
+      row.type = type;
+      row.role = role;
+      row.n_migrations = slice.size();
+      row.metrics = stats::compute_error_metrics(predicted, observed);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<EvaluationRow> evaluate_models(const std::vector<const EnergyModel*>& models,
+                                           const Dataset& test) {
+  std::vector<EvaluationRow> rows;
+  for (const EnergyModel* m : models) {
+    WAVM3_REQUIRE(m != nullptr, "null model");
+    const auto r = evaluate_model(*m, test);
+    rows.insert(rows.end(), r.begin(), r.end());
+  }
+  return rows;
+}
+
+const EvaluationRow& find_row(const std::vector<EvaluationRow>& rows, const std::string& model,
+                              migration::MigrationType type, HostRole role) {
+  for (const auto& r : rows)
+    if (r.model == model && r.type == type && r.role == role) return r;
+  throw util::ContractError("evaluation row not found: " + model);
+}
+
+std::vector<CvSliceSummary> cross_validate(const std::function<EnergyModelPtr()>& factory,
+                                           const Dataset& dataset, std::size_t k,
+                                           std::uint64_t seed) {
+  WAVM3_REQUIRE(static_cast<bool>(factory), "model factory required");
+  WAVM3_REQUIRE(dataset.size() >= k, "fewer observations than folds");
+
+  const auto folds = stats::kfold_indices(dataset.size(), k, seed);
+  std::map<std::pair<migration::MigrationType, HostRole>, std::vector<double>> nrmses;
+
+  for (const auto& test_fold : folds) {
+    Dataset train;
+    train.name = dataset.name + "/cv-train";
+    Dataset test;
+    test.name = dataset.name + "/cv-test";
+    std::vector<bool> in_test(dataset.size(), false);
+    for (const std::size_t i : test_fold) in_test[i] = true;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      (in_test[i] ? test : train).observations.push_back(dataset.observations[i]);
+    }
+    EnergyModelPtr model = factory();
+    model->fit(train);
+    for (const auto& row : evaluate_model(*model, test)) {
+      nrmses[{row.type, row.role}].push_back(row.metrics.nrmse);
+    }
+  }
+
+  std::vector<CvSliceSummary> out;
+  for (const auto& [key, values] : nrmses) {
+    CvSliceSummary s;
+    s.type = key.first;
+    s.role = key.second;
+    const stats::Summary summary = stats::summarize(values);
+    s.mean_nrmse = summary.mean;
+    s.stddev_nrmse = summary.stddev;
+    s.folds = values.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace wavm3::models

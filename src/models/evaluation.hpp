@@ -1,0 +1,52 @@
+// Model evaluation harness producing the rows of Tables V and VII:
+// MAE / RMSE / NRMSE of predicted vs observed migration energy, broken
+// down by migration type and host role.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/energy_model.hpp"
+#include "stats/metrics.hpp"
+
+namespace wavm3::models {
+
+/// One table row: a model evaluated on one (type, role) slice.
+struct EvaluationRow {
+  std::string model;
+  migration::MigrationType type = migration::MigrationType::kNonLive;
+  HostRole role = HostRole::kSource;
+  std::size_t n_migrations = 0;
+  stats::ErrorMetrics metrics;  ///< over per-migration energies (joules)
+};
+
+/// Evaluates a fitted model over every (type, role) slice present in
+/// `test`. Slices with no observations are omitted.
+std::vector<EvaluationRow> evaluate_model(const EnergyModel& model, const Dataset& test);
+
+/// Evaluates several models on the same test set (Table VII layout).
+std::vector<EvaluationRow> evaluate_models(const std::vector<const EnergyModel*>& models,
+                                           const Dataset& test);
+
+/// Finds a row by (model, type, role); throws when missing.
+const EvaluationRow& find_row(const std::vector<EvaluationRow>& rows, const std::string& model,
+                              migration::MigrationType type, HostRole role);
+
+/// Per-slice k-fold cross-validation summary.
+struct CvSliceSummary {
+  migration::MigrationType type = migration::MigrationType::kNonLive;
+  HostRole role = HostRole::kSource;
+  double mean_nrmse = 0.0;
+  double stddev_nrmse = 0.0;
+  std::size_t folds = 0;  ///< folds where this slice had test data
+};
+
+/// K-fold cross-validation: for each fold, fit a fresh model (from
+/// `factory`) on the other folds and evaluate on the held-out one.
+/// Returns per-(type, role) mean/stddev of the fold NRMSEs. Folds are
+/// observation-level and seeded for determinism.
+std::vector<CvSliceSummary> cross_validate(const std::function<EnergyModelPtr()>& factory,
+                                           const Dataset& dataset, std::size_t k,
+                                           std::uint64_t seed);
+
+}  // namespace wavm3::models

@@ -1,0 +1,54 @@
+#include "models/huang.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::models {
+
+double HuangModel::regressor_value(const MigrationSample& sample) const {
+  return regressor_ == CpuRegressor::kHostCpu ? sample.cpu_host : sample.cpu_vm;
+}
+
+void HuangModel::fit(const Dataset& train) {
+  fits_.clear();
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    std::vector<std::vector<double>> features;
+    std::vector<double> power;
+    for (const auto& obs : train.observations) {
+      if (obs.role != role) continue;
+      for (const auto& s : obs.samples) {
+        features.push_back({regressor_value(s)});
+        power.push_back(s.power_watts);
+      }
+    }
+    if (features.size() < 4) continue;  // role absent from this training set
+    stats::LinregOptions options;
+    // The VM-CPU reading can be all-zero on a role (suspended VM /
+    // target side); ridge keeps the fit defined.
+    options.ridge_lambda = 1e-9;
+    const stats::LinearFit fit = stats::fit_linear(features, power, options);
+    fits_[role] = Coefficients{fit.coefficients[0], fit.coefficients[1]};
+  }
+  WAVM3_REQUIRE(!fits_.empty(), "HUANG: training set contained no usable observations");
+}
+
+HuangModel::Coefficients HuangModel::coefficients(HostRole role) const {
+  const auto it = fits_.find(role);
+  WAVM3_REQUIRE(it != fits_.end(), "HUANG: not fitted for this role");
+  return it->second;
+}
+
+double HuangModel::predict_power(HostRole role, const MigrationSample& sample) const {
+  const Coefficients c = coefficients(role);
+  return c.alpha * regressor_value(sample) + c.c;
+}
+
+double HuangModel::predict_energy(const MigrationObservation& obs) const {
+  return integrate_predicted_power(
+      obs, [this, &obs](const MigrationSample& s) { return predict_power(obs.role, s); });
+}
+
+void HuangModel::apply_idle_bias_correction(double idle_delta_watts) {
+  for (auto& [role, c] : fits_) c.c -= idle_delta_watts;
+}
+
+}  // namespace wavm3::models

@@ -1,0 +1,42 @@
+#include "models/liu.hpp"
+
+#include "stats/linreg.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::models {
+
+namespace {
+constexpr double kGb = 1e9;
+}
+
+void LiuModel::fit(const Dataset& train) {
+  fits_.clear();
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    std::vector<std::vector<double>> features;
+    std::vector<double> energy;
+    for (const auto& obs : train.observations) {
+      if (obs.role != role) continue;
+      features.push_back({obs.data_bytes / kGb});
+      energy.push_back(obs.observed_energy());
+    }
+    if (features.size() < 3) continue;
+    stats::LinregOptions options;
+    options.ridge_lambda = 1e-6;  // DATA is near-constant in some scenarios
+    const stats::LinearFit fit = stats::fit_linear(features, energy, options);
+    fits_[role] = Coefficients{fit.coefficients[0], fit.coefficients[1]};
+  }
+  WAVM3_REQUIRE(!fits_.empty(), "LIU: training set contained no usable observations");
+}
+
+LiuModel::Coefficients LiuModel::coefficients(HostRole role) const {
+  const auto it = fits_.find(role);
+  WAVM3_REQUIRE(it != fits_.end(), "LIU: not fitted for this role");
+  return it->second;
+}
+
+double LiuModel::predict_energy(const MigrationObservation& obs) const {
+  const Coefficients c = coefficients(obs.role);
+  return c.alpha_per_gb * (obs.data_bytes / kGb) + c.c;
+}
+
+}  // namespace wavm3::models

@@ -1,0 +1,37 @@
+// The LIU baseline (Liu et al., HPDC'11; Eqs. 9-10 of the paper):
+//   E_migr = alpha * DATA + C
+// a migration-level linear model in the amount of data exchanged during
+// the migration. Following SVII-b, DATA is the *measured* transferred
+// payload from the network instrumentation (not the round-sum estimate
+// of Eq. 10). The model sees neither host nor VM CPU load, which is why
+// it degrades on the CPULOAD scenarios.
+#pragma once
+
+#include <map>
+
+#include "models/energy_model.hpp"
+
+namespace wavm3::models {
+
+/// Per-host-role data-volume energy model.
+class LiuModel final : public EnergyModel {
+ public:
+  std::string name() const override { return "LIU"; }
+
+  void fit(const Dataset& train) override;
+  double predict_energy(const MigrationObservation& obs) const override;
+  bool is_fitted() const override { return !fits_.empty(); }
+
+  /// Fitted (alpha, C); alpha is joules per *gigabyte* of DATA, C in
+  /// joules (the GB scaling keeps the regression well-conditioned).
+  struct Coefficients {
+    double alpha_per_gb = 0.0;
+    double c = 0.0;
+  };
+  Coefficients coefficients(HostRole role) const;
+
+ private:
+  std::map<HostRole, Coefficients> fits_;
+};
+
+}  // namespace wavm3::models

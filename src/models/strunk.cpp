@@ -1,0 +1,47 @@
+#include "models/strunk.hpp"
+
+#include "stats/linreg.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::models {
+
+namespace {
+constexpr double kMbs = 1e6;
+}
+
+void StrunkModel::fit(const Dataset& train) {
+  fits_.clear();
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    std::vector<std::vector<double>> features;
+    std::vector<double> energy;
+    for (const auto& obs : train.observations) {
+      if (obs.role != role) continue;
+      features.push_back({obs.mem_bytes / util::gib(1), obs.avg_bandwidth / kMbs});
+      energy.push_back(obs.observed_energy());
+    }
+    if (features.size() < 4) continue;
+    stats::LinregOptions options;
+    // MEM(v) is identical for every migration in the paper's design, so
+    // the MEM column is collinear with the intercept; a small ridge
+    // penalty resolves the degeneracy deterministically.
+    options.ridge_lambda = 1e-4;
+    const stats::LinearFit fit = stats::fit_linear(features, energy, options);
+    fits_[role] = Coefficients{fit.coefficients[0], fit.coefficients[1], fit.coefficients[2]};
+  }
+  WAVM3_REQUIRE(!fits_.empty(), "STRUNK: training set contained no usable observations");
+}
+
+StrunkModel::Coefficients StrunkModel::coefficients(HostRole role) const {
+  const auto it = fits_.find(role);
+  WAVM3_REQUIRE(it != fits_.end(), "STRUNK: not fitted for this role");
+  return it->second;
+}
+
+double StrunkModel::predict_energy(const MigrationObservation& obs) const {
+  const Coefficients c = coefficients(obs.role);
+  return c.alpha_per_gib * (obs.mem_bytes / util::gib(1)) +
+         c.beta_per_mbs * (obs.avg_bandwidth / kMbs) + c.c;
+}
+
+}  // namespace wavm3::models

@@ -1,0 +1,39 @@
+// The STRUNK baseline (Strunk, CLOUD'13; Eq. 11 of the paper):
+//   E_migr = alpha * MEM(v) + beta * BW(S,T) + C
+// a migration-level linear model in the VM's memory size and the
+// source-target bandwidth. It assumes idle hosts and an idle migrating
+// VM, so it carries no load information at all — the paper's SVII-c
+// explains why that limits it to idle-datacentre scenarios.
+#pragma once
+
+#include <map>
+
+#include "models/energy_model.hpp"
+
+namespace wavm3::models {
+
+/// Per-host-role memory-size + bandwidth energy model.
+class StrunkModel final : public EnergyModel {
+ public:
+  std::string name() const override { return "STRUNK"; }
+
+  void fit(const Dataset& train) override;
+  double predict_energy(const MigrationObservation& obs) const override;
+  bool is_fitted() const override { return !fits_.empty(); }
+
+  /// Fitted coefficients; alpha is joules per GiB of VM memory, beta is
+  /// joules per MB/s of bandwidth, C in joules. (Scaled units keep the
+  /// regression conditioned: MEM(v) is constant across the paper's
+  /// experiments, making the raw design matrix rank-deficient.)
+  struct Coefficients {
+    double alpha_per_gib = 0.0;
+    double beta_per_mbs = 0.0;
+    double c = 0.0;
+  };
+  Coefficients coefficients(HostRole role) const;
+
+ private:
+  std::map<HostRole, Coefficients> fits_;
+};
+
+}  // namespace wavm3::models

@@ -1,0 +1,18 @@
+#include "net/link.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::net {
+
+Link::Link(LinkSpec spec) : spec_(std::move(spec)) {
+  WAVM3_REQUIRE(spec_.wire_rate > 0.0, "wire rate must be positive");
+  WAVM3_REQUIRE(spec_.protocol_efficiency > 0.0 && spec_.protocol_efficiency <= 1.0,
+                "protocol efficiency must be in (0,1]");
+}
+
+void Link::account_transfer(double bytes) {
+  WAVM3_REQUIRE(bytes >= 0.0, "cannot account negative bytes");
+  total_bytes_ += bytes;
+}
+
+}  // namespace wavm3::net

@@ -1,0 +1,42 @@
+// Point-to-point network link between two hosts through a switch.
+// Models the Gigabit links of Table IIc: a wire rate, a protocol
+// efficiency (TCP/IP framing), and cumulative byte accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wavm3::net {
+
+/// Static link characteristics.
+struct LinkSpec {
+  std::string name;              ///< e.g. "m01<->m02 via Cisco Catalyst 3750"
+  double wire_rate = 125e6;      ///< bytes/s on the wire (1 Gbit/s default)
+  double protocol_efficiency = 0.94;  ///< payload fraction after TCP/IP framing
+};
+
+/// A link instance with byte accounting.
+class Link {
+ public:
+  explicit Link(LinkSpec spec);
+
+  const LinkSpec& spec() const { return spec_; }
+
+  /// Maximum payload bandwidth (bytes/s) the link can carry.
+  double max_payload_rate() const { return spec_.wire_rate * spec_.protocol_efficiency; }
+
+  /// Records `bytes` of payload moved across the link.
+  void account_transfer(double bytes);
+
+  /// Total payload bytes moved since construction.
+  double total_bytes() const { return total_bytes_; }
+
+  /// Resets accounting (between experiment runs).
+  void reset_accounting() { total_bytes_ = 0.0; }
+
+ private:
+  LinkSpec spec_;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace wavm3::net

@@ -1,0 +1,26 @@
+#include "net/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::net {
+
+std::pair<std::string, std::string> Topology::key(const std::string& a, const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void Topology::connect(const std::string& host_a, const std::string& host_b, LinkSpec spec) {
+  WAVM3_REQUIRE(host_a != host_b, "cannot connect a host to itself");
+  links_[key(host_a, host_b)] = std::make_unique<Link>(std::move(spec));
+}
+
+Link* Topology::link_between(const std::string& host_a, const std::string& host_b) {
+  const auto it = links_.find(key(host_a, host_b));
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Topology::link_between(const std::string& host_a, const std::string& host_b) const {
+  const auto it = links_.find(key(host_a, host_b));
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace wavm3::net

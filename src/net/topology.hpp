@@ -1,0 +1,33 @@
+// Host-pair -> link registry. Keeps net decoupled from cloud by keying
+// on host names.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/link.hpp"
+
+namespace wavm3::net {
+
+/// Symmetric registry of links between named hosts.
+class Topology {
+ public:
+  /// Registers a bidirectional link between two hosts. Replaces any
+  /// previous link between the pair.
+  void connect(const std::string& host_a, const std::string& host_b, LinkSpec spec);
+
+  /// Returns the link between two hosts, or nullptr when disconnected.
+  Link* link_between(const std::string& host_a, const std::string& host_b);
+  const Link* link_between(const std::string& host_a, const std::string& host_b) const;
+
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  static std::pair<std::string, std::string> key(const std::string& a, const std::string& b);
+
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+};
+
+}  // namespace wavm3::net

@@ -1,0 +1,42 @@
+#include "power/power_meter.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavm3::power {
+
+PowerMeter::PowerMeter(std::string label, MeterSpec spec, TruePowerFn true_power,
+                       util::RngStream rng)
+    : label_(std::move(label)),
+      spec_(spec),
+      true_power_(std::move(true_power)),
+      rng_(rng),
+      trace_(label_) {
+  WAVM3_REQUIRE(spec_.sample_period > 0.0, "sample period must be positive");
+  WAVM3_REQUIRE(spec_.accuracy_fraction >= 0.0, "accuracy must be nonnegative");
+  WAVM3_REQUIRE(static_cast<bool>(true_power_), "true power function required");
+}
+
+void PowerMeter::sample(double t) {
+  const double truth = true_power_(t);
+  WAVM3_ASSERT(truth >= 0.0, "true power must be nonnegative");
+  // Device accuracy is +-accuracy_fraction of reading; we model the
+  // noise as gaussian with 3*sigma equal to that bound.
+  const double sigma = truth * spec_.accuracy_fraction / 3.0;
+  double reading = rng_.gaussian(truth, sigma);
+  if (spec_.resolution_watts > 0.0) {
+    reading = std::round(reading / spec_.resolution_watts) * spec_.resolution_watts;
+  }
+  trace_.add(t, std::max(0.0, reading));
+}
+
+void PowerMeter::start(sim::Simulator& simulator, double start_time) {
+  stop();
+  periodic_ = simulator.schedule_periodic(start_time, spec_.sample_period,
+                                          [this, &simulator] { sample(simulator.now()); });
+}
+
+void PowerMeter::stop() { periodic_.cancel(); }
+
+}  // namespace wavm3::power

@@ -1,0 +1,55 @@
+// Simulated AC-side power analyser, modelled on the Voltech PM1000+
+// setup of SV-B: 2 Hz sampling, 0.3% accuracy, 0.1 W display resolution.
+// Attached to a simulator, it periodically samples a caller-provided
+// true-power function, applies measurement noise, and appends to a
+// PowerTrace.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "power/power_trace.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace wavm3::power {
+
+/// Meter characteristics.
+struct MeterSpec {
+  double sample_period = 0.5;       ///< seconds between readings (2 Hz)
+  double accuracy_fraction = 0.003; ///< +-0.3% of reading (device accuracy)
+  double resolution_watts = 0.1;    ///< display/logging quantisation
+};
+
+/// A sampling power meter.
+class PowerMeter {
+ public:
+  using TruePowerFn = std::function<double(double t)>;
+
+  /// `rng` must outlive the meter.
+  PowerMeter(std::string label, MeterSpec spec, TruePowerFn true_power, util::RngStream rng);
+
+  const MeterSpec& spec() const { return spec_; }
+  const PowerTrace& trace() const { return trace_; }
+  PowerTrace& mutable_trace() { return trace_; }
+
+  /// Takes one reading at time `t` (noise + quantisation applied).
+  void sample(double t);
+
+  /// Starts periodic sampling on `simulator` beginning at `start_time`.
+  /// Sampling continues until stop() or simulator teardown.
+  void start(sim::Simulator& simulator, double start_time = 0.0);
+
+  /// Stops periodic sampling.
+  void stop();
+
+ private:
+  std::string label_;
+  MeterSpec spec_;
+  TruePowerFn true_power_;
+  util::RngStream rng_;
+  PowerTrace trace_;
+  sim::Simulator::PeriodicHandle periodic_;
+};
+
+}  // namespace wavm3::power

@@ -1,0 +1,90 @@
+#include "power/power_trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::power {
+
+void PowerTrace::add(double time, double watts) {
+  WAVM3_REQUIRE(samples_.empty() || time >= samples_.back().time,
+                "power samples must be time-ordered");
+  WAVM3_REQUIRE(watts >= 0.0, "negative power reading");
+  samples_.push_back({time, watts});
+}
+
+double PowerTrace::start_time() const {
+  WAVM3_REQUIRE(!samples_.empty(), "empty trace");
+  return samples_.front().time;
+}
+
+double PowerTrace::end_time() const {
+  WAVM3_REQUIRE(!samples_.empty(), "empty trace");
+  return samples_.back().time;
+}
+
+double PowerTrace::power_at(double t) const {
+  WAVM3_REQUIRE(!samples_.empty(), "empty trace");
+  if (t <= samples_.front().time) return samples_.front().watts;
+  if (t >= samples_.back().time) return samples_.back().watts;
+  // First sample with time >= t.
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const PowerSample& s, double value) { return s.time < value; });
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double span = hi->time - lo->time;
+  if (span <= 0.0) return hi->watts;
+  const double f = (t - lo->time) / span;
+  return lo->watts * (1.0 - f) + hi->watts * f;
+}
+
+double PowerTrace::energy_between(double t0, double t1) const {
+  WAVM3_REQUIRE(t1 >= t0, "inverted energy interval");
+  if (samples_.size() < 2) return 0.0;
+  const double a = std::max(t0, samples_.front().time);
+  const double b = std::min(t1, samples_.back().time);
+  if (b <= a) return 0.0;
+
+  double energy = 0.0;
+  double prev_t = a;
+  double prev_p = power_at(a);
+  // Walk interior samples strictly inside (a, b).
+  const auto first = std::upper_bound(
+      samples_.begin(), samples_.end(), a,
+      [](double value, const PowerSample& s) { return value < s.time; });
+  for (auto it = first; it != samples_.end() && it->time < b; ++it) {
+    energy += 0.5 * (prev_p + it->watts) * (it->time - prev_t);
+    prev_t = it->time;
+    prev_p = it->watts;
+  }
+  const double end_p = power_at(b);
+  energy += 0.5 * (prev_p + end_p) * (b - prev_t);
+  return energy;
+}
+
+double PowerTrace::total_energy() const {
+  if (samples_.size() < 2) return 0.0;
+  return energy_between(start_time(), end_time());
+}
+
+double PowerTrace::mean_power_between(double t0, double t1) const {
+  const double a = std::max(t0, samples_.empty() ? t0 : samples_.front().time);
+  const double b = std::min(t1, samples_.empty() ? t1 : samples_.back().time);
+  if (b <= a) return 0.0;
+  return energy_between(a, b) / (b - a);
+}
+
+PowerTrace PowerTrace::slice(double t0, double t1) const {
+  PowerTrace out(label_);
+  for (const auto& s : samples_)
+    if (s.time >= t0 && s.time <= t1) out.add(s.time, s.watts);
+  return out;
+}
+
+std::vector<PowerSample> PowerTrace::tail(std::size_t n) const {
+  const std::size_t start = samples_.size() > n ? samples_.size() - n : 0;
+  return {samples_.begin() + static_cast<std::ptrdiff_t>(start), samples_.end()};
+}
+
+}  // namespace wavm3::power

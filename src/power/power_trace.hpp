@@ -1,0 +1,63 @@
+// Time-stamped power samples plus energy integration, mirroring what the
+// paper extracts from its Voltech PM1000+ traces (SV-B, SVI): phase
+// energies are integrals of power over the phase intervals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wavm3::power {
+
+/// One meter reading.
+struct PowerSample {
+  double time = 0.0;   ///< seconds
+  double watts = 0.0;
+};
+
+/// An append-only, time-ordered sequence of power samples.
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+  explicit PowerTrace(std::string label) : label_(std::move(label)) {}
+
+  const std::string& label() const { return label_; }
+
+  /// Appends a sample; times must be nondecreasing.
+  void add(double time, double watts);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<PowerSample>& samples() const { return samples_; }
+  const PowerSample& operator[](std::size_t i) const { return samples_[i]; }
+  const PowerSample& back() const { return samples_.back(); }
+
+  double start_time() const;
+  double end_time() const;
+
+  /// Energy in joules over [t0, t1] via trapezoidal integration with
+  /// linear interpolation at the interval endpoints. The interval is
+  /// clamped to the trace extent; an empty overlap yields 0.
+  double energy_between(double t0, double t1) const;
+
+  /// Total energy over the whole trace.
+  double total_energy() const;
+
+  /// Mean power over [t0, t1] (energy / duration); 0 on empty overlap.
+  double mean_power_between(double t0, double t1) const;
+
+  /// Power at time t by linear interpolation (clamped to trace ends).
+  double power_at(double t) const;
+
+  /// Sub-trace restricted to [t0, t1] (sample times inside, inclusive).
+  PowerTrace slice(double t0, double t1) const;
+
+  /// The last `n` samples (or fewer when the trace is shorter).
+  std::vector<PowerSample> tail(std::size_t n) const;
+
+ private:
+  std::string label_;
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace wavm3::power

@@ -1,0 +1,43 @@
+#include "power/stabilization.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavm3::power {
+
+namespace {
+bool pair_stable(double prev, double curr, double tolerance) {
+  if (prev <= 0.0) return curr <= 0.0;
+  return std::abs(curr - prev) / prev < tolerance;
+}
+}  // namespace
+
+bool is_stabilized(const PowerTrace& trace, const StabilizationSpec& spec) {
+  WAVM3_REQUIRE(spec.window >= 2, "stabilisation window must be >= 2");
+  if (trace.size() < spec.window) return false;
+  const auto& s = trace.samples();
+  const std::size_t start = s.size() - spec.window;
+  for (std::size_t i = start + 1; i < s.size(); ++i) {
+    if (!pair_stable(s[i - 1].watts, s[i].watts, spec.tolerance)) return false;
+  }
+  return true;
+}
+
+std::size_t stabilization_index(const PowerTrace& trace, const StabilizationSpec& spec) {
+  WAVM3_REQUIRE(spec.window >= 2, "stabilisation window must be >= 2");
+  const auto& s = trace.samples();
+  if (s.size() < spec.window) return s.size();
+  std::size_t streak = 1;  // a single sample is trivially "stable so far"
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (pair_stable(s[i - 1].watts, s[i].watts, spec.tolerance)) {
+      ++streak;
+    } else {
+      streak = 1;
+    }
+    if (streak >= spec.window) return i;
+  }
+  return s.size();
+}
+
+}  // namespace wavm3::power

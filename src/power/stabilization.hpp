@@ -1,0 +1,27 @@
+// The paper's stabilisation protocol (SV-B): "we say that the power
+// consumption of the host stabilises when we read twenty consecutive
+// power measurements with a difference lower than 0.3%".
+#pragma once
+
+#include <cstddef>
+
+#include "power/power_trace.hpp"
+
+namespace wavm3::power {
+
+/// Stabilisation detector parameters.
+struct StabilizationSpec {
+  std::size_t window = 20;     ///< consecutive readings required
+  double tolerance = 0.003;    ///< max relative difference between consecutive readings
+};
+
+/// True when the last `spec.window` readings of `trace` each differ from
+/// their predecessor by less than `spec.tolerance` (relative to the
+/// predecessor). Requires at least window samples.
+bool is_stabilized(const PowerTrace& trace, const StabilizationSpec& spec = {});
+
+/// Index of the first sample at which the trace (from the beginning)
+/// satisfies the stabilisation criterion, or trace.size() when never.
+std::size_t stabilization_index(const PowerTrace& trace, const StabilizationSpec& spec = {});
+
+}  // namespace wavm3::power

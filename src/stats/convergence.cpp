@@ -1,0 +1,41 @@
+#include "stats/convergence.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+RunRepetition::RunRepetition(RepetitionOptions options) : options_(options) {
+  WAVM3_REQUIRE(options_.min_runs >= 2, "need at least two runs for a variance");
+  WAVM3_REQUIRE(options_.max_runs >= options_.min_runs, "max_runs < min_runs");
+  WAVM3_REQUIRE(options_.variance_delta > 0.0, "variance_delta must be positive");
+  last_delta_ = std::numeric_limits<double>::infinity();
+}
+
+void RunRepetition::add_run(double value) {
+  values_.push_back(value);
+  if (values_.size() < 2) return;
+
+  const double var = variance(values_);
+  if (have_prev_variance_) {
+    if (prev_variance_ > 0.0) {
+      last_delta_ = std::abs(var - prev_variance_) / prev_variance_;
+    } else {
+      // Degenerate previous variance: converged iff still degenerate.
+      last_delta_ = (var == 0.0) ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+  }
+  prev_variance_ = var;
+  have_prev_variance_ = true;
+}
+
+bool RunRepetition::converged() const {
+  if (values_.size() >= options_.max_runs) return true;
+  if (values_.size() < options_.min_runs) return false;
+  return last_delta_ < options_.variance_delta;
+}
+
+}  // namespace wavm3::stats

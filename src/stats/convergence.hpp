@@ -1,0 +1,49 @@
+// The paper's experiment repetition protocol (SV-B): "we repeat each
+// experiment until the difference in variance between one run and the
+// previous runs becomes less than 10%, resulting in at least ten runs".
+// RunRepetition encapsulates that stopping rule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wavm3::stats {
+
+/// Options for the repetition criterion.
+struct RepetitionOptions {
+  std::size_t min_runs = 10;          ///< the paper's "at least ten runs"
+  std::size_t max_runs = 50;          ///< safety cap for non-converging variance
+  double variance_delta = 0.10;       ///< relative variance-change threshold
+};
+
+/// Accumulates one scalar result per experimental run and decides when
+/// enough runs have been collected.
+class RunRepetition {
+ public:
+  explicit RunRepetition(RepetitionOptions options = {});
+
+  /// Records the headline scalar (e.g. total migration energy) of a run.
+  void add_run(double value);
+
+  /// True once the stopping rule is satisfied:
+  /// at least min_runs collected AND the relative change of the sample
+  /// variance introduced by the latest run is below variance_delta
+  /// (or max_runs reached).
+  bool converged() const;
+
+  std::size_t runs() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Relative variance change introduced by the most recent run; +inf
+  /// until two variances are comparable.
+  double last_variance_delta() const { return last_delta_; }
+
+ private:
+  RepetitionOptions options_;
+  std::vector<double> values_;
+  double prev_variance_ = 0.0;
+  double last_delta_ = 0.0;
+  bool have_prev_variance_ = false;
+};
+
+}  // namespace wavm3::stats

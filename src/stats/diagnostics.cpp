@@ -1,0 +1,69 @@
+#include "stats/diagnostics.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+double autocorrelation(const std::vector<double>& x, std::size_t lag) {
+  WAVM3_REQUIRE(lag >= 1 && lag < x.size(), "need 1 <= lag < n");
+  const double m = mean(x);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - m;
+    den += d * d;
+    if (i + lag < x.size()) num += d * (x[i + lag] - m);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+double durbin_watson(const std::vector<double>& residuals) {
+  WAVM3_REQUIRE(residuals.size() >= 2, "need at least two residuals");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    den += residuals[i] * residuals[i];
+    if (i > 0) {
+      const double d = residuals[i] - residuals[i - 1];
+      num += d * d;
+    }
+  }
+  if (den <= 0.0) return 2.0;
+  return num / den;
+}
+
+double skewness(const std::vector<double>& x) {
+  WAVM3_REQUIRE(x.size() >= 3, "need at least three values");
+  const Summary s = summarize(x);
+  if (s.stddev <= 0.0) return 0.0;
+  double m3 = 0.0;
+  for (const double v : x) {
+    const double d = (v - s.mean) / s.stddev;
+    m3 += d * d * d;
+  }
+  const double n = static_cast<double>(x.size());
+  // Adjusted Fisher-Pearson coefficient.
+  return m3 * n / ((n - 1.0) * (n - 2.0));
+}
+
+ResidualDiagnostics residual_diagnostics(const std::vector<double>& predicted,
+                                         const std::vector<double>& observed) {
+  WAVM3_REQUIRE(predicted.size() == observed.size() && predicted.size() >= 3,
+                "need at least three prediction pairs");
+  std::vector<double> r(predicted.size());
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = observed[i] - predicted[i];
+  ResidualDiagnostics d;
+  const Summary s = summarize(r);
+  d.mean = s.mean;
+  d.stddev = s.stddev;
+  d.skew = skewness(r);
+  d.durbin_watson = durbin_watson(r);
+  d.lag1_autocorr = autocorrelation(r, 1);
+  return d;
+}
+
+}  // namespace wavm3::stats

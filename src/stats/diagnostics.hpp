@@ -1,0 +1,38 @@
+// Residual diagnostics: the checks a regression pipeline should run
+// before trusting its coefficients — autocorrelation of time-ordered
+// residuals (Durbin-Watson), skewness, and a compact summary bundle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wavm3::stats {
+
+/// Sample autocorrelation of `x` at the given lag (biased estimator,
+/// standard in diagnostics). Returns 0 for degenerate inputs; requires
+/// 1 <= lag < x.size().
+double autocorrelation(const std::vector<double>& x, std::size_t lag);
+
+/// Durbin-Watson statistic of time-ordered residuals: ~2 for
+/// uncorrelated residuals, -> 0 under strong positive autocorrelation,
+/// -> 4 under negative. Requires at least 2 residuals.
+double durbin_watson(const std::vector<double>& residuals);
+
+/// Adjusted Fisher-Pearson sample skewness; 0 for symmetric residuals.
+/// Requires at least 3 values; returns 0 when the spread is degenerate.
+double skewness(const std::vector<double>& x);
+
+/// Everything at once for a (predicted, observed) pair, residuals taken
+/// in the given (time) order.
+struct ResidualDiagnostics {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skew = 0.0;
+  double durbin_watson = 2.0;
+  double lag1_autocorr = 0.0;
+};
+
+ResidualDiagnostics residual_diagnostics(const std::vector<double>& predicted,
+                                         const std::vector<double>& observed);
+
+}  // namespace wavm3::stats

@@ -1,0 +1,114 @@
+#include "stats/linreg.hpp"
+
+#include <cmath>
+
+#include "stats/metrics.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+double LinearFit::predict(const std::vector<double>& features) const {
+  const std::size_t n_features = coefficients.size() - (has_intercept ? 1 : 0);
+  WAVM3_REQUIRE(features.size() == n_features, "feature count mismatch in predict");
+  double y = has_intercept ? coefficients.back() : 0.0;
+  for (std::size_t i = 0; i < n_features; ++i) y += coefficients[i] * features[i];
+  return y;
+}
+
+Matrix design_matrix(const std::vector<std::vector<double>>& features, bool add_intercept) {
+  WAVM3_REQUIRE(!features.empty(), "need at least one sample");
+  const std::size_t n_features = features.front().size();
+  const std::size_t cols = n_features + (add_intercept ? 1 : 0);
+  Matrix x(features.size(), cols);
+  for (std::size_t r = 0; r < features.size(); ++r) {
+    WAVM3_REQUIRE(features[r].size() == n_features, "ragged feature rows");
+    for (std::size_t c = 0; c < n_features; ++c) x.at(r, c) = features[r][c];
+    if (add_intercept) x.at(r, n_features) = 1.0;
+  }
+  return x;
+}
+
+namespace {
+
+/// Solves the (ridge-regularised) normal equations, falling back to QR
+/// when the Gram matrix is ill-conditioned.
+std::vector<double> solve_ols(const Matrix& x, const std::vector<double>& y, double ridge_lambda,
+                              bool has_intercept) {
+  Matrix gram = x.gram();
+  if (ridge_lambda > 0.0) {
+    // Do not regularise the intercept column.
+    const std::size_t stop = gram.rows() - (has_intercept ? 1 : 0);
+    for (std::size_t i = 0; i < stop; ++i) gram.at(i, i) += ridge_lambda;
+  }
+  const std::vector<double> xty = x.transpose_times(y);
+  try {
+    return cholesky_solve(gram, xty);
+  } catch (const util::ContractError&) {
+    return qr_least_squares(x, y);
+  }
+}
+
+}  // namespace
+
+LinearFit fit_linear(const std::vector<std::vector<double>>& features,
+                     const std::vector<double>& targets, const LinregOptions& options) {
+  WAVM3_REQUIRE(features.size() == targets.size(), "feature/target size mismatch");
+  WAVM3_REQUIRE(!features.empty(), "need at least one sample");
+  const std::size_t n_features = features.front().size();
+  const std::size_t n_cols = n_features + (options.add_intercept ? 1 : 0);
+  WAVM3_REQUIRE(features.size() >= n_cols, "need at least as many samples as coefficients");
+
+  const Matrix x = design_matrix(features, options.add_intercept);
+
+  std::vector<bool> active(n_features, true);  // intercept handled separately, always active
+  std::vector<double> coeffs;
+
+  for (int pass = 0; pass < static_cast<int>(n_features) + 1; ++pass) {
+    // Build a reduced design with only active feature columns.
+    std::vector<std::size_t> active_idx;
+    for (std::size_t i = 0; i < n_features; ++i)
+      if (active[i]) active_idx.push_back(i);
+
+    Matrix xa(x.rows(), active_idx.size() + (options.add_intercept ? 1 : 0));
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < active_idx.size(); ++c) xa.at(r, c) = x.at(r, active_idx[c]);
+      if (options.add_intercept) xa.at(r, active_idx.size()) = 1.0;
+    }
+
+    const std::vector<double> reduced =
+        solve_ols(xa, targets, options.ridge_lambda, options.add_intercept);
+
+    // Scatter back into full coefficient vector.
+    coeffs.assign(n_cols, 0.0);
+    for (std::size_t c = 0; c < active_idx.size(); ++c) coeffs[active_idx[c]] = reduced[c];
+    if (options.add_intercept) coeffs[n_features] = reduced[active_idx.size()];
+
+    if (!options.nonnegative) break;
+
+    // Deactivate the most negative coefficient, if any, and refit.
+    double worst = 0.0;
+    std::size_t worst_idx = n_features;
+    for (std::size_t i = 0; i < n_features; ++i) {
+      if (active[i] && coeffs[i] < worst) {
+        worst = coeffs[i];
+        worst_idx = i;
+      }
+    }
+    if (worst_idx == n_features) break;  // all nonnegative
+    active[worst_idx] = false;
+    coeffs[worst_idx] = 0.0;
+  }
+
+  LinearFit fit;
+  fit.coefficients = std::move(coeffs);
+  fit.has_intercept = options.add_intercept;
+  fit.n_samples = features.size();
+
+  std::vector<double> predicted(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) predicted[i] = fit.predict(features[i]);
+  fit.r2 = r_squared(predicted, targets);
+  fit.residual_rmse = rmse(predicted, targets);
+  return fit;
+}
+
+}  // namespace wavm3::stats

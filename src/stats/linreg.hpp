@@ -1,0 +1,43 @@
+// Ordinary least squares multiple linear regression. This is the fitting
+// engine for WAVM3's per-phase linear power models (Eqs. 5-7) and for the
+// HUANG / LIU / STRUNK baselines (Eqs. 8-11).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hpp"
+
+namespace wavm3::stats {
+
+/// Result of an OLS fit.
+struct LinearFit {
+  std::vector<double> coefficients;  ///< one per regressor; intercept last when add_intercept
+  bool has_intercept = false;
+  double r2 = 0.0;                   ///< coefficient of determination on the training data
+  double residual_rmse = 0.0;        ///< RMSE of training residuals
+  std::size_t n_samples = 0;
+
+  /// Predicts y for one feature row (without the intercept column).
+  double predict(const std::vector<double>& features) const;
+};
+
+/// Options for fitting.
+struct LinregOptions {
+  bool add_intercept = true;     ///< append a constant-1 column
+  double ridge_lambda = 0.0;     ///< L2 regularisation strength (0 = pure OLS)
+  bool nonnegative = false;      ///< clamp-and-refit active-set projection to coeffs >= 0
+};
+
+/// Fits min ||X b - y|| over rows of `features` (each row one sample).
+/// With options.nonnegative, runs a simple active-set scheme: fit OLS,
+/// clamp negative coefficients to zero, refit on the remaining columns,
+/// and repeat until all free coefficients are nonnegative. The intercept
+/// is never clamped.
+LinearFit fit_linear(const std::vector<std::vector<double>>& features,
+                     const std::vector<double>& targets, const LinregOptions& options = {});
+
+/// Builds the design matrix (optionally with intercept column appended).
+Matrix design_matrix(const std::vector<std::vector<double>>& features, bool add_intercept);
+
+}  // namespace wavm3::stats

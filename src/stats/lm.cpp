@@ -1,0 +1,132 @@
+#include "stats/lm.hpp"
+
+#include <cmath>
+
+#include "stats/matrix.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+namespace {
+
+double cost_of(const std::vector<double>& r) {
+  double c = 0.0;
+  for (const double v : r) c += v * v;
+  return 0.5 * c;
+}
+
+/// Forward-difference Jacobian of the residual vector.
+Matrix numeric_jacobian(const ResidualFn& fn, const std::vector<double>& params,
+                        const std::vector<double>& r0, double eps) {
+  Matrix jac(r0.size(), params.size());
+  std::vector<double> p = params;
+  for (std::size_t j = 0; j < params.size(); ++j) {
+    const double h = eps * std::max(1.0, std::abs(params[j]));
+    p[j] = params[j] + h;
+    const std::vector<double> r1 = fn(p);
+    WAVM3_REQUIRE(r1.size() == r0.size(), "residual size changed during Jacobian evaluation");
+    for (std::size_t i = 0; i < r0.size(); ++i) jac.at(i, j) = (r1[i] - r0[i]) / h;
+    p[j] = params[j];
+  }
+  return jac;
+}
+
+}  // namespace
+
+LmResult levenberg_marquardt(const ResidualFn& residuals, std::vector<double> initial_params,
+                             const LmOptions& options) {
+  WAVM3_REQUIRE(!initial_params.empty(), "LM needs at least one parameter");
+
+  LmResult result;
+  result.params = std::move(initial_params);
+
+  std::vector<double> r = residuals(result.params);
+  WAVM3_REQUIRE(!r.empty(), "LM needs at least one residual");
+  double cost = cost_of(r);
+  double lambda = options.initial_lambda;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    const Matrix jac = numeric_jacobian(residuals, result.params, r, options.jacobian_epsilon);
+    const std::vector<double> grad = jac.transpose_times(r);  // J^T r
+
+    double grad_norm = 0.0;
+    for (const double g : grad) grad_norm = std::max(grad_norm, std::abs(g));
+    if (grad_norm < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    Matrix jtj = jac.gram();
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 24 && !stepped; ++attempt) {
+      // Damped normal equations: (J^T J + lambda*diag(J^T J)) dp = -J^T r.
+      Matrix damped = jtj;
+      for (std::size_t i = 0; i < damped.rows(); ++i) {
+        const double d = jtj.at(i, i);
+        damped.at(i, i) += lambda * (d > 1e-12 ? d : 1.0);
+      }
+      std::vector<double> rhs(grad.size());
+      for (std::size_t i = 0; i < grad.size(); ++i) rhs[i] = -grad[i];
+
+      std::vector<double> dp;
+      try {
+        dp = cholesky_solve(damped, rhs);
+      } catch (const util::ContractError&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+
+      std::vector<double> trial = result.params;
+      double step_norm = 0.0;
+      for (std::size_t i = 0; i < trial.size(); ++i) {
+        trial[i] += dp[i];
+        step_norm = std::max(step_norm, std::abs(dp[i]));
+      }
+      if (step_norm < options.step_tolerance) {
+        result.converged = true;
+        stepped = true;
+        break;
+      }
+
+      const std::vector<double> r_trial = residuals(trial);
+      const double trial_cost = cost_of(r_trial);
+      if (trial_cost < cost) {
+        result.params = std::move(trial);
+        r = r_trial;
+        cost = trial_cost;
+        lambda = std::max(1e-12, lambda * options.lambda_down);
+        stepped = true;
+      } else {
+        lambda *= options.lambda_up;
+      }
+    }
+
+    if (result.converged) break;
+    if (!stepped) {
+      // Damping exhausted without an acceptable step: local minimum.
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_cost = cost;
+  return result;
+}
+
+ResidualFn curve_residuals(
+    const std::function<double(const std::vector<double>& params,
+                               const std::vector<double>& features)>& model,
+    const std::vector<std::vector<double>>& features, const std::vector<double>& targets) {
+  WAVM3_REQUIRE(features.size() == targets.size(), "feature/target size mismatch");
+  return [model, &features, &targets](const std::vector<double>& params) {
+    std::vector<double> r(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i)
+      r[i] = model(params, features[i]) - targets[i];
+    return r;
+  };
+}
+
+}  // namespace wavm3::stats

@@ -1,0 +1,47 @@
+// Levenberg-Marquardt non-linear least squares. The paper (SVI-F) fits
+// its coefficients "based on the Non Linear Least Square algorithm"; for
+// WAVM3's linear phase models LM converges to the OLS solution, and it
+// additionally supports the non-linear saturating ablation variants.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace wavm3::stats {
+
+/// Residual function: given parameters, returns one residual per sample.
+using ResidualFn = std::function<std::vector<double>(const std::vector<double>& params)>;
+
+/// Options controlling the LM iteration.
+struct LmOptions {
+  std::size_t max_iterations = 200;
+  double initial_lambda = 1e-3;     ///< initial damping
+  double lambda_up = 10.0;          ///< damping multiplier on rejected step
+  double lambda_down = 0.1;         ///< damping multiplier on accepted step
+  double gradient_tolerance = 1e-10;
+  double step_tolerance = 1e-12;
+  double jacobian_epsilon = 1e-6;   ///< forward-difference step for the numeric Jacobian
+};
+
+/// Fit outcome.
+struct LmResult {
+  std::vector<double> params;
+  double final_cost = 0.0;       ///< 0.5 * sum of squared residuals
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimises 0.5*||r(p)||^2 starting from `initial_params` using
+/// Levenberg-Marquardt with a forward-difference Jacobian.
+LmResult levenberg_marquardt(const ResidualFn& residuals, std::vector<double> initial_params,
+                             const LmOptions& options = {});
+
+/// Convenience: builds a residual function for curve fitting
+/// y_i ~ model(params, x_i) over rows of `features`.
+ResidualFn curve_residuals(
+    const std::function<double(const std::vector<double>& params,
+                               const std::vector<double>& features)>& model,
+    const std::vector<std::vector<double>>& features, const std::vector<double>& targets);
+
+}  // namespace wavm3::stats

@@ -1,0 +1,217 @@
+#include "stats/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  WAVM3_REQUIRE(!rows.empty(), "from_rows needs at least one row");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    WAVM3_REQUIRE(rows[r].size() == m.cols_, "ragged rows in from_rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  WAVM3_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  WAVM3_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  WAVM3_REQUIRE(cols_ == rhs.rows_, "inner dimensions must agree");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out.at(r, c) += a * rhs.at(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix out(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = at(r, i);
+      if (a == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) out.at(i, j) += a * at(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j) out.at(i, j) = out.at(j, i);
+  return out;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const {
+  WAVM3_REQUIRE(v.size() == rows_, "vector length must equal row count");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += at(r, c) * v[r];
+  return out;
+}
+
+std::vector<double> Matrix::times(const std::vector<double>& v) const {
+  WAVM3_REQUIRE(v.size() == cols_, "vector length must equal column count");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += at(r, c) * v[c];
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  WAVM3_REQUIRE(a.cols() == n, "cholesky_solve needs a square matrix");
+  WAVM3_REQUIRE(b.size() == n, "rhs length mismatch");
+
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        WAVM3_REQUIRE(sum > 1e-12, "matrix is not positive definite");
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const std::size_t i = n - 1 - ii;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l.at(k, i) * x[k];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> qr_least_squares(const Matrix& a, const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  WAVM3_REQUIRE(m >= n && n > 0, "need rows >= cols >= 1");
+  WAVM3_REQUIRE(b.size() == m, "rhs length mismatch");
+
+  Matrix r = a;              // reduced in place to R
+  std::vector<double> qtb = b;  // accumulates Q^T b
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r.at(i, k) * r.at(i, k);
+    norm = std::sqrt(norm);
+    WAVM3_REQUIRE(norm > 1e-12, "rank-deficient design matrix in QR");
+
+    const double alpha = (r.at(k, k) >= 0.0) ? -norm : norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r.at(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r.at(i, k);
+    double vnorm2 = 0.0;
+    for (const double vi : v) vnorm2 += vi * vi;
+    if (vnorm2 > 1e-24) {
+      // Apply H = I - 2 v v^T / (v^T v) to the trailing block and to qtb.
+      for (std::size_t c = k; c < n; ++c) {
+        double dot = 0.0;
+        for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r.at(i, c);
+        const double scale = 2.0 * dot / vnorm2;
+        for (std::size_t i = k; i < m; ++i) r.at(i, c) -= scale * v[i - k];
+      }
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * qtb[i];
+      const double scale = 2.0 * dot / vnorm2;
+      for (std::size_t i = k; i < m; ++i) qtb[i] -= scale * v[i - k];
+    }
+    r.at(k, k) = alpha;
+    for (std::size_t i = k + 1; i < m; ++i) r.at(i, k) = 0.0;
+  }
+
+  // Back substitution on the top n x n block of R.
+  std::vector<double> x(n);
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const std::size_t i = n - 1 - ii;
+    double sum = qtb[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= r.at(i, k) * x[k];
+    WAVM3_REQUIRE(std::abs(r.at(i, i)) > 1e-12, "rank-deficient design matrix in QR");
+    x[i] = sum / r.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> gaussian_solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  WAVM3_REQUIRE(a.cols() == n, "gaussian_solve needs a square matrix");
+  WAVM3_REQUIRE(b.size() == n, "rhs length mismatch");
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a.at(i, k)) > std::abs(a.at(pivot, k))) pivot = i;
+    WAVM3_REQUIRE(std::abs(a.at(pivot, k)) > 1e-12, "singular matrix in gaussian_solve");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(pivot, c));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a.at(i, k) / a.at(k, k);
+      if (f == 0.0) continue;
+      for (std::size_t c = k; c < n; ++c) a.at(i, c) -= f * a.at(k, c);
+      b[i] -= f * b[k];
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t ii = 0; ii < n; ++ii) {
+    const std::size_t i = n - 1 - ii;
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a.at(i, k) * x[k];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace wavm3::stats

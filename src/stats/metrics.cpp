@@ -1,0 +1,72 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+namespace {
+void check_inputs(const std::vector<double>& predicted, const std::vector<double>& observed) {
+  WAVM3_REQUIRE(predicted.size() == observed.size(), "prediction/observation size mismatch");
+  WAVM3_REQUIRE(!predicted.empty(), "error metrics need at least one sample");
+}
+}  // namespace
+
+double mae(const std::vector<double>& predicted, const std::vector<double>& observed) {
+  check_inputs(predicted, observed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) sum += std::abs(predicted[i] - observed[i]);
+  return sum / static_cast<double>(predicted.size());
+}
+
+double rmse(const std::vector<double>& predicted, const std::vector<double>& observed) {
+  check_inputs(predicted, observed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - observed[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predicted.size()));
+}
+
+double nrmse(const std::vector<double>& predicted, const std::vector<double>& observed,
+             Normalization norm) {
+  const double r = rmse(predicted, observed);
+  const Summary s = summarize(observed);
+  double denom = 0.0;
+  switch (norm) {
+    case Normalization::kMean: denom = std::abs(s.mean); break;
+    case Normalization::kRange: denom = s.max - s.min; break;
+  }
+  WAVM3_REQUIRE(denom > 0.0, "NRMSE normaliser must be positive");
+  return r / denom;
+}
+
+double r_squared(const std::vector<double>& predicted, const std::vector<double>& observed) {
+  check_inputs(predicted, observed);
+  const double obs_mean = mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    const double t = observed[i] - obs_mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+ErrorMetrics compute_error_metrics(const std::vector<double>& predicted,
+                                   const std::vector<double>& observed) {
+  ErrorMetrics m;
+  m.mae = mae(predicted, observed);
+  m.rmse = rmse(predicted, observed);
+  m.nrmse = nrmse(predicted, observed);
+  m.r2 = r_squared(predicted, observed);
+  return m;
+}
+
+}  // namespace wavm3::stats

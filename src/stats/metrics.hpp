@@ -1,0 +1,39 @@
+// Prediction-error metrics used throughout the paper's evaluation:
+// MAE, RMSE, and NRMSE (Tables V and VII).
+#pragma once
+
+#include <vector>
+
+namespace wavm3::stats {
+
+/// How NRMSE is normalised. The paper reports NRMSE without further
+/// qualification; we default to mean-normalisation (RMSE / mean(observed)),
+/// the common convention for strictly positive energy values, and also
+/// expose range-normalisation for sensitivity checks.
+enum class Normalization { kMean, kRange };
+
+/// Mean absolute error between predictions and observations.
+double mae(const std::vector<double>& predicted, const std::vector<double>& observed);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& predicted, const std::vector<double>& observed);
+
+/// Normalised RMSE as a fraction (0.118 == 11.8%).
+double nrmse(const std::vector<double>& predicted, const std::vector<double>& observed,
+             Normalization norm = Normalization::kMean);
+
+/// Coefficient of determination R^2 (can be negative for bad models).
+double r_squared(const std::vector<double>& predicted, const std::vector<double>& observed);
+
+/// Convenience bundle of all four metrics.
+struct ErrorMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double nrmse = 0.0;  ///< fraction, mean-normalised
+  double r2 = 0.0;
+};
+
+ErrorMetrics compute_error_metrics(const std::vector<double>& predicted,
+                                   const std::vector<double>& observed);
+
+}  // namespace wavm3::stats

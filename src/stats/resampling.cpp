@@ -1,0 +1,85 @@
+#include "stats/resampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wavm3::stats {
+
+namespace {
+
+BootstrapResult interval_from(std::vector<double> estimates, double point, double confidence) {
+  BootstrapResult out;
+  out.point = point;
+  out.confidence = confidence;
+  const double alpha = (1.0 - confidence) / 2.0;
+  out.lower = quantile(estimates, alpha);
+  out.upper = quantile(std::move(estimates), 1.0 - alpha);
+  return out;
+}
+
+}  // namespace
+
+BootstrapResult bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic, std::size_t resamples,
+    double confidence, std::uint64_t seed) {
+  WAVM3_REQUIRE(!sample.empty(), "bootstrap of an empty sample");
+  WAVM3_REQUIRE(resamples >= 10, "need at least 10 resamples");
+  WAVM3_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+
+  util::RngStream rng(seed);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  std::vector<double> resample(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& v : resample) v = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    estimates.push_back(statistic(resample));
+  }
+  return interval_from(std::move(estimates), statistic(sample), confidence);
+}
+
+BootstrapResult bootstrap_metric_ci(
+    const std::vector<double>& predicted, const std::vector<double>& observed,
+    const std::function<double(const std::vector<double>&, const std::vector<double>&)>& metric,
+    std::size_t resamples, double confidence, std::uint64_t seed) {
+  WAVM3_REQUIRE(predicted.size() == observed.size() && !predicted.empty(),
+                "paired bootstrap needs matching non-empty vectors");
+  WAVM3_REQUIRE(resamples >= 10, "need at least 10 resamples");
+
+  util::RngStream rng(seed);
+  const auto n = static_cast<std::int64_t>(predicted.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  std::vector<double> p(predicted.size());
+  std::vector<double> o(predicted.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      p[i] = predicted[j];
+      o[i] = observed[j];
+    }
+    estimates.push_back(metric(p, o));
+  }
+  return interval_from(std::move(estimates), metric(predicted, observed), confidence);
+}
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t k,
+                                                    std::uint64_t seed) {
+  WAVM3_REQUIRE(k >= 2 && k <= n, "need 2 <= k <= n");
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  util::RngStream rng(seed);
+  std::shuffle(indices.begin(), indices.end(), rng.engine());
+
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < n; ++i) folds[i % k].push_back(indices[i]);
+  for (auto& f : folds) std::sort(f.begin(), f.end());
+  return folds;
+}
+
+}  // namespace wavm3::stats

@@ -1,0 +1,40 @@
+// Resampling machinery: bootstrap confidence intervals and k-fold
+// partitions. The paper reports point errors only; these utilities let
+// the reproduction attach uncertainty to every NRMSE it prints and
+// cross-validate the fits instead of trusting one split.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace wavm3::stats {
+
+/// A point estimate with a bootstrap confidence interval.
+struct BootstrapResult {
+  double point = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.95;
+};
+
+/// Percentile-bootstrap CI of `statistic` over `sample`.
+/// `statistic` must accept any non-empty vector.
+BootstrapResult bootstrap_ci(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    std::size_t resamples = 1000, double confidence = 0.95, std::uint64_t seed = 1);
+
+/// Paired bootstrap for prediction metrics: resamples (predicted,
+/// observed) pairs together and re-evaluates `metric` on each resample.
+BootstrapResult bootstrap_metric_ci(
+    const std::vector<double>& predicted, const std::vector<double>& observed,
+    const std::function<double(const std::vector<double>&, const std::vector<double>&)>& metric,
+    std::size_t resamples = 1000, double confidence = 0.95, std::uint64_t seed = 1);
+
+/// Shuffles [0, n) into k disjoint folds of near-equal size
+/// (sizes differ by at most one). Requires 2 <= k <= n.
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t k,
+                                                    std::uint64_t seed);
+
+}  // namespace wavm3::stats

@@ -1,0 +1,33 @@
+#include "stats/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wavm3::stats {
+
+IndexSplit train_test_split(std::size_t n, double train_fraction, std::uint64_t seed) {
+  WAVM3_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0, "train_fraction must be in (0,1)");
+  WAVM3_REQUIRE(n >= 2, "need at least two samples to split");
+
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  util::RngStream rng(seed);
+  std::shuffle(indices.begin(), indices.end(), rng.engine());
+
+  auto n_train = static_cast<std::size_t>(
+      std::lround(train_fraction * static_cast<double>(n)));
+  n_train = std::clamp<std::size_t>(n_train, 1, n - 1);
+
+  IndexSplit split;
+  split.train.assign(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(n_train));
+  split.test.assign(indices.begin() + static_cast<std::ptrdiff_t>(n_train), indices.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace wavm3::stats

@@ -1,0 +1,32 @@
+// Deterministic train/test splitting. The paper trains on 20% of the
+// m01-m02 readings and evaluates on the rest (SVI-F); we reproduce that
+// protocol with a seeded shuffle so the split is stable across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wavm3::stats {
+
+/// Index split into train and test sets.
+struct IndexSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Splits indices [0, n) into a train set of round(n*train_fraction)
+/// elements and the complementary test set, using a seeded shuffle.
+/// Guarantees at least one element on each side when n >= 2.
+IndexSplit train_test_split(std::size_t n, double train_fraction, std::uint64_t seed);
+
+/// Gathers `values[i]` for each i in `indices`.
+template <typename T>
+std::vector<T> gather(const std::vector<T>& values, const std::vector<std::size_t>& indices) {
+  std::vector<T> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.push_back(values[i]);
+  return out;
+}
+
+}  // namespace wavm3::stats

@@ -1,0 +1,85 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::util {
+
+namespace {
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'};
+}  // namespace
+
+std::string render_ascii_chart(const std::vector<ChartSeries>& series, const ChartOptions& opts) {
+  WAVM3_REQUIRE(opts.width >= 16 && opts.height >= 4, "chart area too small");
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = opts.y_fixed ? opts.y_min : std::numeric_limits<double>::infinity();
+  double y_max = opts.y_fixed ? opts.y_max : -std::numeric_limits<double>::infinity();
+
+  bool any_point = false;
+  for (const auto& s : series) {
+    WAVM3_REQUIRE(s.x.size() == s.y.size(), "series x/y size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      any_point = true;
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      if (!opts.y_fixed) {
+        y_min = std::min(y_min, s.y[i]);
+        y_max = std::max(y_max, s.y[i]);
+      }
+    }
+  }
+  if (!any_point) return "(empty chart)\n";
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opts.height),
+                                std::string(static_cast<std::size_t>(opts.width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - x_min) / (x_max - x_min);
+      const double fy = (s.y[i] - y_min) / (y_max - y_min);
+      if (fy < 0.0 || fy > 1.0) continue;  // clipped when y range is fixed
+      const int cx = std::min(opts.width - 1, static_cast<int>(std::lround(fx * (opts.width - 1))));
+      const int cy = std::min(opts.height - 1, static_cast<int>(std::lround(fy * (opts.height - 1))));
+      grid[static_cast<std::size_t>(opts.height - 1 - cy)][static_cast<std::size_t>(cx)] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!opts.y_label.empty()) out += opts.y_label + "\n";
+  for (int r = 0; r < opts.height; ++r) {
+    const double y_here = y_max - (y_max - y_min) * r / (opts.height - 1);
+    out += format("%9.1f |", y_here);
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(static_cast<std::size_t>(opts.width), '-') + '\n';
+  out += format("%10s %-12.1f", "", x_min);
+  const std::string right = fmt_fixed(x_max, 1);
+  if (out.size() >= right.size()) {
+    // right-align the max-x tick under the plot edge
+    out += std::string(static_cast<std::size_t>(std::max(
+               0, opts.width - 12 - static_cast<int>(right.size()))), ' ') +
+           right + '\n';
+  }
+  if (!opts.x_label.empty()) {
+    const int pad = std::max(0, (opts.width - static_cast<int>(opts.x_label.size())) / 2);
+    out += std::string(static_cast<std::size_t>(10 + pad), ' ') + opts.x_label + '\n';
+  }
+  out += "legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += format("  %c %s", kGlyphs[si % sizeof(kGlyphs)], series[si].name.c_str());
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace wavm3::util

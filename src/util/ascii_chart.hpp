@@ -1,0 +1,34 @@
+// ASCII line-chart renderer: lets the figure benches print the same
+// power-vs-time series the paper plots (Figs. 2-7) directly to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wavm3::util {
+
+/// One named series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Rendering options for AsciiChart.
+struct ChartOptions {
+  int width = 96;        ///< plot area width in characters
+  int height = 20;       ///< plot area height in characters
+  std::string x_label;   ///< e.g. "TIME [sec]"
+  std::string y_label;   ///< e.g. "POWER [W]"
+  double y_min = 0.0;    ///< fixed y range when y_fixed, else auto
+  double y_max = 0.0;
+  bool y_fixed = false;
+};
+
+/// Renders multiple series on a shared axis using one glyph per series.
+/// Overlapping points show the glyph of the later series. Designed for
+/// quick visual sanity-checking in a terminal, not publication plots
+/// (the benches also export CSV for real plotting).
+std::string render_ascii_chart(const std::vector<ChartSeries>& series, const ChartOptions& opts);
+
+}  // namespace wavm3::util

@@ -1,0 +1,36 @@
+// Error-handling helpers: a single exception type for precondition and
+// invariant violations plus REQUIRE-style macros that capture location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wavm3::util {
+
+/// Thrown on violated preconditions or broken internal invariants.
+/// The library treats these as programming errors, not recoverable
+/// conditions, but uses exceptions (rather than abort) so tests can
+/// assert on them.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void raise_contract_error(const char* expr, const char* file, int line,
+                                              const std::string& msg) {
+  throw ContractError(std::string(file) + ":" + std::to_string(line) + ": requirement `" + expr +
+                      "` failed" + (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace wavm3::util
+
+/// Precondition check: throws wavm3::util::ContractError when `expr` is false.
+#define WAVM3_REQUIRE(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::wavm3::util::raise_contract_error(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                         \
+  } while (false)
+
+/// Internal invariant check; same behaviour, different intent at call sites.
+#define WAVM3_ASSERT(expr, msg) WAVM3_REQUIRE(expr, msg)

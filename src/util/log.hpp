@@ -1,0 +1,23 @@
+// Minimal leveled logger. Defaults to warnings-only so tests and benches
+// stay quiet; experiment drivers raise the level for progress reporting.
+#pragma once
+
+#include <string>
+
+namespace wavm3::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr when `level` is at or above the global level.
+void log(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace wavm3::util

@@ -1,0 +1,84 @@
+// Deterministic random-number infrastructure.
+//
+// Every stochastic component in the library (meter noise, page dirtying,
+// run-to-run workload jitter) draws from an RngStream obtained from a
+// master seed plus a string key, so that
+//   * the whole experiment pipeline is reproducible from one seed, and
+//   * independent components get decorrelated streams regardless of the
+//     order in which they draw.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace wavm3::util {
+
+/// 64-bit FNV-1a hash, used to derive per-component substream seeds.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 step; decorrelates seeds derived from nearby integers.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// A seeded random stream with the distributions the library needs.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed) : engine_(splitmix64(seed)) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Factory deriving independent named substreams from one master seed.
+///
+/// `RngFactory f(42); auto meter = f.stream("meter/m01/run3");`
+/// Streams with different keys are statistically independent; the same
+/// (seed, key) pair always yields the same stream.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  RngStream stream(std::string_view key) const {
+    return RngStream(splitmix64(master_seed_ ^ fnv1a(key)));
+  }
+
+  std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace wavm3::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  WAVM3_REQUIRE(!header_.empty(), "table needs at least one column");
+  alignment_.assign(header_.size(), Align::kRight);
+  alignment_[0] = Align::kLeft;
+}
+
+void AsciiTable::set_alignment(std::vector<Align> alignment) {
+  WAVM3_REQUIRE(alignment.size() == header_.size(), "alignment size must match column count");
+  alignment_ = std::move(alignment);
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  WAVM3_REQUIRE(cells.size() == header_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto hline = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      if (alignment_[c] == Align::kLeft) {
+        s += " " + row[c] + std::string(pad, ' ') + " |";
+      } else {
+        s += " " + std::string(pad, ' ') + row[c] + " |";
+      }
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+  out += hline;
+  out += render_row(header_);
+  out += hline;
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += hline;
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += hline;
+  return out;
+}
+
+}  // namespace wavm3::util

@@ -1,0 +1,47 @@
+// ASCII table renderer used by the bench binaries to print the paper's
+// tables (coefficients, error metrics, setup summaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wavm3::util {
+
+/// Column alignment inside an AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Builds fixed-width ASCII tables:
+///
+///   AsciiTable t({"Model", "NRMSE"});
+///   t.add_row({"WAVM3", "11.8%"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Sets a caption printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Sets per-column alignment; default is left for the first column and
+  /// right for the rest (typical for label + numbers tables).
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator after the last added row.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full table including borders.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector encodes a separator
+};
+
+}  // namespace wavm3::util

@@ -1,0 +1,54 @@
+// Unit conventions and conversion helpers used across the library.
+//
+// The library stores all physical quantities as plain `double`s in SI
+// base units with these fixed conventions:
+//   * time        -> seconds
+//   * power       -> watts
+//   * energy      -> joules
+//   * data volume -> bytes
+//   * bandwidth   -> bytes per second
+//   * memory      -> bytes (page counts are derived via kPageSize)
+//   * CPU load    -> "virtual CPUs in use" (e.g. 4.0 == four fully busy
+//                    vCPUs); host utilisation fractions are derived by
+//                    dividing by the host capacity
+//   * dirty ratio -> dimensionless fraction in [0, 1] (Eq. 1 of the paper)
+//
+// Helper functions below convert from the units the paper quotes
+// (GB of RAM, Gbit/s links, kJ of energy) into the canonical ones.
+#pragma once
+
+#include <cstdint>
+
+namespace wavm3::util {
+
+/// Size of one memory page in bytes (x86 4 KiB, as in Xen paravirt guests).
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/// Kibi/Mebi/Gibi byte helpers (the paper quotes RAM in binary GB).
+constexpr double kib(double v) { return v * 1024.0; }
+constexpr double mib(double v) { return v * 1024.0 * 1024.0; }
+constexpr double gib(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+
+/// Network rates: a "Gigabit" link moves 1e9 bits/s on the wire.
+constexpr double mbit_per_s(double v) { return v * 1e6 / 8.0; }
+constexpr double gbit_per_s(double v) { return v * 1e9 / 8.0; }
+constexpr double mb_per_s(double v) { return v * 1e6; }
+
+/// Energy helpers.
+constexpr double kilojoules(double v) { return v * 1e3; }
+constexpr double to_kilojoules(double joules) { return joules / 1e3; }
+
+/// Time helpers.
+constexpr double milliseconds(double v) { return v / 1e3; }
+constexpr double minutes(double v) { return v * 60.0; }
+
+/// Number of kPageSize pages covering `bytes` (rounded up).
+constexpr std::uint64_t pages_for_bytes(double bytes) {
+  const auto b = static_cast<std::uint64_t>(bytes);
+  return (b + kPageSize - 1) / kPageSize;
+}
+
+/// Bytes occupied by `pages` whole pages.
+constexpr double bytes_for_pages(double pages) { return pages * static_cast<double>(kPageSize); }
+
+}  // namespace wavm3::util

@@ -1,0 +1,65 @@
+#include "workloads/matrixmult.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wavm3::workloads {
+
+MatrixMultWorkload::MatrixMultWorkload(MatrixMultParams params) : params_(params) {
+  WAVM3_REQUIRE(params_.threads >= 1, "need at least one thread");
+  WAVM3_REQUIRE(params_.efficiency > 0.0 && params_.efficiency <= 1.0,
+                "efficiency must be in (0,1]");
+  WAVM3_REQUIRE(params_.memory_used_fraction >= 0.0 && params_.memory_used_fraction <= 1.0,
+                "memory fraction must be in [0,1]");
+}
+
+double MatrixMultWorkload::cpu_demand(double /*t*/) const {
+  // matrixmult keeps all its threads busy; imperfect scaling shows up as
+  // slightly lower aggregate demand (synchronisation stalls).
+  return static_cast<double>(params_.threads) * params_.efficiency;
+}
+
+double MatrixMultWorkload::dirty_page_rate(double /*t*/) const {
+  return params_.dirty_pages_per_s;
+}
+
+double run_real_matrixmult(std::size_t n, int threads) {
+  WAVM3_REQUIRE(n >= 1, "matrix dimension must be positive");
+  WAVM3_REQUIRE(threads >= 1, "need at least one thread");
+
+  std::vector<double> a(n * n);
+  std::vector<double> b(n * n);
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = static_cast<double>((i * 2654435761ULL) % 1000) / 1000.0;
+    b[i] = static_cast<double>((i * 40503ULL + 7) % 1000) / 1000.0;
+  }
+
+  const auto worker = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a[i * n + k];
+        for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  };
+
+  const auto t = static_cast<std::size_t>(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(t);
+  const std::size_t chunk = (n + t - 1) / t;
+  for (std::size_t w = 0; w < t; ++w) {
+    const std::size_t begin = std::min(n, w * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) pool.emplace_back(worker, begin, end);
+  }
+  for (auto& th : pool) th.join();
+
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) checksum += c[i * n + (i * 7919) % n];
+  return checksum;
+}
+
+}  // namespace wavm3::workloads

@@ -1,0 +1,24 @@
+#include "workloads/netstream.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::workloads {
+
+NetStreamWorkload::NetStreamWorkload(NetStreamParams params) : params_(params) {
+  WAVM3_REQUIRE(params_.bytes_per_s >= 0.0, "traffic rate must be nonnegative");
+  WAVM3_REQUIRE(params_.cpu_per_gbs >= 0.0, "per-traffic CPU cost must be nonnegative");
+  WAVM3_REQUIRE(params_.memory_used_fraction >= 0.0 && params_.memory_used_fraction <= 1.0,
+                "memory fraction must be in [0,1]");
+}
+
+double NetStreamWorkload::cpu_demand(double /*t*/) const {
+  return params_.cpu_per_gbs * (params_.bytes_per_s / 1e9);
+}
+
+double NetStreamWorkload::dirty_page_rate(double /*t*/) const {
+  return params_.dirty_pages_per_s;
+}
+
+double NetStreamWorkload::network_demand(double /*t*/) const { return params_.bytes_per_s; }
+
+}  // namespace wavm3::workloads

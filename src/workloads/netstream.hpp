@@ -1,0 +1,40 @@
+// Network-intensive workload (the paper's SVIII future work): an
+// iperf-like streamer that pushes a configurable payload rate through
+// the host NIC with a small per-packet CPU cost. Per SIII-B the paper
+// expects such load to matter "only at its maximum utilisation" of the
+// link; the NETLOAD extension experiment verifies exactly that.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace wavm3::workloads {
+
+/// Parameters of the modelled network streamer.
+struct NetStreamParams {
+  double bytes_per_s = 50e6;        ///< payload rate through the NIC
+  double cpu_per_gbs = 1.5;         ///< vCPUs consumed per GB/s of traffic
+  double dirty_pages_per_s = 512.0; ///< socket buffers touch a few pages
+  std::uint64_t working_set_pages = 8192;  ///< ~32 MiB of buffers
+  double memory_used_fraction = 0.05;
+};
+
+/// iperf-style network workload.
+class NetStreamWorkload final : public Workload {
+ public:
+  explicit NetStreamWorkload(NetStreamParams params = {});
+
+  std::string name() const override { return "netstream"; }
+  WorkloadClass workload_class() const override { return WorkloadClass::kMixed; }
+  double cpu_demand(double t) const override;
+  double dirty_page_rate(double t) const override;
+  std::uint64_t working_set_pages() const override { return params_.working_set_pages; }
+  double memory_used_fraction() const override { return params_.memory_used_fraction; }
+  double network_demand(double t) const override;
+
+  const NetStreamParams& params() const { return params_; }
+
+ private:
+  NetStreamParams params_;
+};
+
+}  // namespace wavm3::workloads

@@ -1,0 +1,57 @@
+#include "workloads/pagedirtier.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::workloads {
+
+PageDirtierWorkload::PageDirtierWorkload(PageDirtierParams params) : params_(params) {
+  WAVM3_REQUIRE(params_.memory_fraction > 0.0 && params_.memory_fraction <= 1.0,
+                "memory_fraction must be in (0,1]");
+  WAVM3_REQUIRE(params_.dirty_pages_per_s >= 0.0, "dirty rate must be nonnegative");
+  WAVM3_REQUIRE(params_.cpu_demand >= 0.0, "cpu demand must be nonnegative");
+  WAVM3_REQUIRE(params_.allocated_pages > 0, "allocated pages must be positive");
+}
+
+double PageDirtierWorkload::cpu_demand(double /*t*/) const { return params_.cpu_demand; }
+
+double PageDirtierWorkload::dirty_page_rate(double /*t*/) const {
+  return params_.dirty_pages_per_s;
+}
+
+std::uint64_t PageDirtierWorkload::working_set_pages() const {
+  const double ws = params_.memory_fraction * static_cast<double>(params_.allocated_pages);
+  return static_cast<std::uint64_t>(std::llround(std::max(1.0, ws)));
+}
+
+std::uint64_t run_real_pagedirtier(std::uint64_t pages, std::uint64_t iterations) {
+  WAVM3_REQUIRE(pages > 0, "need at least one page");
+  const std::uint64_t page_doubles = util::kPageSize / sizeof(double);
+  std::vector<double> buffer(pages * page_doubles, 0.0);
+
+  std::uint64_t writes = 0;
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    for (std::uint64_t k = 0; k < pages; ++k) {
+      // xorshift* page selector: random-order page writes like the
+      // paper's pagedirtier.
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      const std::uint64_t page = (state * 2685821657736338717ULL) % pages;
+      double* p = buffer.data() + page * page_doubles;
+      // Touch the first cacheline of the page; enough to mark it dirty.
+      p[0] = static_cast<double>(writes);
+      ++writes;
+    }
+  }
+  // Defeat dead-store elimination.
+  volatile double sink = buffer[(state % pages) * page_doubles];
+  (void)sink;
+  return writes;
+}
+
+}  // namespace wavm3::workloads

@@ -1,0 +1,58 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::workloads {
+
+const char* to_string(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kIdle: return "idle";
+    case WorkloadClass::kCpuIntensive: return "cpu-intensive";
+    case WorkloadClass::kMemoryIntensive: return "memory-intensive";
+    case WorkloadClass::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+CompositeWorkload::CompositeWorkload(std::vector<WorkloadPtr> parts) : parts_(std::move(parts)) {
+  WAVM3_REQUIRE(!parts_.empty(), "composite workload needs at least one part");
+  for (const auto& p : parts_) WAVM3_REQUIRE(p != nullptr, "null workload part");
+}
+
+std::string CompositeWorkload::name() const {
+  std::string out = "mixed(";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) out += "+";
+    out += parts_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+double CompositeWorkload::cpu_demand(double t) const {
+  double sum = 0.0;
+  for (const auto& p : parts_) sum += p->cpu_demand(t);
+  return sum;
+}
+
+double CompositeWorkload::dirty_page_rate(double t) const {
+  double sum = 0.0;
+  for (const auto& p : parts_) sum += p->dirty_page_rate(t);
+  return sum;
+}
+
+std::uint64_t CompositeWorkload::working_set_pages() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : parts_) sum += p->working_set_pages();
+  return sum;
+}
+
+double CompositeWorkload::memory_used_fraction() const {
+  double m = 0.0;
+  for (const auto& p : parts_) m = std::max(m, p->memory_used_fraction());
+  return std::min(1.0, m);
+}
+
+}  // namespace wavm3::workloads

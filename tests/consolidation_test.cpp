@@ -1,0 +1,159 @@
+// Tests for the energy-aware consolidation manager: scenario mapping,
+// vacate planning, benefit accounting, and the paper's SVIII guidance
+// (high-DR VMs onto loaded hosts are expensive moves).
+#include <gtest/gtest.h>
+
+#include "cloud/instances.hpp"
+#include "consolidation/manager.hpp"
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::consolidation {
+namespace {
+
+using migration::MigrationType;
+
+const core::Wavm3Model& model() {
+  static const core::Wavm3Model m = [] {
+    core::Wavm3Model model;
+    model.fit(wavm3::testing::fast_campaign_m().dataset);
+    return model;
+  }();
+  return m;
+}
+
+const core::MigrationPlanner& planner() {
+  static const core::MigrationPlanner p(model());
+  return p;
+}
+
+HostPowerEstimate m_power() {
+  HostPowerEstimate e;
+  e.idle_watts = 433.0;
+  e.watts_per_vcpu = 12.0;
+  return e;
+}
+
+cloud::HostSpec host32(const std::string& name) {
+  cloud::HostSpec h;
+  h.name = name;
+  h.vcpus = 32;
+  h.ram_bytes = util::gib(32);
+  return h;
+}
+
+constexpr double kLinkRate = 117.5e6;
+
+TEST(Manager, ScenarioMapsLoadsAndVmSignature) {
+  cloud::DataCenter dc;
+  cloud::Host& a = dc.add_host(host32("a"));
+  cloud::Host& b = dc.add_host(host32("b"));
+  a.add_vm(cloud::make_migrating_mem_vm("mv", 0.95));
+  for (int i = 0; i < 3; ++i) b.add_vm(cloud::make_load_cpu_vm("l" + std::to_string(i)));
+
+  const ConsolidationManager mgr(ConsolidationPolicy{}, planner(), m_power());
+  const core::MigrationScenario sc =
+      mgr.scenario_for(dc, *a.vm("mv"), a, b, kLinkRate);
+  EXPECT_DOUBLE_EQ(sc.vm_mem_bytes, util::gib(4));
+  EXPECT_DOUBLE_EQ(sc.vm_cpu_vcpus, 1.0);
+  EXPECT_GT(sc.vm_dirty_pages_per_s, 1e5);
+  EXPECT_NEAR(sc.source_cpu_load, a.cpu_used(0.0) - 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sc.target_cpu_load, b.cpu_used(0.0));
+  EXPECT_DOUBLE_EQ(sc.source_cpu_capacity, 32.0);
+}
+
+TEST(Manager, VacatePlanCoversEveryVm) {
+  cloud::DataCenter dc;
+  cloud::Host& a = dc.add_host(host32("a"));
+  dc.add_host(host32("b"));
+  dc.add_host(host32("c"));
+  a.add_vm(cloud::make_load_cpu_vm("v1"));
+  a.add_vm(cloud::make_migrating_cpu_vm("v2"));
+
+  const ConsolidationManager mgr(ConsolidationPolicy{}, planner(), m_power());
+  const auto plan = mgr.plan_vacate(dc, "a", kLinkRate);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->migrations.size(), 2u);
+  for (const auto& m : plan->migrations) {
+    EXPECT_EQ(m.source, "a");
+    EXPECT_NE(m.target, "a");
+    EXPECT_GT(m.forecast.total_energy(), 0.0);
+  }
+  EXPECT_GT(plan->steady_saving_joules, 0.0);
+}
+
+TEST(Manager, LongHorizonMakesVacatingBeneficial) {
+  cloud::DataCenter dc;
+  cloud::Host& a = dc.add_host(host32("a"));
+  dc.add_host(host32("b"));
+  a.add_vm(cloud::make_load_cpu_vm("v1"));
+
+  ConsolidationPolicy policy;
+  policy.horizon_seconds = 24 * 3600.0;  // a day off saves ~37 MJ
+  const ConsolidationManager mgr(policy, planner(), m_power());
+  const auto plan = mgr.plan_vacate(dc, "a", kLinkRate);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->beneficial);
+  EXPECT_GT(plan->net_benefit_joules, 1e6);
+}
+
+TEST(Manager, InfeasibleWhenTargetsFull) {
+  cloud::DataCenter dc;
+  cloud::Host& a = dc.add_host(host32("a"));
+  cloud::Host& b = dc.add_host(host32("b"));
+  a.add_vm(cloud::make_load_cpu_vm("v1"));
+  // Saturate the only target beyond the overload threshold.
+  for (int i = 0; i < 8; ++i) b.add_vm(cloud::make_load_cpu_vm("bl" + std::to_string(i)));
+
+  const ConsolidationManager mgr(ConsolidationPolicy{}, planner(), m_power());
+  EXPECT_FALSE(mgr.plan_vacate(dc, "a", kLinkRate).has_value());
+}
+
+TEST(Manager, PlanScansOnlyUnderloadedHosts) {
+  cloud::DataCenter dc;
+  cloud::Host& light = dc.add_host(host32("light"));
+  cloud::Host& heavy = dc.add_host(host32("heavy"));
+  dc.add_host(host32("spare"));
+  light.add_vm(cloud::make_load_cpu_vm("lv"));                 // ~14% load
+  for (int i = 0; i < 6; ++i) heavy.add_vm(cloud::make_load_cpu_vm("h" + std::to_string(i)));
+
+  ConsolidationPolicy policy;
+  policy.underload_fraction = 0.30;
+  const ConsolidationManager mgr(policy, planner(), m_power());
+  const auto plans = mgr.plan(dc, kLinkRate);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans.front().vacated_host, "light");
+}
+
+TEST(Manager, HighDirtyVmOntoLoadedHostCostsMore) {
+  // The SVIII guidance: migrating a high-dirtying-ratio VM towards a
+  // CPU-loaded host is the expensive move the model should expose.
+  cloud::DataCenter dc;
+  cloud::Host& src = dc.add_host(host32("src"));
+  cloud::Host& idle_tgt = dc.add_host(host32("idle"));
+  cloud::Host& busy_tgt = dc.add_host(host32("busy"));
+  src.add_vm(cloud::make_migrating_mem_vm("mv", 0.95));
+  for (int i = 0; i < 7; ++i) busy_tgt.add_vm(cloud::make_load_cpu_vm("b" + std::to_string(i)));
+
+  const ConsolidationManager mgr(ConsolidationPolicy{}, planner(), m_power());
+  const auto to_idle = planner().forecast(
+      mgr.scenario_for(dc, *src.vm("mv"), src, idle_tgt, kLinkRate));
+  const auto to_busy = planner().forecast(
+      mgr.scenario_for(dc, *src.vm("mv"), src, busy_tgt, kLinkRate));
+  // The busy target throttles the transfer and burns more energy.
+  EXPECT_GE(to_busy.times.transfer_duration(), to_idle.times.transfer_duration());
+  EXPECT_GT(to_busy.total_energy(), to_idle.total_energy());
+}
+
+TEST(Manager, PolicyValidation) {
+  ConsolidationPolicy bad;
+  bad.underload_fraction = 0.9;
+  bad.overload_fraction = 0.5;
+  EXPECT_THROW(ConsolidationManager(bad, planner(), m_power()), util::ContractError);
+}
+
+}  // namespace
+}  // namespace wavm3::consolidation

@@ -1,0 +1,108 @@
+// Unit tests for the network substrate: link accounting, CPU-coupled
+// bandwidth, topology registry.
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_model.hpp"
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::net {
+namespace {
+
+LinkSpec gigabit() {
+  LinkSpec s;
+  s.name = "test-gbe";
+  s.wire_rate = util::gbit_per_s(1);
+  s.protocol_efficiency = 0.94;
+  return s;
+}
+
+TEST(Link, PayloadRateAppliesProtocolEfficiency) {
+  const Link link(gigabit());
+  EXPECT_DOUBLE_EQ(link.max_payload_rate(), 125e6 * 0.94);
+}
+
+TEST(Link, AccountsBytes) {
+  Link link(gigabit());
+  link.account_transfer(1e9);
+  link.account_transfer(2e9);
+  EXPECT_DOUBLE_EQ(link.total_bytes(), 3e9);
+  link.reset_accounting();
+  EXPECT_DOUBLE_EQ(link.total_bytes(), 0.0);
+  EXPECT_THROW(link.account_transfer(-1.0), util::ContractError);
+}
+
+TEST(Link, RejectsBadSpecs) {
+  LinkSpec s = gigabit();
+  s.wire_rate = 0.0;
+  EXPECT_THROW(Link{s}, util::ContractError);
+  s = gigabit();
+  s.protocol_efficiency = 1.5;
+  EXPECT_THROW(Link{s}, util::ContractError);
+}
+
+TEST(BandwidthModel, FullHeadroomGivesWireSpeed) {
+  const BandwidthModel bw;
+  const Link link(gigabit());
+  EXPECT_DOUBLE_EQ(bw.achievable_bandwidth(link, 8.0, 8.0), link.max_payload_rate());
+}
+
+TEST(BandwidthModel, ZeroHeadroomGivesMinEfficiency) {
+  BandwidthModelParams p;
+  p.min_efficiency = 0.58;
+  const BandwidthModel bw(p);
+  const Link link(gigabit());
+  EXPECT_NEAR(bw.achievable_bandwidth(link, 0.0, 8.0), link.max_payload_rate() * 0.58, 1e-6);
+}
+
+TEST(BandwidthModel, BottleneckEndpointWins) {
+  const BandwidthModel bw;
+  const Link link(gigabit());
+  const double constrained = bw.achievable_bandwidth(link, 0.5, 8.0);
+  const double reversed = bw.achievable_bandwidth(link, 8.0, 0.5);
+  EXPECT_DOUBLE_EQ(constrained, reversed);
+  EXPECT_LT(constrained, link.max_payload_rate());
+}
+
+TEST(BandwidthModel, EfficiencyMonotoneInHeadroom) {
+  const BandwidthModel bw;
+  double prev = 0.0;
+  for (double h = 0.0; h <= 4.0; h += 0.25) {
+    const double e = bw.endpoint_efficiency(h);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+  EXPECT_DOUBLE_EQ(bw.endpoint_efficiency(100.0), 1.0);
+  // Negative headroom clamps to the floor rather than misbehaving.
+  EXPECT_DOUBLE_EQ(bw.endpoint_efficiency(-3.0), bw.params().min_efficiency);
+}
+
+TEST(Topology, SymmetricLookup) {
+  Topology topo;
+  topo.connect("m01", "m02", gigabit());
+  EXPECT_NE(topo.link_between("m01", "m02"), nullptr);
+  EXPECT_EQ(topo.link_between("m01", "m02"), topo.link_between("m02", "m01"));
+  EXPECT_EQ(topo.link_between("m01", "o1"), nullptr);
+  EXPECT_EQ(topo.link_count(), 1u);
+}
+
+TEST(Topology, ReconnectReplacesLink) {
+  Topology topo;
+  topo.connect("a", "b", gigabit());
+  LinkSpec fast = gigabit();
+  fast.wire_rate = util::gbit_per_s(10);
+  topo.connect("b", "a", fast);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_DOUBLE_EQ(topo.link_between("a", "b")->spec().wire_rate, util::gbit_per_s(10));
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology topo;
+  EXPECT_THROW(topo.connect("a", "a", gigabit()), util::ContractError);
+}
+
+}  // namespace
+}  // namespace wavm3::net

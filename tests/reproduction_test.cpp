@@ -1,0 +1,78 @@
+// Reproduction-stability suite: the paper's headline claims must hold
+// across random seeds, not just the one the benches print. Each seed
+// runs a reduced campaign, fits all four models, and checks the
+// orderings the paper reports.
+#include <gtest/gtest.h>
+
+#include "core/wavm3_model.hpp"
+#include "exp/campaign.hpp"
+#include "models/evaluation.hpp"
+#include "models/huang.hpp"
+#include "models/liu.hpp"
+#include "models/strunk.hpp"
+
+namespace wavm3 {
+namespace {
+
+using migration::MigrationType;
+using models::HostRole;
+
+struct PipelineResult {
+  std::vector<models::EvaluationRow> rows;
+};
+
+PipelineResult run_pipeline(std::uint64_t seed) {
+  const exp::CampaignResult campaign =
+      exp::run_campaign(exp::testbed_m(), exp::fast_campaign_options(), seed);
+  const auto [train, test] = campaign.dataset.split_stratified(0.34, seed ^ 0xABCD);
+  core::Wavm3Model wavm3;
+  wavm3.fit(train);
+  models::HuangModel huang;
+  huang.fit(train);
+  models::LiuModel liu;
+  liu.fit(train);
+  models::StrunkModel strunk;
+  strunk.fit(train);
+  PipelineResult out;
+  out.rows = models::evaluate_models({&wavm3, &huang, &liu, &strunk}, test);
+  return out;
+}
+
+double nrmse_of(const PipelineResult& r, const char* model, MigrationType type, HostRole role) {
+  return models::find_row(r.rows, model, type, role).metrics.nrmse;
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, HeadlineOrderingsHold) {
+  const PipelineResult r = run_pipeline(GetParam());
+  for (const auto type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const auto role : {HostRole::kSource, HostRole::kTarget}) {
+      const double w = nrmse_of(r, "WAVM3", type, role);
+      const double h = nrmse_of(r, "HUANG", type, role);
+      const double l = nrmse_of(r, "LIU", type, role);
+      const double s = nrmse_of(r, "STRUNK", type, role);
+      // The workload-aware models are far ahead of the workload-blind
+      // ones on every slice (the paper's central comparison).
+      EXPECT_LT(w, 0.5 * l) << "seed " << GetParam();
+      EXPECT_LT(w, 0.5 * s) << "seed " << GetParam();
+      EXPECT_LT(h, 0.7 * l) << "seed " << GetParam();
+      // WAVM3 stays in HUANG's league or better everywhere (small-data
+      // slack; the strict win is asserted on the live source below).
+      EXPECT_LT(w, h * 1.5 + 0.01) << "seed " << GetParam();
+      // All NRMSEs are sane fractions.
+      EXPECT_LT(w, 0.15);
+      EXPECT_GT(w, 0.0);
+    }
+  }
+  // The paper's headline: workload terms pay off on live migration at
+  // the source (DR tracking + VM CPU).
+  const double w_live = nrmse_of(r, "WAVM3", MigrationType::kLive, HostRole::kSource);
+  const double h_live = nrmse_of(r, "HUANG", MigrationType::kLive, HostRole::kSource);
+  EXPECT_LE(w_live, h_live * 1.02) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(11u, 2015u, 77777u));
+
+}  // namespace
+}  // namespace wavm3

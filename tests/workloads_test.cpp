@@ -1,0 +1,104 @@
+// Unit tests for the workload models plus the real runnable kernels.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workloads/matrixmult.hpp"
+#include "workloads/pagedirtier.hpp"
+#include "workloads/workload.hpp"
+
+namespace wavm3::workloads {
+namespace {
+
+TEST(IdleWorkload, AllZero) {
+  IdleWorkload w;
+  EXPECT_DOUBLE_EQ(w.cpu_demand(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.dirty_page_rate(0.0), 0.0);
+  EXPECT_EQ(w.working_set_pages(), 0u);
+  EXPECT_EQ(w.workload_class(), WorkloadClass::kIdle);
+}
+
+TEST(MatrixMult, DemandsAllThreads) {
+  MatrixMultParams p;
+  p.threads = 4;
+  const MatrixMultWorkload w(p);
+  EXPECT_DOUBLE_EQ(w.cpu_demand(0.0), 4.0);
+  EXPECT_EQ(w.workload_class(), WorkloadClass::kCpuIntensive);
+  EXPECT_LT(w.dirty_page_rate(0.0), 1000.0);  // CPU-bound: tiny dirtying
+}
+
+TEST(MatrixMult, EfficiencyScalesDemand) {
+  MatrixMultParams p;
+  p.threads = 8;
+  p.efficiency = 0.75;
+  const MatrixMultWorkload w(p);
+  EXPECT_DOUBLE_EQ(w.cpu_demand(0.0), 6.0);
+}
+
+TEST(MatrixMult, RejectsBadParams) {
+  MatrixMultParams p;
+  p.threads = 0;
+  EXPECT_THROW(MatrixMultWorkload{p}, util::ContractError);
+  p.threads = 2;
+  p.efficiency = 1.5;
+  EXPECT_THROW(MatrixMultWorkload{p}, util::ContractError);
+}
+
+TEST(MatrixMult, RealKernelProducesStableChecksum) {
+  const double c1 = run_real_matrixmult(64, 2);
+  const double c2 = run_real_matrixmult(64, 4);
+  // Thread count must not change the numeric result.
+  EXPECT_NEAR(c1, c2, 1e-9 * std::abs(c1));
+  EXPECT_NE(c1, 0.0);
+}
+
+TEST(PageDirtier, WorkingSetTracksMemoryFraction) {
+  PageDirtierParams p;
+  p.memory_fraction = 0.5;
+  p.allocated_pages = 1000;
+  const PageDirtierWorkload w(p);
+  EXPECT_EQ(w.working_set_pages(), 500u);
+  EXPECT_DOUBLE_EQ(w.memory_used_fraction(), 0.5);
+  EXPECT_EQ(w.workload_class(), WorkloadClass::kMemoryIntensive);
+}
+
+TEST(PageDirtier, SingleCoreDemand) {
+  const PageDirtierWorkload w;
+  EXPECT_DOUBLE_EQ(w.cpu_demand(0.0), 1.0);
+  EXPECT_GT(w.dirty_page_rate(0.0), 1e5);  // memory-intensive
+}
+
+TEST(PageDirtier, RejectsBadParams) {
+  PageDirtierParams p;
+  p.memory_fraction = 0.0;
+  EXPECT_THROW(PageDirtierWorkload{p}, util::ContractError);
+  p.memory_fraction = 0.5;
+  p.allocated_pages = 0;
+  EXPECT_THROW(PageDirtierWorkload{p}, util::ContractError);
+}
+
+TEST(PageDirtier, RealDirtierTouchesAllRequestedWrites) {
+  const std::uint64_t writes = run_real_pagedirtier(128, 3);
+  EXPECT_EQ(writes, 128u * 3u);
+}
+
+TEST(Composite, SumsDemands) {
+  auto cpu = std::make_shared<MatrixMultWorkload>();
+  auto mem = std::make_shared<PageDirtierWorkload>();
+  const CompositeWorkload w({cpu, mem});
+  EXPECT_DOUBLE_EQ(w.cpu_demand(0.0), cpu->cpu_demand(0.0) + mem->cpu_demand(0.0));
+  EXPECT_DOUBLE_EQ(w.dirty_page_rate(0.0),
+                   cpu->dirty_page_rate(0.0) + mem->dirty_page_rate(0.0));
+  EXPECT_EQ(w.working_set_pages(), cpu->working_set_pages() + mem->working_set_pages());
+  EXPECT_EQ(w.workload_class(), WorkloadClass::kMixed);
+  EXPECT_NE(w.name().find("matrixmult"), std::string::npos);
+  EXPECT_NE(w.name().find("pagedirtier"), std::string::npos);
+}
+
+TEST(Composite, RejectsEmptyAndNull) {
+  EXPECT_THROW(CompositeWorkload{std::vector<WorkloadPtr>{}}, util::ContractError);
+  EXPECT_THROW(CompositeWorkload{std::vector<WorkloadPtr>{nullptr}}, util::ContractError);
+}
+
+}  // namespace
+}  // namespace wavm3::workloads

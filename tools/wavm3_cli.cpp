@@ -1,0 +1,438 @@
+// wavm3 — command-line front end to the library, covering the full
+// workflow without writing C++:
+//
+//   wavm3 campaign --testbed m --out data.csv [--fast] [--seed N]
+//       Run the measurement campaign on a simulated testbed and save
+//       the observation dataset.
+//   wavm3 fit --dataset data.csv --out coeffs.csv [--train-fraction F]
+//       Fit WAVM3 on a stratified training split and save coefficients.
+//   wavm3 evaluate --dataset data.csv [--coeffs coeffs.csv]
+//       Evaluate WAVM3 (refit or loaded) plus the HUANG/LIU/STRUNK
+//       baselines on the dataset's test split; print Table VII-style
+//       rows with bootstrap confidence intervals.
+//   wavm3 predict --coeffs coeffs.csv [scenario flags]
+//       Forecast duration, downtime, data and energy of a planned
+//       migration from saved coefficients.
+//   wavm3 tables
+//       Reproduce every table of the paper in one run.
+//
+// Run `wavm3 help` or any subcommand with --help for details.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "dcsim/simulation.hpp"
+#include "core/coeff_io.hpp"
+#include "core/phase_eval.hpp"
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "exp/campaign.hpp"
+#include "exp/tables.hpp"
+#include "models/dataset_io.hpp"
+#include "models/evaluation.hpp"
+#include "models/huang.hpp"
+#include "models/liu.hpp"
+#include "models/strunk.hpp"
+#include "stats/diagnostics.hpp"
+#include "stats/metrics.hpp"
+#include "stats/resampling.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace wavm3;
+
+/// Tiny flag parser: --name value pairs plus boolean --name flags.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::uint64_t get_seed() const {
+    return static_cast<std::uint64_t>(get_double("seed", 2015));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+exp::Testbed testbed_by_name(const std::string& name) {
+  if (name == "m" || name == "m01-m02") return exp::testbed_m();
+  if (name == "o" || name == "o1-o2") return exp::testbed_o();
+  std::fprintf(stderr, "unknown testbed '%s' (use m or o)\n", name.c_str());
+  std::exit(2);
+}
+
+int cmd_campaign(const Args& args) {
+  const std::string out = args.get("out", "dataset.csv");
+  const exp::Testbed testbed = testbed_by_name(args.get("testbed", "m"));
+  exp::CampaignOptions options =
+      args.has("fast") ? exp::fast_campaign_options() : exp::paper_campaign_options();
+  util::set_log_level(util::LogLevel::kInfo);
+  const exp::CampaignResult campaign = exp::run_campaign(testbed, options, args.get_seed());
+  std::puts(exp::render_campaign_summary(campaign).c_str());
+  if (!models::save_dataset_csv(campaign.dataset, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu observations to %s\n", campaign.dataset.size(), out.c_str());
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  const std::string in = args.get("dataset", "dataset.csv");
+  const std::string out = args.get("out", "coeffs.csv");
+  const models::Dataset dataset = models::load_dataset_csv(in);
+  if (dataset.size() == 0) {
+    std::fprintf(stderr, "no observations in %s\n", in.c_str());
+    return 1;
+  }
+  const double fraction = args.get_double("train-fraction", 0.2);
+  const auto [train, test] = dataset.split_stratified(fraction, args.get_seed());
+  core::Wavm3Model model;
+  model.fit(train);
+  std::printf("fit on %zu observations (%.0f%% stratified split of %zu)\n", train.size(),
+              fraction * 100, dataset.size());
+  for (const auto type : {migration::MigrationType::kNonLive, migration::MigrationType::kLive}) {
+    try {
+      std::puts(exp::render_coefficients_table(model, type, 0.0, 0.0,
+                                               std::string("Coefficients, ") +
+                                                   migration::to_string(type))
+                    .c_str());
+    } catch (const util::ContractError&) {
+      // type absent from the training data
+    }
+  }
+  if (!core::save_coefficients_csv(model, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote coefficients to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const std::string in = args.get("dataset", "dataset.csv");
+  const models::Dataset dataset = models::load_dataset_csv(in);
+  if (dataset.size() == 0) {
+    std::fprintf(stderr, "no observations in %s\n", in.c_str());
+    return 1;
+  }
+  const auto [train, test] = dataset.split_stratified(
+      args.get_double("train-fraction", 0.2), args.get_seed());
+
+  core::Wavm3Model wavm3;
+  if (args.has("coeffs")) {
+    wavm3 = core::load_coefficients_csv(args.get("coeffs", ""));
+    if (!wavm3.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    wavm3.fit(train);
+  }
+  models::HuangModel huang;
+  huang.fit(train);
+  models::LiuModel liu;
+  liu.fit(train);
+  models::StrunkModel strunk;
+  strunk.fit(train);
+
+  const auto rows = models::evaluate_models({&wavm3, &huang, &liu, &strunk}, test);
+  std::puts(exp::render_table7_comparison(rows).c_str());
+
+  // Bootstrap CI on WAVM3's headline NRMSE per slice.
+  std::puts("WAVM3 NRMSE with 95% bootstrap confidence intervals:");
+  for (const auto type : {migration::MigrationType::kNonLive, migration::MigrationType::kLive}) {
+    for (const auto role : {models::HostRole::kSource, models::HostRole::kTarget}) {
+      const auto slice = test.select(type, role);
+      if (slice.size() < 5) continue;
+      std::vector<double> predicted;
+      std::vector<double> observed;
+      for (const auto* obs : slice) {
+        predicted.push_back(wavm3.predict_energy(*obs));
+        observed.push_back(obs->observed_energy());
+      }
+      const auto ci = stats::bootstrap_metric_ci(
+          predicted, observed,
+          [](const std::vector<double>& p, const std::vector<double>& o) {
+            return stats::nrmse(p, o);
+          },
+          800, 0.95, args.get_seed());
+      std::printf("  %-9s %-6s : %5.1f%%  [%5.1f%%, %5.1f%%]  (n=%zu)\n",
+                  migration::to_string(type), models::to_string(role), ci.point * 100,
+                  ci.lower * 100, ci.upper * 100, slice.size());
+    }
+  }
+
+  // Residual diagnostics on the time-ordered per-sample power residuals
+  // of the longest test migration: systematic structure here would mean
+  // the phase models are missing a regressor.
+  const models::MigrationObservation* longest = nullptr;
+  for (const auto& obs : test.observations) {
+    if (longest == nullptr || obs.samples.size() > longest->samples.size()) longest = &obs;
+  }
+  if (longest != nullptr && longest->samples.size() >= 10) {
+    std::vector<double> p;
+    std::vector<double> o;
+    for (const auto& s : longest->samples) {
+      p.push_back(wavm3.predict_power(longest->type, longest->role, s));
+      o.push_back(s.power_watts);
+    }
+    const stats::ResidualDiagnostics d = stats::residual_diagnostics(p, o);
+    std::printf("\npower-residual diagnostics (%s, %s, %zu samples):\n"
+                "  mean %+.1f W, sd %.1f W, skew %+.2f, Durbin-Watson %.2f, "
+                "lag-1 autocorr %+.2f\n",
+                longest->experiment.c_str(), models::to_string(longest->role),
+                longest->samples.size(), d.mean, d.stddev, d.skew, d.durbin_watson,
+                d.lag1_autocorr);
+  }
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  core::Wavm3Model model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+  if (!model.is_fitted()) {
+    std::fprintf(stderr, "could not load coefficients (use `wavm3 fit` first)\n");
+    return 1;
+  }
+  core::MigrationScenario sc;
+  sc.type = args.get("type", "live") == "live" ? migration::MigrationType::kLive
+                                               : migration::MigrationType::kNonLive;
+  sc.vm_mem_bytes = util::gib(args.get_double("mem-gb", 4.0));
+  sc.vm_cpu_vcpus = args.get_double("vm-cpu", 1.0);
+  sc.vm_dirty_pages_per_s = args.get_double("dirty-pages-per-s", 0.0);
+  sc.vm_working_set_pages =
+      args.get_double("working-set-fraction", 0.0) * sc.vm_mem_bytes / util::kPageSize;
+  sc.source_cpu_load = args.get_double("source-load", 0.0);
+  sc.target_cpu_load = args.get_double("target-load", 0.0);
+  sc.source_cpu_capacity = args.get_double("capacity", 32.0);
+  sc.target_cpu_capacity = sc.source_cpu_capacity;
+  sc.link_payload_rate = args.get_double("link-mbs", 117.5) * 1e6;
+
+  const core::MigrationPlanner planner(model);
+  const core::MigrationForecast fc = planner.forecast(sc);
+  std::printf("%s migration of a %.1f GB VM:\n", migration::to_string(sc.type),
+              sc.vm_mem_bytes / util::gib(1));
+  std::printf("  phases   : initiation %.1f s, transfer %.1f s, activation %.1f s\n",
+              fc.times.initiation_duration(), fc.times.transfer_duration(),
+              fc.times.activation_duration());
+  std::printf("  transfer : %.2f GB at %.1f MB/s, %d pre-copy rounds%s\n",
+              fc.total_bytes / 1e9, fc.bandwidth / 1e6, fc.precopy_rounds,
+              fc.degenerated_to_nonlive ? " (pre-copy will not converge)" : "");
+  std::printf("  downtime : %.2f s\n", fc.downtime);
+  std::printf("  energy   : source %.1f kJ + target %.1f kJ = %.1f kJ\n",
+              fc.source_energy / 1e3, fc.target_energy / 1e3, fc.total_energy() / 1e3);
+  return 0;
+}
+
+int cmd_tables(const Args& args) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const exp::CampaignOptions options =
+      args.has("fast") ? exp::fast_campaign_options() : exp::paper_campaign_options();
+  const exp::Testbed tb_m = exp::testbed_m();
+  const exp::Testbed tb_o = exp::testbed_o();
+  const auto campaign_m = exp::run_campaign(tb_m, options, args.get_seed());
+  const auto campaign_o = exp::run_campaign(tb_o, options, args.get_seed() + 1);
+  const auto [train, test] = campaign_m.dataset.split_stratified(0.2, args.get_seed());
+
+  core::Wavm3Model wavm3;
+  wavm3.fit(train);
+  core::Wavm3Model wavm3_o;
+  wavm3_o.fit(train);
+  core::transfer_bias(wavm3_o, train, campaign_o.dataset);
+  models::HuangModel huang;
+  huang.fit(train);
+  models::LiuModel liu;
+  liu.fit(train);
+  models::StrunkModel strunk;
+  strunk.fit(train);
+
+  std::puts(exp::render_table1_workload_impact().c_str());
+  std::puts(exp::render_table2_setup(tb_m, tb_o).c_str());
+  std::puts(exp::render_coefficients_table(wavm3, migration::MigrationType::kNonLive,
+                                           campaign_m.measured_idle_power,
+                                           campaign_o.measured_idle_power,
+                                           "Table III: coefficients for non-live migration")
+                .c_str());
+  std::puts(exp::render_coefficients_table(wavm3, migration::MigrationType::kLive,
+                                           campaign_m.measured_idle_power,
+                                           campaign_o.measured_idle_power,
+                                           "Table IV: coefficients for live migration")
+                .c_str());
+  const auto rows_m = models::evaluate_models({&wavm3, &huang, &liu, &strunk}, test);
+  const auto rows_o = models::evaluate_model(wavm3_o, campaign_o.dataset);
+  std::puts(exp::render_table5_nrmse(rows_m, rows_o).c_str());
+  std::puts(exp::render_table6_baselines(huang, liu, strunk).c_str());
+  std::puts(exp::render_table7_comparison(rows_m).c_str());
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  // Writes a self-contained markdown reproduction report: every paper
+  // table, the phase-level accuracy, and the campaign summaries.
+  const std::string out_path = args.get("out", "wavm3_report.md");
+  const exp::CampaignOptions options =
+      args.has("fast") ? exp::fast_campaign_options() : exp::paper_campaign_options();
+  const exp::Testbed tb_m = exp::testbed_m();
+  const exp::Testbed tb_o = exp::testbed_o();
+  const auto campaign_m = exp::run_campaign(tb_m, options, args.get_seed());
+  const auto campaign_o = exp::run_campaign(tb_o, options, args.get_seed() + 1);
+  const auto [train, test] = campaign_m.dataset.split_stratified(0.2, args.get_seed());
+
+  core::Wavm3Model wavm3;
+  wavm3.fit(train);
+  core::Wavm3Model wavm3_o;
+  wavm3_o.fit(train);
+  core::transfer_bias(wavm3_o, train, campaign_o.dataset);
+  models::HuangModel huang;
+  huang.fit(train);
+  models::LiuModel liu;
+  liu.fit(train);
+  models::StrunkModel strunk;
+  strunk.fit(train);
+  const auto rows_m = models::evaluate_models({&wavm3, &huang, &liu, &strunk}, test);
+  const auto rows_o = models::evaluate_model(wavm3_o, campaign_o.dataset);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const auto block = [&out](const std::string& title, const std::string& body) {
+    out << "## " << title << "\n\n```\n" << body << "```\n\n";
+  };
+  out << "# WAVM3 reproduction report\n\n"
+      << "Seed " << args.get_seed() << "; campaign: "
+      << campaign_m.summaries.size() << " scenarios per testbed, "
+      << campaign_m.dataset.size() << " observations on m01-m02, "
+      << campaign_o.dataset.size() << " on o1-o2.\n\n";
+  block("Table I", exp::render_table1_workload_impact());
+  block("Table II", exp::render_table2_setup(tb_m, tb_o));
+  block("Table III (non-live coefficients)",
+        exp::render_coefficients_table(wavm3, migration::MigrationType::kNonLive,
+                                       campaign_m.measured_idle_power,
+                                       campaign_o.measured_idle_power, ""));
+  block("Table IV (live coefficients)",
+        exp::render_coefficients_table(wavm3, migration::MigrationType::kLive,
+                                       campaign_m.measured_idle_power,
+                                       campaign_o.measured_idle_power, ""));
+  block("Table V (NRMSE, both testbeds)", exp::render_table5_nrmse(rows_m, rows_o));
+  block("Table VI (baseline coefficients)",
+        exp::render_table6_baselines(huang, liu, strunk));
+  block("Table VII (model comparison)", exp::render_table7_comparison(rows_m));
+  block("Phase-level accuracy",
+        exp::render_phase_accuracy_table(core::evaluate_phase_energies(wavm3, test)));
+  block("Per-phase energies (SV-B metrics)", exp::render_phase_energy_table(campaign_m));
+  block("Campaign summary (m01-m02)", exp::render_campaign_summary(campaign_m));
+  block("Campaign summary (o1-o2)", exp::render_campaign_summary(campaign_o));
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  // Closed-loop fleet simulation comparing consolidation strategies.
+  const int hosts = static_cast<int>(args.get_double("hosts", 6));
+  const int vms = static_cast<int>(args.get_double("vms", 16));
+  const double hours = args.get_double("hours", 12.0);
+  const double horizon = args.get_double("horizon", 7200.0);
+
+  const exp::Testbed testbed = testbed_by_name(args.get("testbed", "m"));
+  exp::CampaignOptions options = exp::fast_campaign_options();
+  const exp::CampaignResult campaign = exp::run_campaign(testbed, options, args.get_seed());
+  core::Wavm3Model model;
+  model.fit(campaign.dataset);
+  const core::MigrationPlanner planner(model);
+
+  std::printf("%-18s %14s %12s %10s %10s %14s\n", "strategy", "energy [kWh]", "migrations",
+              "hosts off", "rejected", "downtime [s]");
+  for (const dcsim::Strategy strategy :
+       {dcsim::Strategy::kNoConsolidation, dcsim::Strategy::kCostBlind,
+        dcsim::Strategy::kCostAware}) {
+    dcsim::DcSimConfig cfg = dcsim::make_fleet_scenario(hosts, vms, args.get_seed());
+    cfg.duration = hours * 3600.0;
+    cfg.strategy = strategy;
+    cfg.policy.horizon_seconds = horizon;
+    dcsim::DataCenterSimulation sim(
+        cfg, strategy == dcsim::Strategy::kNoConsolidation ? nullptr : &planner);
+    const dcsim::DcSimReport r = sim.run();
+    std::printf("%-18s %14.2f %12d %10d %10d %14.1f\n", to_string(strategy),
+                r.total_energy_joules / 3.6e6, r.migrations_executed, r.power_off_events,
+                r.plans_rejected_by_cost, r.total_migration_downtime);
+  }
+  return 0;
+}
+
+int cmd_help() {
+  std::puts(
+      "wavm3 - workload-aware VM migration energy model (CLUSTER'15 reproduction)\n"
+      "\n"
+      "subcommands:\n"
+      "  campaign  --testbed m|o --out FILE [--fast] [--seed N]\n"
+      "  fit       --dataset FILE --out FILE [--train-fraction F] [--seed N]\n"
+      "  evaluate  --dataset FILE [--coeffs FILE] [--train-fraction F] [--seed N]\n"
+      "  predict   --coeffs FILE [--type live|nonlive] [--mem-gb G] [--vm-cpu C]\n"
+      "            [--dirty-pages-per-s R] [--working-set-fraction F]\n"
+      "            [--source-load L] [--target-load L] [--capacity C] [--link-mbs B]\n"
+      "  tables    [--fast] [--seed N]\n"
+      "  simulate  [--testbed m|o] [--hosts N] [--vms N] [--hours H]\n"
+      "            [--horizon SECONDS] [--seed N]\n"
+      "  report    [--out FILE] [--fast] [--seed N]\n"
+      "  help\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return cmd_help();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "fit") return cmd_fit(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "tables") return cmd_tables(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "report") return cmd_report(args);
+    if (cmd == "help" || cmd == "--help") return cmd_help();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+  cmd_help();
+  return 2;
+}
