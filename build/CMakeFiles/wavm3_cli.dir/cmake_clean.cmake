@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_cli.dir/tools/wavm3_cli.cpp.o"
+  "CMakeFiles/wavm3_cli.dir/tools/wavm3_cli.cpp.o.d"
+  "wavm3"
+  "wavm3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_workflow "bash" "-c" "set -e; d=\$(mktemp -d); trap 'rm -rf \$d' EXIT;            /root/repo/build/wavm3 campaign --testbed m --fast --seed 5 --out \$d/ds.csv >/dev/null 2>&1;            /root/repo/build/wavm3 fit --dataset \$d/ds.csv --train-fraction 0.34 --out \$d/c.csv >/dev/null;            /root/repo/build/wavm3 predict --coeffs \$d/c.csv --type live --mem-gb 4 --vm-cpu 4 | grep -q 'energy';            /root/repo/build/wavm3 evaluate --dataset \$d/ds.csv --train-fraction 0.34 | grep -q 'WAVM3'")
+set_tests_properties(cli_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

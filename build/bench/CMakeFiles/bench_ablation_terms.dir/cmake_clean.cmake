@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_terms.dir/bench_ablation_terms.cpp.o"
+  "CMakeFiles/bench_ablation_terms.dir/bench_ablation_terms.cpp.o.d"
+  "bench_ablation_terms"
+  "bench_ablation_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

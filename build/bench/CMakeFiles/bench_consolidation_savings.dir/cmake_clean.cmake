@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consolidation_savings.dir/bench_consolidation_savings.cpp.o"
+  "CMakeFiles/bench_consolidation_savings.dir/bench_consolidation_savings.cpp.o.d"
+  "bench_consolidation_savings"
+  "bench_consolidation_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consolidation_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

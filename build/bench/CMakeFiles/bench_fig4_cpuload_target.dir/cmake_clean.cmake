@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cpuload_target.dir/bench_fig4_cpuload_target.cpp.o"
+  "CMakeFiles/bench_fig4_cpuload_target.dir/bench_fig4_cpuload_target.cpp.o.d"
+  "bench_fig4_cpuload_target"
+  "bench_fig4_cpuload_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cpuload_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_memload_vm.cpp" "bench/CMakeFiles/bench_fig5_memload_vm.dir/bench_fig5_memload_vm.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_memload_vm.dir/bench_fig5_memload_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wavm3_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavm3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wavm3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/wavm3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wavm3_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wavm3_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/wavm3_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/wavm3_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wavm3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/wavm3_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/consolidation/CMakeFiles/wavm3_consolidation.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcsim/CMakeFiles/wavm3_dcsim.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/wavm3_bench_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

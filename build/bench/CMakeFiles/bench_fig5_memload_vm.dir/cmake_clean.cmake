@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_memload_vm.dir/bench_fig5_memload_vm.cpp.o"
+  "CMakeFiles/bench_fig5_memload_vm.dir/bench_fig5_memload_vm.cpp.o.d"
+  "bench_fig5_memload_vm"
+  "bench_fig5_memload_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_memload_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

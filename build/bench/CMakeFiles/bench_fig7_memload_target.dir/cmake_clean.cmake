@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_memload_target.dir/bench_fig7_memload_target.cpp.o"
+  "CMakeFiles/bench_fig7_memload_target.dir/bench_fig7_memload_target.cpp.o.d"
+  "bench_fig7_memload_target"
+  "bench_fig7_memload_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_memload_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivm_extension.dir/bench_multivm_extension.cpp.o"
+  "CMakeFiles/bench_multivm_extension.dir/bench_multivm_extension.cpp.o.d"
+  "bench_multivm_extension"
+  "bench_multivm_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivm_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

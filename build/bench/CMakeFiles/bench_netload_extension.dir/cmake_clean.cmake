@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netload_extension.dir/bench_netload_extension.cpp.o"
+  "CMakeFiles/bench_netload_extension.dir/bench_netload_extension.cpp.o.d"
+  "bench_netload_extension"
+  "bench_netload_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netload_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

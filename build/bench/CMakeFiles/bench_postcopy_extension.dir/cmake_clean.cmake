@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postcopy_extension.dir/bench_postcopy_extension.cpp.o"
+  "CMakeFiles/bench_postcopy_extension.dir/bench_postcopy_extension.cpp.o.d"
+  "bench_postcopy_extension"
+  "bench_postcopy_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postcopy_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_coeffs_nonlive.dir/bench_table3_coeffs_nonlive.cpp.o"
+  "CMakeFiles/bench_table3_coeffs_nonlive.dir/bench_table3_coeffs_nonlive.cpp.o.d"
+  "bench_table3_coeffs_nonlive"
+  "bench_table3_coeffs_nonlive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_coeffs_nonlive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

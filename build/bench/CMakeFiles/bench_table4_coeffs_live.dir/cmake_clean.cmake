@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_coeffs_live.dir/bench_table4_coeffs_live.cpp.o"
+  "CMakeFiles/bench_table4_coeffs_live.dir/bench_table4_coeffs_live.cpp.o.d"
+  "bench_table4_coeffs_live"
+  "bench_table4_coeffs_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_coeffs_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

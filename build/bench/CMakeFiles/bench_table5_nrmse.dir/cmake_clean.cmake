@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_nrmse.dir/bench_table5_nrmse.cpp.o"
+  "CMakeFiles/bench_table5_nrmse.dir/bench_table5_nrmse.cpp.o.d"
+  "bench_table5_nrmse"
+  "bench_table5_nrmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_nrmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

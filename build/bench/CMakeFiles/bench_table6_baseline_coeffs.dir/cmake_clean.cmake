@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_baseline_coeffs.dir/bench_table6_baseline_coeffs.cpp.o"
+  "CMakeFiles/bench_table6_baseline_coeffs.dir/bench_table6_baseline_coeffs.cpp.o.d"
+  "bench_table6_baseline_coeffs"
+  "bench_table6_baseline_coeffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_baseline_coeffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_overlay.dir/bench_trace_overlay.cpp.o"
+  "CMakeFiles/bench_trace_overlay.dir/bench_trace_overlay.cpp.o.d"
+  "bench_trace_overlay"
+  "bench_trace_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

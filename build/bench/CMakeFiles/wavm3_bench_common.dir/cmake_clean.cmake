@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/wavm3_bench_common.dir/bench_common.cpp.o.d"
+  "libwavm3_bench_common.a"
+  "libwavm3_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

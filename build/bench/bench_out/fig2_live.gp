@@ -1,0 +1,8 @@
+# gnuplot script for fig2_live (run: gnuplot -p fig2_live.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'Migration phases: live migration, source host (CPULOAD-SOURCE/0vm/live)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [432.4:533.1]
+plot for [i=2:6] 'fig2_live.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for fig2_nonlive (run: gnuplot -p fig2_nonlive.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'Migration phases: non-live migration, source host (CPULOAD-SOURCE/0vm/non-live)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [429.5:494.2]
+plot for [i=2:6] 'fig2_nonlive.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for fig3_live_source (run: gnuplot -p fig3_live_source.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'CPULOAD-SOURCE, live migration, source host (m01-m02)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [419.1:959.3]
+plot for [i=2:7] 'fig3_live_source.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for fig3_nonlive_target (run: gnuplot -p fig3_nonlive_target.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'CPULOAD-SOURCE, non-live migration, target host (m01-m02)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [400.0:900.0]
+plot for [i=2:7] 'fig3_nonlive_target.csv' using 1:i with lines

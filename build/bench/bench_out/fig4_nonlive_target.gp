@@ -1,0 +1,8 @@
+# gnuplot script for fig4_nonlive_target (run: gnuplot -p fig4_nonlive_target.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'CPULOAD-TARGET, non-live migration, target host (m01-m02)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [405.3:963.7]
+plot for [i=2:7] 'fig4_nonlive_target.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for fig5_live_target (run: gnuplot -p fig5_live_target.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'MEMLOAD-VM, live migration, target host (m01-m02)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [400.0:900.0]
+plot for [i=2:7] 'fig5_live_target.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for fig6_live_source (run: gnuplot -p fig6_live_source.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'MEMLOAD-SOURCE, live migration, source host (m01-m02)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [413.9:992.2]
+plot for [i=2:7] 'fig6_live_source.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for fig7_live_target (run: gnuplot -p fig7_live_target.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'MEMLOAD-TARGET, live migration, target host (m01-m02)'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [415.0:966.8]
+plot for [i=2:7] 'fig7_live_target.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for overlay_610 (run: gnuplot -p overlay_610.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'CPULOAD-SOURCE/8vm/non-live, source host: measured vs predicted'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [842.2:939.4]
+plot for [i=2:3] 'overlay_610.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for overlay_731 (run: gnuplot -p overlay_731.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'CPULOAD-SOURCE/5vm/live, source host: measured vs predicted'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [692.1:874.4]
+plot for [i=2:3] 'overlay_731.csv' using 1:i with lines

@@ -1,0 +1,8 @@
+# gnuplot script for overlay_785 (run: gnuplot -p overlay_785.gp)
+set datafile separator ','
+set key autotitle columnhead outside
+set title 'MEMLOAD-VM/95%/live, source host: measured vs predicted'
+set xlabel 'TIME [sec]'
+set ylabel 'POWER [W]'
+set yrange [420.3:533.5]
+plot for [i=2:3] 'overlay_785.csv' using 1:i with lines

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_new_hardware.dir/calibrate_new_hardware.cpp.o"
+  "CMakeFiles/calibrate_new_hardware.dir/calibrate_new_hardware.cpp.o.d"
+  "calibrate_new_hardware"
+  "calibrate_new_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_new_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_advisor.dir/consolidation_advisor.cpp.o"
+  "CMakeFiles/consolidation_advisor.dir/consolidation_advisor.cpp.o.d"
+  "consolidation_advisor"
+  "consolidation_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_workloads.dir/real_workloads.cpp.o"
+  "CMakeFiles/real_workloads.dir/real_workloads.cpp.o.d"
+  "real_workloads"
+  "real_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_consolidation_advisor "/root/repo/build/examples/consolidation_advisor")
+set_tests_properties(smoke_consolidation_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_calibrate_new_hardware "/root/repo/build/examples/calibrate_new_hardware")
+set_tests_properties(smoke_calibrate_new_hardware PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_migration_planner "/root/repo/build/examples/migration_planner")
+set_tests_properties(smoke_migration_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_datacenter_simulation "/root/repo/build/examples/datacenter_simulation")
+set_tests_properties(smoke_datacenter_simulation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_real_workloads "/root/repo/build/examples/real_workloads")
+set_tests_properties(smoke_real_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_trace_explorer "/root/repo/build/examples/trace_explorer" "live" "mem" "3" "0" "7")
+set_tests_properties(smoke_trace_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("sim")
+subdirs("net")
+subdirs("cloud")
+subdirs("workloads")
+subdirs("power")
+subdirs("migration")
+subdirs("models")
+subdirs("core")
+subdirs("exp")
+subdirs("consolidation")
+subdirs("dcsim")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/datacenter.cpp" "src/cloud/CMakeFiles/wavm3_cloud.dir/datacenter.cpp.o" "gcc" "src/cloud/CMakeFiles/wavm3_cloud.dir/datacenter.cpp.o.d"
+  "/root/repo/src/cloud/host.cpp" "src/cloud/CMakeFiles/wavm3_cloud.dir/host.cpp.o" "gcc" "src/cloud/CMakeFiles/wavm3_cloud.dir/host.cpp.o.d"
+  "/root/repo/src/cloud/hypervisor.cpp" "src/cloud/CMakeFiles/wavm3_cloud.dir/hypervisor.cpp.o" "gcc" "src/cloud/CMakeFiles/wavm3_cloud.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/cloud/instances.cpp" "src/cloud/CMakeFiles/wavm3_cloud.dir/instances.cpp.o" "gcc" "src/cloud/CMakeFiles/wavm3_cloud.dir/instances.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/cloud/CMakeFiles/wavm3_cloud.dir/vm.cpp.o" "gcc" "src/cloud/CMakeFiles/wavm3_cloud.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wavm3_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wavm3_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

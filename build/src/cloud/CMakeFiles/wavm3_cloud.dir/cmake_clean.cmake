@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_cloud.dir/datacenter.cpp.o"
+  "CMakeFiles/wavm3_cloud.dir/datacenter.cpp.o.d"
+  "CMakeFiles/wavm3_cloud.dir/host.cpp.o"
+  "CMakeFiles/wavm3_cloud.dir/host.cpp.o.d"
+  "CMakeFiles/wavm3_cloud.dir/hypervisor.cpp.o"
+  "CMakeFiles/wavm3_cloud.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/wavm3_cloud.dir/instances.cpp.o"
+  "CMakeFiles/wavm3_cloud.dir/instances.cpp.o.d"
+  "CMakeFiles/wavm3_cloud.dir/vm.cpp.o"
+  "CMakeFiles/wavm3_cloud.dir/vm.cpp.o.d"
+  "libwavm3_cloud.a"
+  "libwavm3_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_consolidation.dir/manager.cpp.o"
+  "CMakeFiles/wavm3_consolidation.dir/manager.cpp.o.d"
+  "libwavm3_consolidation.a"
+  "libwavm3_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

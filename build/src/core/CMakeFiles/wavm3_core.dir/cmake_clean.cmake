@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_core.dir/calibration.cpp.o"
+  "CMakeFiles/wavm3_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/wavm3_core.dir/coeff_io.cpp.o"
+  "CMakeFiles/wavm3_core.dir/coeff_io.cpp.o.d"
+  "CMakeFiles/wavm3_core.dir/phase_eval.cpp.o"
+  "CMakeFiles/wavm3_core.dir/phase_eval.cpp.o.d"
+  "CMakeFiles/wavm3_core.dir/planner.cpp.o"
+  "CMakeFiles/wavm3_core.dir/planner.cpp.o.d"
+  "CMakeFiles/wavm3_core.dir/wavm3_model.cpp.o"
+  "CMakeFiles/wavm3_core.dir/wavm3_model.cpp.o.d"
+  "libwavm3_core.a"
+  "libwavm3_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_dcsim.dir/load_profile.cpp.o"
+  "CMakeFiles/wavm3_dcsim.dir/load_profile.cpp.o.d"
+  "CMakeFiles/wavm3_dcsim.dir/simulation.cpp.o"
+  "CMakeFiles/wavm3_dcsim.dir/simulation.cpp.o.d"
+  "CMakeFiles/wavm3_dcsim.dir/traced_workload.cpp.o"
+  "CMakeFiles/wavm3_dcsim.dir/traced_workload.cpp.o.d"
+  "libwavm3_dcsim.a"
+  "libwavm3_dcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_dcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

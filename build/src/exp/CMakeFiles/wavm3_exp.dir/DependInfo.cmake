@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/campaign.cpp" "src/exp/CMakeFiles/wavm3_exp.dir/campaign.cpp.o" "gcc" "src/exp/CMakeFiles/wavm3_exp.dir/campaign.cpp.o.d"
+  "/root/repo/src/exp/figures.cpp" "src/exp/CMakeFiles/wavm3_exp.dir/figures.cpp.o" "gcc" "src/exp/CMakeFiles/wavm3_exp.dir/figures.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/exp/CMakeFiles/wavm3_exp.dir/runner.cpp.o" "gcc" "src/exp/CMakeFiles/wavm3_exp.dir/runner.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/exp/CMakeFiles/wavm3_exp.dir/scenario.cpp.o" "gcc" "src/exp/CMakeFiles/wavm3_exp.dir/scenario.cpp.o.d"
+  "/root/repo/src/exp/tables.cpp" "src/exp/CMakeFiles/wavm3_exp.dir/tables.cpp.o" "gcc" "src/exp/CMakeFiles/wavm3_exp.dir/tables.cpp.o.d"
+  "/root/repo/src/exp/testbeds.cpp" "src/exp/CMakeFiles/wavm3_exp.dir/testbeds.cpp.o" "gcc" "src/exp/CMakeFiles/wavm3_exp.dir/testbeds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wavm3_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavm3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wavm3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/wavm3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wavm3_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wavm3_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/wavm3_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/wavm3_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wavm3_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_exp.dir/campaign.cpp.o"
+  "CMakeFiles/wavm3_exp.dir/campaign.cpp.o.d"
+  "CMakeFiles/wavm3_exp.dir/figures.cpp.o"
+  "CMakeFiles/wavm3_exp.dir/figures.cpp.o.d"
+  "CMakeFiles/wavm3_exp.dir/runner.cpp.o"
+  "CMakeFiles/wavm3_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/wavm3_exp.dir/scenario.cpp.o"
+  "CMakeFiles/wavm3_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/wavm3_exp.dir/tables.cpp.o"
+  "CMakeFiles/wavm3_exp.dir/tables.cpp.o.d"
+  "CMakeFiles/wavm3_exp.dir/testbeds.cpp.o"
+  "CMakeFiles/wavm3_exp.dir/testbeds.cpp.o.d"
+  "libwavm3_exp.a"
+  "libwavm3_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

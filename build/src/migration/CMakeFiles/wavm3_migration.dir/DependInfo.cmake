@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migration/engine.cpp" "src/migration/CMakeFiles/wavm3_migration.dir/engine.cpp.o" "gcc" "src/migration/CMakeFiles/wavm3_migration.dir/engine.cpp.o.d"
+  "/root/repo/src/migration/feature_trace.cpp" "src/migration/CMakeFiles/wavm3_migration.dir/feature_trace.cpp.o" "gcc" "src/migration/CMakeFiles/wavm3_migration.dir/feature_trace.cpp.o.d"
+  "/root/repo/src/migration/phases.cpp" "src/migration/CMakeFiles/wavm3_migration.dir/phases.cpp.o" "gcc" "src/migration/CMakeFiles/wavm3_migration.dir/phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavm3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/wavm3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wavm3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wavm3_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wavm3_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

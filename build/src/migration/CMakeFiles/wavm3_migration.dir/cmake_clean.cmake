@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_migration.dir/engine.cpp.o"
+  "CMakeFiles/wavm3_migration.dir/engine.cpp.o.d"
+  "CMakeFiles/wavm3_migration.dir/feature_trace.cpp.o"
+  "CMakeFiles/wavm3_migration.dir/feature_trace.cpp.o.d"
+  "CMakeFiles/wavm3_migration.dir/phases.cpp.o"
+  "CMakeFiles/wavm3_migration.dir/phases.cpp.o.d"
+  "libwavm3_migration.a"
+  "libwavm3_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/migration/CMakeFiles/wavm3_migration.dir/phases.cpp.o: \
+ /root/repo/src/migration/phases.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/migration/phases.hpp

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/dataset.cpp" "src/models/CMakeFiles/wavm3_models.dir/dataset.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/dataset.cpp.o.d"
+  "/root/repo/src/models/dataset_io.cpp" "src/models/CMakeFiles/wavm3_models.dir/dataset_io.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/models/energy_model.cpp" "src/models/CMakeFiles/wavm3_models.dir/energy_model.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/energy_model.cpp.o.d"
+  "/root/repo/src/models/evaluation.cpp" "src/models/CMakeFiles/wavm3_models.dir/evaluation.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/evaluation.cpp.o.d"
+  "/root/repo/src/models/huang.cpp" "src/models/CMakeFiles/wavm3_models.dir/huang.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/huang.cpp.o.d"
+  "/root/repo/src/models/liu.cpp" "src/models/CMakeFiles/wavm3_models.dir/liu.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/liu.cpp.o.d"
+  "/root/repo/src/models/strunk.cpp" "src/models/CMakeFiles/wavm3_models.dir/strunk.cpp.o" "gcc" "src/models/CMakeFiles/wavm3_models.dir/strunk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wavm3_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/wavm3_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/wavm3_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wavm3_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wavm3_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wavm3_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavm3_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_models.dir/dataset.cpp.o"
+  "CMakeFiles/wavm3_models.dir/dataset.cpp.o.d"
+  "CMakeFiles/wavm3_models.dir/dataset_io.cpp.o"
+  "CMakeFiles/wavm3_models.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/wavm3_models.dir/energy_model.cpp.o"
+  "CMakeFiles/wavm3_models.dir/energy_model.cpp.o.d"
+  "CMakeFiles/wavm3_models.dir/evaluation.cpp.o"
+  "CMakeFiles/wavm3_models.dir/evaluation.cpp.o.d"
+  "CMakeFiles/wavm3_models.dir/huang.cpp.o"
+  "CMakeFiles/wavm3_models.dir/huang.cpp.o.d"
+  "CMakeFiles/wavm3_models.dir/liu.cpp.o"
+  "CMakeFiles/wavm3_models.dir/liu.cpp.o.d"
+  "CMakeFiles/wavm3_models.dir/strunk.cpp.o"
+  "CMakeFiles/wavm3_models.dir/strunk.cpp.o.d"
+  "libwavm3_models.a"
+  "libwavm3_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_net.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/wavm3_net.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/wavm3_net.dir/link.cpp.o"
+  "CMakeFiles/wavm3_net.dir/link.cpp.o.d"
+  "CMakeFiles/wavm3_net.dir/topology.cpp.o"
+  "CMakeFiles/wavm3_net.dir/topology.cpp.o.d"
+  "libwavm3_net.a"
+  "libwavm3_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/host_power_model.cpp" "src/power/CMakeFiles/wavm3_power.dir/host_power_model.cpp.o" "gcc" "src/power/CMakeFiles/wavm3_power.dir/host_power_model.cpp.o.d"
+  "/root/repo/src/power/power_meter.cpp" "src/power/CMakeFiles/wavm3_power.dir/power_meter.cpp.o" "gcc" "src/power/CMakeFiles/wavm3_power.dir/power_meter.cpp.o.d"
+  "/root/repo/src/power/power_trace.cpp" "src/power/CMakeFiles/wavm3_power.dir/power_trace.cpp.o" "gcc" "src/power/CMakeFiles/wavm3_power.dir/power_trace.cpp.o.d"
+  "/root/repo/src/power/stabilization.cpp" "src/power/CMakeFiles/wavm3_power.dir/stabilization.cpp.o" "gcc" "src/power/CMakeFiles/wavm3_power.dir/stabilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavm3_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_power.dir/host_power_model.cpp.o"
+  "CMakeFiles/wavm3_power.dir/host_power_model.cpp.o.d"
+  "CMakeFiles/wavm3_power.dir/power_meter.cpp.o"
+  "CMakeFiles/wavm3_power.dir/power_meter.cpp.o.d"
+  "CMakeFiles/wavm3_power.dir/power_trace.cpp.o"
+  "CMakeFiles/wavm3_power.dir/power_trace.cpp.o.d"
+  "CMakeFiles/wavm3_power.dir/stabilization.cpp.o"
+  "CMakeFiles/wavm3_power.dir/stabilization.cpp.o.d"
+  "libwavm3_power.a"
+  "libwavm3_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

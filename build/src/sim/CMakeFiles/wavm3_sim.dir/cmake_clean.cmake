@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wavm3_sim.dir/simulator.cpp.o.d"
+  "libwavm3_sim.a"
+  "libwavm3_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

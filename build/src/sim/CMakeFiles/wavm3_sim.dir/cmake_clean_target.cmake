@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavm3_sim.a"
+)

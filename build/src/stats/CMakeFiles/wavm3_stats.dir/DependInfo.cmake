@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/convergence.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/convergence.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/convergence.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/diagnostics.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/diagnostics.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/stats/linreg.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/linreg.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/linreg.cpp.o.d"
+  "/root/repo/src/stats/lm.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/lm.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/lm.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/metrics.cpp.o.d"
+  "/root/repo/src/stats/resampling.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/resampling.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/resampling.cpp.o.d"
+  "/root/repo/src/stats/split.cpp" "src/stats/CMakeFiles/wavm3_stats.dir/split.cpp.o" "gcc" "src/stats/CMakeFiles/wavm3_stats.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_stats.dir/convergence.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/convergence.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/diagnostics.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/linreg.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/linreg.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/lm.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/lm.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/matrix.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/metrics.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/resampling.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/resampling.cpp.o.d"
+  "CMakeFiles/wavm3_stats.dir/split.cpp.o"
+  "CMakeFiles/wavm3_stats.dir/split.cpp.o.d"
+  "libwavm3_stats.a"
+  "libwavm3_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/wavm3_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/wavm3_util.dir/csv.cpp.o"
+  "CMakeFiles/wavm3_util.dir/csv.cpp.o.d"
+  "CMakeFiles/wavm3_util.dir/log.cpp.o"
+  "CMakeFiles/wavm3_util.dir/log.cpp.o.d"
+  "CMakeFiles/wavm3_util.dir/strings.cpp.o"
+  "CMakeFiles/wavm3_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wavm3_util.dir/table.cpp.o"
+  "CMakeFiles/wavm3_util.dir/table.cpp.o.d"
+  "libwavm3_util.a"
+  "libwavm3_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/matrixmult.cpp" "src/workloads/CMakeFiles/wavm3_workloads.dir/matrixmult.cpp.o" "gcc" "src/workloads/CMakeFiles/wavm3_workloads.dir/matrixmult.cpp.o.d"
+  "/root/repo/src/workloads/netstream.cpp" "src/workloads/CMakeFiles/wavm3_workloads.dir/netstream.cpp.o" "gcc" "src/workloads/CMakeFiles/wavm3_workloads.dir/netstream.cpp.o.d"
+  "/root/repo/src/workloads/pagedirtier.cpp" "src/workloads/CMakeFiles/wavm3_workloads.dir/pagedirtier.cpp.o" "gcc" "src/workloads/CMakeFiles/wavm3_workloads.dir/pagedirtier.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/wavm3_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/wavm3_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavm3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

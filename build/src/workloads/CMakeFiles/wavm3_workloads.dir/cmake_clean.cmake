@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavm3_workloads.dir/matrixmult.cpp.o"
+  "CMakeFiles/wavm3_workloads.dir/matrixmult.cpp.o.d"
+  "CMakeFiles/wavm3_workloads.dir/netstream.cpp.o"
+  "CMakeFiles/wavm3_workloads.dir/netstream.cpp.o.d"
+  "CMakeFiles/wavm3_workloads.dir/pagedirtier.cpp.o"
+  "CMakeFiles/wavm3_workloads.dir/pagedirtier.cpp.o.d"
+  "CMakeFiles/wavm3_workloads.dir/workload.cpp.o"
+  "CMakeFiles/wavm3_workloads.dir/workload.cpp.o.d"
+  "libwavm3_workloads.a"
+  "libwavm3_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavm3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

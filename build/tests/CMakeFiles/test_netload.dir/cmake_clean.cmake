@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netload.dir/netload_test.cpp.o"
+  "CMakeFiles/test_netload.dir/netload_test.cpp.o.d"
+  "test_netload"
+  "test_netload.pdb"
+  "test_netload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

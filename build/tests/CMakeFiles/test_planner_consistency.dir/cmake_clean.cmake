@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner_consistency.dir/planner_consistency_test.cpp.o"
+  "CMakeFiles/test_planner_consistency.dir/planner_consistency_test.cpp.o.d"
+  "test_planner_consistency"
+  "test_planner_consistency.pdb"
+  "test_planner_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postcopy.dir/postcopy_test.cpp.o"
+  "CMakeFiles/test_postcopy.dir/postcopy_test.cpp.o.d"
+  "test_postcopy"
+  "test_postcopy.pdb"
+  "test_postcopy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
