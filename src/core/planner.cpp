@@ -121,8 +121,8 @@ MigrationForecast forecast_timings(const MigrationScenario& sc) {
   return fc;
 }
 
-MigrationForecast MigrationPlanner::forecast(const MigrationScenario& sc) const {
-  MigrationForecast fc = forecast_timings(sc);
+void attach_energy(const Wavm3Model& model, const MigrationScenario& sc,
+                   MigrationForecast& fc) {
   const auto& cfg = sc.migration;
   const bool live = sc.type == MigrationType::kLive;
   const bool postcopy = sc.type == MigrationType::kPostCopy;
@@ -219,8 +219,8 @@ MigrationForecast MigrationPlanner::forecast(const MigrationScenario& sc) const 
 
     const MigrationSample src = make_sample(ph, src_cpu_host, src_cpu_vm, bw, dr);
     const MigrationSample dst = make_sample(ph, dst_cpu_host, dst_cpu_vm, bw, 0.0);
-    const double p_src = model_->predict_power(coeff_type, HostRole::kSource, src);
-    const double p_dst = model_->predict_power(coeff_type, HostRole::kTarget, dst);
+    const double p_src = model.predict_power(coeff_type, HostRole::kSource, src);
+    const double p_dst = model.predict_power(coeff_type, HostRole::kTarget, dst);
     fc.source_phase_energy[i] = p_src * dur;
     fc.target_phase_energy[i] = p_dst * dur;
   }
@@ -229,6 +229,11 @@ MigrationForecast MigrationPlanner::forecast(const MigrationScenario& sc) const 
       fc.source_phase_energy[0] + fc.source_phase_energy[1] + fc.source_phase_energy[2];
   fc.target_energy =
       fc.target_phase_energy[0] + fc.target_phase_energy[1] + fc.target_phase_energy[2];
+}
+
+MigrationForecast MigrationPlanner::forecast(const MigrationScenario& sc) const {
+  MigrationForecast fc = forecast_timings(sc);
+  attach_energy(*model_, sc, fc);
   return fc;
 }
 

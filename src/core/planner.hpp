@@ -77,4 +77,12 @@ class MigrationPlanner {
 /// without a fitted model (and the engine's tests) can use it.
 MigrationForecast forecast_timings(const MigrationScenario& scenario);
 
+/// Fills the energy fields of `fc` from the fitted model, given the
+/// scenario and already-computed timings/traffic. Exposed so forecasts
+/// whose timings come from elsewhere (e.g. an engine simulation run by
+/// serve::simulate_forecast) get the exact same energy attribution as
+/// the closed-form planner.
+void attach_energy(const Wavm3Model& model, const MigrationScenario& scenario,
+                   MigrationForecast& fc);
+
 }  // namespace wavm3::core

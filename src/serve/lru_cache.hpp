@@ -1,0 +1,155 @@
+// Sharded LRU result cache. Each shard owns a mutex, an intrusive
+// recency list, and a hash index; a key's shard is picked from the
+// high bits of its hash (the low bits already steer the bucket inside
+// the shard's unordered_map, so reusing them would correlate shard and
+// bucket). Counters are plain atomics so readers never take a lock to
+// observe hit rates.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wavm3::serve {
+
+/// Aggregated cache counters (monotonic since construction/clear).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `shards` (each shard gets at least one slot).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8) {
+    WAVM3_REQUIRE(capacity > 0, "cache capacity must be positive");
+    WAVM3_REQUIRE(shards > 0, "cache needs at least one shard");
+    shards = std::min(shards, capacity);
+    const std::size_t per_shard = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// Looks `key` up, refreshing its recency on a hit.
+  std::optional<Value> get(const Key& key) { return lookup(key, /*count_miss=*/true); }
+
+  /// Like get(), but a miss is not counted. For speculative probes
+  /// whose miss is retried — and then counted — on the slow path, so
+  /// one logical request never records two misses.
+  std::optional<Value> peek(const Key& key) { return lookup(key, /*count_miss=*/false); }
+
+  /// Inserts or refreshes `key`, evicting the shard's least recently
+  /// used entry when the shard is at capacity.
+  void put(const Key& key, Value value) {
+    const std::size_t h = hash_(key);
+    Shard& shard = shard_for(h);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    if (shard.order.size() >= shard.capacity) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drops every entry (counters keep accumulating).
+  void clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->order.clear();
+      shard->index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      n += shard->order.size();
+    }
+    return n;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::optional<Value> lookup(const Key& key, bool count_miss) {
+    const std::size_t h = hash_(key);
+    Shard& shard = shard_for(h);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+
+    using Entry = std::pair<Key, Value>;
+
+    const std::size_t capacity;
+    std::mutex mutex;
+    std::list<Entry> order;  ///< front = most recently used
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash, Eq> index;
+  };
+
+  Shard& shard_for(std::size_t hash) {
+    // Mix the high bits down so shard choice is independent of the
+    // unordered_map's bucket choice (which consumes the low bits).
+    const std::size_t mixed = hash ^ (hash >> 32U) ^ 0x9e3779b97f4a7c15ULL;
+    return *shards_[(mixed >> 7U) % shards_.size()];
+  }
+
+  Hash hash_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace wavm3::serve

@@ -1,0 +1,125 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::serve {
+
+namespace {
+
+int bucket_index(double ns) {
+  if (ns <= LatencyHistogram::kFirstBucketNs) return 0;
+  static const double inv_log_growth = 1.0 / std::log(LatencyHistogram::kGrowth);
+  const int idx = static_cast<int>(std::log(ns / LatencyHistogram::kFirstBucketNs) *
+                                   inv_log_growth) + 1;
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+/// Upper bound (ns) of bucket `idx`.
+double bucket_upper_ns(int idx) {
+  return LatencyHistogram::kFirstBucketNs *
+         std::pow(LatencyHistogram::kGrowth, static_cast<double>(idx));
+}
+
+}  // namespace
+
+void LatencyHistogram::record_ns(double nanoseconds) {
+  const double ns = std::max(0.0, nanoseconds);
+  buckets_[static_cast<std::size_t>(bucket_index(ns))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_ns() const {
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed));
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : total_ns() / static_cast<double>(n);
+}
+
+double LatencyHistogram::quantile_ns(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper_ns(i);
+  }
+  return bucket_upper_ns(kBuckets - 1);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+int MetricsRegistry::register_endpoint(const std::string& name) {
+  auto ep = std::make_unique<Endpoint>();
+  ep->name = name;
+  endpoints_.push_back(std::move(ep));
+  return static_cast<int>(endpoints_.size()) - 1;
+}
+
+void MetricsRegistry::record(int endpoint, double nanoseconds) {
+  WAVM3_ASSERT(endpoint >= 0 && endpoint < static_cast<int>(endpoints_.size()),
+               "unregistered metrics endpoint");
+  endpoints_[static_cast<std::size_t>(endpoint)]->histogram.record_ns(nanoseconds);
+}
+
+std::vector<EndpointReport> MetricsRegistry::reports() const {
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  std::vector<EndpointReport> out;
+  out.reserve(endpoints_.size());
+  for (const auto& ep : endpoints_) {
+    EndpointReport r;
+    r.name = ep->name;
+    r.requests = ep->histogram.count();
+    r.qps = elapsed_s > 0.0 ? static_cast<double>(r.requests) / elapsed_s : 0.0;
+    r.mean_us = ep->histogram.mean_ns() / 1e3;
+    r.p50_us = ep->histogram.quantile_ns(0.50) / 1e3;
+    r.p95_us = ep->histogram.quantile_ns(0.95) / 1e3;
+    r.p99_us = ep->histogram.quantile_ns(0.99) / 1e3;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_table() const {
+  std::string out = util::format("%-24s %10s %12s %10s %10s %10s %10s\n", "endpoint",
+                                 "requests", "qps", "mean[us]", "p50[us]", "p95[us]",
+                                 "p99[us]");
+  for (const EndpointReport& r : reports()) {
+    out += util::format("%-24s %10llu %12.1f %10.1f %10.1f %10.1f %10.1f\n",
+                        r.name.c_str(), static_cast<unsigned long long>(r.requests),
+                        r.qps, r.mean_us, r.p50_us, r.p95_us, r.p99_us);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_csv() const {
+  std::string out = "endpoint,requests,qps,mean_us,p50_us,p95_us,p99_us\n";
+  for (const EndpointReport& r : reports()) {
+    out += util::format("%s,%llu,%.3f,%.3f,%.3f,%.3f,%.3f\n", r.name.c_str(),
+                        static_cast<unsigned long long>(r.requests), r.qps, r.mean_us,
+                        r.p50_us, r.p95_us, r.p99_us);
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& ep : endpoints_) ep->histogram.reset();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace wavm3::serve

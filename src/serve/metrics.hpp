@@ -1,0 +1,109 @@
+// Service metrics: lock-free latency histograms with quantile
+// estimation, per-endpoint counters, and renderers for a text table and
+// CSV. Recording must be cheap enough to sit on the prediction hot
+// path, so a histogram is a fixed array of atomic bucket counters on a
+// logarithmic grid (~4.6% relative resolution) — no locks, no
+// allocation, bounded error on the reported quantiles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wavm3::serve {
+
+/// Log-bucketed latency histogram over [1 us, ~88 s).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 400;
+  /// Bucket boundaries grow geometrically by this factor per bucket.
+  static constexpr double kGrowth = 1.046;
+  static constexpr double kFirstBucketNs = 1000.0;  // 1 us
+
+  void record_ns(double nanoseconds);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_ns() const;
+  double mean_ns() const;
+
+  /// Latency below which a fraction `q` in [0, 1] of recordings fall
+  /// (upper bucket bound, so the estimate errs conservatively high).
+  /// Returns 0 when nothing was recorded.
+  double quantile_ns(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// Point-in-time summary of one endpoint.
+struct EndpointReport {
+  std::string name;
+  std::uint64_t requests = 0;
+  double qps = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Registry of per-endpoint histograms. Endpoints are registered up
+/// front (the service knows its API surface), so the hot path is an
+/// index into a fixed vector — no map lookups, no locks.
+class MetricsRegistry {
+ public:
+  /// Returns the endpoint's handle; call once per endpoint at setup.
+  int register_endpoint(const std::string& name);
+
+  /// Records one request of `nanoseconds` end-to-end latency.
+  void record(int endpoint, double nanoseconds);
+
+  /// Summaries in registration order; QPS is measured against the time
+  /// since construction (or the last reset()).
+  std::vector<EndpointReport> reports() const;
+
+  /// Fixed-width text table of every endpoint.
+  std::string render_table() const;
+
+  /// CSV (`endpoint,requests,qps,mean_us,p50_us,p95_us,p99_us`).
+  std::string render_csv() const;
+
+  void reset();
+
+ private:
+  struct Endpoint {
+    std::string name;
+    LatencyHistogram histogram;
+  };
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// Scoped stopwatch recording into a registry endpoint on destruction.
+class LatencyTimer {
+ public:
+  LatencyTimer(MetricsRegistry& registry, int endpoint)
+      : registry_(&registry), endpoint_(endpoint),
+        start_(std::chrono::steady_clock::now()) {}
+  ~LatencyTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    registry_->record(endpoint_, static_cast<double>(ns.count()));
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  int endpoint_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wavm3::serve

@@ -1,0 +1,114 @@
+// Bounded multi-producer/multi-consumer queue: the work conduit of the
+// prediction service's thread pool. Condition-variable based, with
+// blocking push (backpressure: producers wait when the queue is full),
+// non-blocking try_push, and two shutdown modes — close() lets
+// consumers drain what is already queued, while close_and_discard()
+// additionally drops queued items on the floor (their destructors run;
+// a pending std::promise destroyed this way surfaces as
+// std::future_errc::broken_promise to the waiter, which is exactly the
+// contract a cancelled request should see).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace wavm3::serve {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    WAVM3_REQUIRE(capacity > 0, "queue capacity must be positive");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks until there is room (backpressure) or the queue is closed.
+  /// Returns false — leaving `item` unmoved-from semantics aside, the
+  /// item is simply dropped — when the queue was closed first.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// empty; nullopt signals "closed and drained" to a consumer.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Stops producers; consumers still drain what is queued.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Stops producers and destroys everything still queued.
+  void close_and_discard() {
+    std::deque<T> discarded;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      discarded.swap(items_);
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    // `discarded` destructs outside the lock.
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wavm3::serve

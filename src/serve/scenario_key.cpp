@@ -1,0 +1,108 @@
+#include "serve/scenario_key.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace wavm3::serve {
+
+namespace {
+
+/// Snaps v to the geometric grid exp(k * ln(1+q)); values within about
+/// q/2 relative distance coincide. Sign-preserving; 0 stays 0.
+double quantize(double v, double q) {
+  if (q <= 0.0 || v == 0.0 || !std::isfinite(v)) return v;
+  const double pitch = std::log1p(q);
+  const double magnitude = std::exp(std::round(std::log(std::fabs(v)) / pitch) * pitch);
+  return std::copysign(magnitude, v);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 step folded into an accumulating hash.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6U) + (h >> 2U);
+  h ^= h >> 30U;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27U;
+  return h;
+}
+
+std::uint64_t double_bits(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::array<double, kScenarioFieldCount> scenario_fields(const core::MigrationScenario& sc) {
+  const migration::MigrationConfig& m = sc.migration;
+  const net::BandwidthModelParams& b = sc.bandwidth;
+  return {
+      static_cast<double>(static_cast<int>(sc.type)),
+      // Workload features (the quantizable part).
+      sc.vm_mem_bytes,
+      sc.vm_cpu_vcpus,
+      sc.vm_dirty_pages_per_s,
+      sc.vm_working_set_pages,
+      sc.source_cpu_load,
+      sc.source_cpu_capacity,
+      sc.target_cpu_load,
+      sc.target_cpu_capacity,
+      sc.link_payload_rate,
+      // Migration machinery (compared exactly).
+      m.initiation_duration,
+      m.stop_threshold_bytes,
+      static_cast<double>(m.max_precopy_rounds),
+      m.max_transfer_factor,
+      m.postcopy_state_bytes,
+      m.adaptive_rate_limit ? 1.0 : 0.0,
+      m.min_rate_bytes,
+      m.rate_increment_bytes,
+      m.guest_traffic_claim,
+      m.contention_floor,
+      m.sender_cpu_base,
+      m.sender_cpu_per_rate,
+      m.receiver_cpu_base,
+      m.receiver_cpu_per_rate,
+      m.initiation_cpu,
+      m.activation_cpu,
+      m.compression_ratio,
+      m.compression_cpu,
+      m.source_cleanup_duration,
+      m.target_resume_duration,
+      m.resume_point_fraction,
+      // Bandwidth model (compared exactly).
+      b.min_efficiency,
+      b.cpu_for_wire_speed,
+  };
+}
+
+core::MigrationScenario canonicalize(const core::MigrationScenario& sc,
+                                     double quantization_step) {
+  if (quantization_step <= 0.0) return sc;
+  core::MigrationScenario q = sc;
+  q.vm_mem_bytes = quantize(sc.vm_mem_bytes, quantization_step);
+  q.vm_cpu_vcpus = quantize(sc.vm_cpu_vcpus, quantization_step);
+  q.vm_dirty_pages_per_s = quantize(sc.vm_dirty_pages_per_s, quantization_step);
+  q.vm_working_set_pages = quantize(sc.vm_working_set_pages, quantization_step);
+  q.source_cpu_load = quantize(sc.source_cpu_load, quantization_step);
+  q.source_cpu_capacity = quantize(sc.source_cpu_capacity, quantization_step);
+  q.target_cpu_load = quantize(sc.target_cpu_load, quantization_step);
+  q.target_cpu_capacity = quantize(sc.target_cpu_capacity, quantization_step);
+  q.link_payload_rate = quantize(sc.link_payload_rate, quantization_step);
+  return q;
+}
+
+bool ScenarioKey::operator==(const ScenarioKey& other) const {
+  if (model_version != other.model_version) return false;
+  for (std::size_t i = 0; i < kScenarioFieldCount; ++i) {
+    if (double_bits(fields[i]) != double_bits(other.fields[i])) return false;
+  }
+  return true;
+}
+
+std::size_t ScenarioKeyHash::operator()(const ScenarioKey& key) const {
+  std::uint64_t h = mix(0x243f6a8885a308d3ULL, key.model_version);
+  for (const double f : key.fields) h = mix(h, double_bits(f));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace wavm3::serve

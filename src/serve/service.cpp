@@ -1,0 +1,161 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "serve/sim_backend.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wavm3::serve {
+
+PredictionService::PredictionService(const core::Wavm3Model& model, ServiceConfig config)
+    : PredictionService(std::make_shared<const core::Wavm3Model>(model), config) {}
+
+PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> model,
+                                     ServiceConfig config)
+    : config_(config),
+      store_(std::move(model)),
+      pool_(ThreadPoolConfig{config.threads, config.queue_capacity}) {
+  if (config_.cache_capacity > 0) {
+    cache_ = std::make_unique<
+        ShardedLruCache<ScenarioKey, core::MigrationForecast, ScenarioKeyHash>>(
+        config_.cache_capacity, std::max<std::size_t>(1, config_.cache_shards));
+  }
+  ep_predict_ = metrics_.register_endpoint("predict");
+  ep_submit_ = metrics_.register_endpoint("submit");
+  ep_batch_ = metrics_.register_endpoint("predict_batch");
+}
+
+PredictionService::~PredictionService() { shutdown(DrainMode::kDrain); }
+
+core::MigrationForecast PredictionService::compute(
+    const core::Wavm3Model& model, const core::MigrationScenario& canonical) const {
+  if (config_.fidelity == Fidelity::kSimulated) return simulate_forecast(model, canonical);
+  return core::MigrationPlanner(model).forecast(canonical);
+}
+
+core::MigrationForecast PredictionService::evaluate(const core::MigrationScenario& sc) {
+  const core::MigrationScenario canonical = canonicalize(sc, config_.quantization_step);
+  const CoefficientStore::Snapshot snap = store_.snapshot();
+  if (cache_ != nullptr) {
+    const ScenarioKey key(snap.version, canonical);
+    if (std::optional<core::MigrationForecast> hit = cache_->get(key)) return *hit;
+    const core::MigrationForecast fc = compute(*snap.model, canonical);
+    cache_->put(key, fc);
+    return fc;
+  }
+  return compute(*snap.model, canonical);
+}
+
+core::MigrationForecast PredictionService::predict(const core::MigrationScenario& sc) {
+  const LatencyTimer timer(metrics_, ep_predict_);
+  return evaluate(sc);
+}
+
+std::future<core::MigrationForecast> PredictionService::submit(
+    const core::MigrationScenario& sc) {
+  // Fast path: a cache hit is answered on the caller's thread,
+  // skipping the queue round trip entirely (hits also dodge
+  // backpressure, which is the point — only real work queues). A
+  // shut-down service must reject even hits, so the pool is consulted
+  // first.
+  if (cache_ != nullptr && pool_.accepting()) {
+    const core::MigrationScenario canonical = canonicalize(sc, config_.quantization_step);
+    const CoefficientStore::Snapshot snap = store_.snapshot();
+    if (std::optional<core::MigrationForecast> hit =
+            cache_->peek(ScenarioKey(snap.version, canonical))) {
+      const LatencyTimer timer(metrics_, ep_submit_);
+      std::promise<core::MigrationForecast> ready;
+      ready.set_value(*hit);
+      return ready.get_future();
+    }
+  }
+  std::promise<core::MigrationForecast> promise;
+  std::future<core::MigrationForecast> future = promise.get_future();
+  const bool queued = pool_.submit(
+      [this, sc, promise = std::move(promise)]() mutable {
+        const LatencyTimer timer(metrics_, ep_submit_);
+        try {
+          promise.set_value(evaluate(sc));
+        } catch (...) {
+          promise.set_exception(std::current_exception());
+        }
+      });
+  if (!queued) {
+    // Pool already shut down: fail the request instead of hanging.
+    std::promise<core::MigrationForecast> failed;
+    failed.set_exception(std::make_exception_ptr(
+        std::runtime_error("prediction service is shut down")));
+    return failed.get_future();
+  }
+  return future;
+}
+
+std::vector<core::MigrationForecast> PredictionService::predict_batch(
+    const std::vector<core::MigrationScenario>& scenarios) {
+  const LatencyTimer timer(metrics_, ep_batch_);
+  std::vector<std::future<core::MigrationForecast>> futures;
+  futures.reserve(scenarios.size());
+  for (const core::MigrationScenario& sc : scenarios) futures.push_back(submit(sc));
+  std::vector<core::MigrationForecast> out;
+  out.reserve(scenarios.size());
+  for (std::future<core::MigrationForecast>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+std::uint64_t PredictionService::reload(const std::string& coeffs_csv_path) {
+  return store_.reload_csv(coeffs_csv_path);
+}
+
+std::uint64_t PredictionService::swap_model(
+    std::shared_ptr<const core::Wavm3Model> model) {
+  return store_.swap(std::move(model));
+}
+
+ServiceStats PredictionService::stats() const {
+  ServiceStats s;
+  if (cache_ != nullptr) s.cache = cache_->stats();
+  s.queue_depth = pool_.queue_depth();
+  s.threads = pool_.threads();
+  s.model_version = store_.version();
+  s.endpoints = metrics_.reports();
+  return s;
+}
+
+std::string PredictionService::metrics_table() const {
+  const ServiceStats s = stats();
+  std::string out = metrics_.render_table();
+  out += util::format(
+      "\ncache    : %llu hits, %llu misses (%.1f%% hit rate), %llu insertions, "
+      "%llu evictions\n",
+      static_cast<unsigned long long>(s.cache.hits),
+      static_cast<unsigned long long>(s.cache.misses), s.cache.hit_rate() * 100.0,
+      static_cast<unsigned long long>(s.cache.insertions),
+      static_cast<unsigned long long>(s.cache.evictions));
+  out += util::format("workers  : %d threads, queue depth %zu\n", s.threads, s.queue_depth);
+  out += util::format("coeffs   : version %llu\n",
+                      static_cast<unsigned long long>(s.model_version));
+  return out;
+}
+
+std::string PredictionService::metrics_csv() const {
+  const ServiceStats s = stats();
+  std::string out = metrics_.render_csv();
+  out += "gauge,value\n";
+  out += util::format("cache_hits,%llu\n", static_cast<unsigned long long>(s.cache.hits));
+  out += util::format("cache_misses,%llu\n",
+                      static_cast<unsigned long long>(s.cache.misses));
+  out += util::format("cache_hit_rate,%.6f\n", s.cache.hit_rate());
+  out += util::format("cache_evictions,%llu\n",
+                      static_cast<unsigned long long>(s.cache.evictions));
+  out += util::format("queue_depth,%zu\n", s.queue_depth);
+  out += util::format("threads,%d\n", s.threads);
+  out += util::format("coefficient_version,%llu\n",
+                      static_cast<unsigned long long>(s.model_version));
+  return out;
+}
+
+void PredictionService::shutdown(DrainMode mode) { pool_.shutdown(mode); }
+
+}  // namespace wavm3::serve

@@ -1,0 +1,130 @@
+// The prediction service: a thread-safe, in-process server answering
+// "what would this migration cost?" queries against core::Wavm3Model +
+// core::MigrationPlanner at high throughput.
+//
+//   - predict()        synchronous, runs on the caller's thread
+//   - submit()         asynchronous, executed by the worker pool,
+//                      backpressured by the bounded queue
+//   - predict_batch()  fans a batch across the pool and gathers
+//
+// All entry points share one sharded LRU result cache (keyed on the
+// quantized scenario + coefficient version, see scenario_key.hpp) and
+// one RCU-style coefficient store: reload()/swap_model() publish new
+// coefficients without blocking in-flight predictions, and the version
+// baked into every cache key retires stale results automatically.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "serve/coeff_store.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scenario_key.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace wavm3::serve {
+
+/// How a query is answered.
+enum class Fidelity {
+  kClosedForm,  ///< core::MigrationPlanner (sub-microsecond, approximate)
+  kSimulated,   ///< full engine run per miss (see sim_backend.hpp; exact,
+                ///< orders of magnitude slower — caching is essential)
+};
+
+struct ServiceConfig {
+  int threads = 4;                   ///< worker pool size
+  std::size_t queue_capacity = 1024; ///< pending async requests before backpressure
+  std::size_t cache_capacity = 4096; ///< total cached forecasts; 0 disables caching
+  std::size_t cache_shards = 8;
+  /// Relative pitch of the cache-key feature grid (see
+  /// scenario_key.hpp). 0 = exact keys, results bit-identical to
+  /// direct planner calls.
+  double quantization_step = 0.0;
+  Fidelity fidelity = Fidelity::kClosedForm;
+};
+
+/// Point-in-time operational snapshot.
+struct ServiceStats {
+  CacheStats cache;
+  std::size_t queue_depth = 0;
+  int threads = 0;
+  std::uint64_t model_version = 0;
+  std::vector<EndpointReport> endpoints;
+};
+
+class PredictionService {
+ public:
+  /// Serves from a copy of `model` (must be fitted).
+  explicit PredictionService(const core::Wavm3Model& model, ServiceConfig config = {});
+  PredictionService(std::shared_ptr<const core::Wavm3Model> model, ServiceConfig config);
+
+  /// Drains outstanding requests, then joins the workers.
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Synchronous forecast on the caller's thread (still cached).
+  core::MigrationForecast predict(const core::MigrationScenario& scenario);
+
+  /// Asynchronous forecast on the worker pool. Blocks only when the
+  /// queue is full (backpressure). After shutdown the returned future
+  /// carries std::runtime_error.
+  std::future<core::MigrationForecast> submit(const core::MigrationScenario& scenario);
+
+  /// Fans `scenarios` across the pool, preserving order in the result.
+  std::vector<core::MigrationForecast> predict_batch(
+      const std::vector<core::MigrationScenario>& scenarios);
+
+  /// Publishes coefficients from a CSV (throws util::ContractError on
+  /// bad input, current coefficients stay live). Never blocks
+  /// in-flight predictions. Returns the new coefficient version.
+  std::uint64_t reload(const std::string& coeffs_csv_path);
+
+  /// Publishes an already-built model (must be fitted).
+  std::uint64_t swap_model(std::shared_ptr<const core::Wavm3Model> model);
+
+  std::uint64_t model_version() const { return store_.version(); }
+
+  ServiceStats stats() const;
+
+  /// Text report: per-endpoint latency/QPS table plus cache and queue
+  /// gauges.
+  std::string metrics_table() const;
+
+  /// Machine-readable CSV of the same report.
+  std::string metrics_csv() const;
+
+  /// Idempotent. kDrain finishes queued requests; kDiscard abandons
+  /// them (their futures see broken_promise).
+  void shutdown(DrainMode mode = DrainMode::kDrain);
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  /// Cache-then-compute against the current coefficient snapshot.
+  core::MigrationForecast evaluate(const core::MigrationScenario& scenario);
+
+  /// The configured backend (planner or engine simulation).
+  core::MigrationForecast compute(const core::Wavm3Model& model,
+                                  const core::MigrationScenario& canonical) const;
+
+  ServiceConfig config_;
+  CoefficientStore store_;
+  std::unique_ptr<ShardedLruCache<ScenarioKey, core::MigrationForecast, ScenarioKeyHash>>
+      cache_;  ///< null when cache_capacity == 0
+  MetricsRegistry metrics_;
+  int ep_predict_ = -1;
+  int ep_submit_ = -1;
+  int ep_batch_ = -1;
+  ThreadPool pool_;  ///< last member: workers stop before the rest tears down
+};
+
+}  // namespace wavm3::serve

@@ -1,0 +1,118 @@
+#include "serve/sim_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "cloud/datacenter.hpp"
+#include "migration/engine.hpp"
+#include "net/bandwidth_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+#include "workloads/pagedirtier.hpp"
+
+namespace wavm3::serve {
+
+namespace {
+
+/// Synthetic stand-in for "everything else running on this host": a
+/// dirtier with zero dirtying, i.e. a pure CPU demand of `vcpus`.
+workloads::WorkloadPtr make_cpu_load(double vcpus) {
+  workloads::PageDirtierParams p;
+  p.cpu_demand = vcpus;
+  p.dirty_pages_per_s = 0.0;
+  p.memory_fraction = 0.01;
+  p.allocated_pages = util::gib(0.25) / util::kPageSize;
+  return std::make_shared<workloads::PageDirtierWorkload>(p);
+}
+
+cloud::VmPtr make_vm(const std::string& id, double vcpus, double ram_bytes,
+                     workloads::WorkloadPtr workload) {
+  cloud::VmSpec spec;
+  spec.instance_type = "serve-synthetic";
+  spec.vcpus = std::max(1, static_cast<int>(std::ceil(vcpus)));
+  spec.ram_bytes = ram_bytes;
+  auto vm = std::make_shared<cloud::Vm>(id, spec);
+  vm->set_workload(std::move(workload));
+  vm->start();
+  return vm;
+}
+
+}  // namespace
+
+core::MigrationForecast simulate_timings(const core::MigrationScenario& sc) {
+  WAVM3_REQUIRE(sc.vm_mem_bytes > 0.0, "scenario needs a VM memory size");
+  WAVM3_REQUIRE(sc.link_payload_rate > 0.0, "scenario needs a link rate");
+  WAVM3_REQUIRE(sc.source_cpu_capacity > 0.0 && sc.target_cpu_capacity > 0.0,
+                "host capacities must be positive");
+
+  sim::Simulator sim;
+  cloud::DataCenter dc;
+  cloud::HostSpec h;
+  h.ram_bytes = sc.vm_mem_bytes + util::gib(1);
+  h.name = "src";
+  h.vcpus = std::max(1, static_cast<int>(std::ceil(sc.source_cpu_capacity)));
+  cloud::Host& source = dc.add_host(h);
+  h.name = "tgt";
+  h.vcpus = std::max(1, static_cast<int>(std::ceil(sc.target_cpu_capacity)));
+  cloud::Host& target = dc.add_host(h);
+
+  // The scenario's link rate is already a payload rate; encode it as a
+  // lossless wire so the engine sees exactly that capacity.
+  net::LinkSpec link;
+  link.name = "src<->tgt";
+  link.wire_rate = sc.link_payload_rate;
+  link.protocol_efficiency = 1.0;
+  dc.network().connect("src", "tgt", link);
+
+  // The migrating VM, modelled as a page dirtier with the scenario's
+  // resource signature.
+  workloads::PageDirtierParams wl;
+  wl.allocated_pages =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(sc.vm_mem_bytes / util::kPageSize));
+  wl.memory_fraction = std::clamp(
+      sc.vm_working_set_pages / static_cast<double>(wl.allocated_pages), 1e-6, 1.0);
+  wl.dirty_pages_per_s = std::max(0.0, sc.vm_dirty_pages_per_s);
+  wl.cpu_demand = std::max(0.0, sc.vm_cpu_vcpus);
+  source.add_vm(make_vm("mv", std::max(1.0, sc.vm_cpu_vcpus), sc.vm_mem_bytes,
+                        std::make_shared<workloads::PageDirtierWorkload>(wl)));
+
+  // Background load: the scenario's host loads include the VMM, so the
+  // synthetic load VM carries the residual after dom-0's own demand.
+  const double src_residual =
+      std::max(0.0, sc.source_cpu_load - source.vmm_demand(0.0));
+  const double dst_residual =
+      std::max(0.0, sc.target_cpu_load - target.vmm_demand(0.0));
+  if (src_residual > 0.0)
+    source.add_vm(make_vm("src-load", src_residual, util::gib(0.5),
+                          make_cpu_load(src_residual)));
+  if (dst_residual > 0.0)
+    target.add_vm(make_vm("tgt-load", dst_residual, util::gib(0.5),
+                          make_cpu_load(dst_residual)));
+
+  migration::MigrationEngine engine(sim, dc, net::BandwidthModel(sc.bandwidth),
+                                    sc.migration);
+  engine.migrate("mv", "src", "tgt", sc.type);
+  sim.run_to_completion();
+  WAVM3_REQUIRE(!engine.completed().empty(), "simulated migration did not complete");
+  const migration::MigrationRecord& rec = engine.completed().back();
+
+  core::MigrationForecast fc;
+  fc.times = rec.times;
+  fc.total_bytes = rec.total_bytes;
+  fc.precopy_rounds = rec.precopy_rounds;
+  fc.downtime = rec.downtime;
+  fc.degenerated_to_nonlive = rec.degenerated_to_nonlive;
+  fc.bandwidth = rec.total_bytes / std::max(1e-9, rec.times.transfer_duration());
+  return fc;
+}
+
+core::MigrationForecast simulate_forecast(const core::Wavm3Model& model,
+                                          const core::MigrationScenario& sc) {
+  core::MigrationForecast fc = simulate_timings(sc);
+  core::attach_energy(model, sc, fc);
+  return fc;
+}
+
+}  // namespace wavm3::serve

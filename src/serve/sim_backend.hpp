@@ -1,0 +1,27 @@
+// High-fidelity prediction backend: answers a MigrationScenario by
+// actually running the event-driven migration engine on a throwaway
+// two-host datacentre, instead of the closed-form pre-copy recursion.
+// Orders of magnitude more expensive per query than the planner — this
+// is the backend the result cache exists for — but exact with respect
+// to the engine's round-by-round dynamics (rate limiting, helper CPU
+// feedback, degeneration). Energy attribution reuses the planner's
+// core::attach_energy so both fidelities price phases identically.
+#pragma once
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+
+namespace wavm3::serve {
+
+/// Runs one engine-simulated migration for `scenario` and returns the
+/// forecast with energy filled from `model`. Deterministic: the same
+/// scenario always yields the same forecast (no jitter is applied).
+/// Thread-safe: every call builds its own simulator and datacentre.
+core::MigrationForecast simulate_forecast(const core::Wavm3Model& model,
+                                          const core::MigrationScenario& scenario);
+
+/// Timing/traffic part of simulate_forecast, usable without a fitted
+/// model (mirrors core::forecast_timings).
+core::MigrationForecast simulate_timings(const core::MigrationScenario& scenario);
+
+}  // namespace wavm3::serve

@@ -1,0 +1,48 @@
+#include "serve/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::serve {
+
+ThreadPool::ThreadPool(ThreadPoolConfig config)
+    : queue_(std::max<std::size_t>(1, config.queue_capacity)) {
+  WAVM3_REQUIRE(config.threads > 0, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(config.threads));
+  for (int i = 0; i < config.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(DrainMode::kDrain); }
+
+bool ThreadPool::submit(UniqueFunction job) { return queue_.push(std::move(job)); }
+
+bool ThreadPool::try_submit(UniqueFunction job) { return queue_.try_push(std::move(job)); }
+
+void ThreadPool::shutdown(DrainMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  if (mode == DrainMode::kDiscard) {
+    queue_.close_and_discard();
+  } else {
+    queue_.close();
+  }
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::optional<UniqueFunction> job = queue_.pop();
+    if (!job.has_value()) return;  // closed and drained
+    (*job)();
+  }
+}
+
+}  // namespace wavm3::serve

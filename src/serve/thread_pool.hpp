@@ -1,0 +1,95 @@
+// Fixed-size worker pool over a BoundedMpmcQueue. The pool is the
+// execution engine of the prediction service but is deliberately
+// generic: it runs move-only nullary jobs (std::function requires
+// copyability, so a small type-erased wrapper is provided).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/mpmc_queue.hpp"
+
+namespace wavm3::serve {
+
+/// Move-only type-erased `void()` callable (what std::move_only_function
+/// would be; GCC 12 ships it only in C++23 mode).
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F>
+  UniqueFunction(F&& f)  // NOLINT: implicit by design, mirrors std::function
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+
+  void operator()() { impl_->call(); }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F f) : fn(std::move(f)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Concept> impl_;
+};
+
+struct ThreadPoolConfig {
+  int threads = 4;
+  std::size_t queue_capacity = 1024;
+};
+
+/// How shutdown treats jobs still sitting in the queue.
+enum class DrainMode {
+  kDrain,    ///< workers finish everything already queued
+  kDiscard,  ///< queued jobs are destroyed unrun (broken promises)
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolConfig config = {});
+
+  /// Joins the workers, draining the queue (as if shutdown(kDrain)).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocks while the queue is full (backpressure); false once shutdown
+  /// has begun.
+  bool submit(UniqueFunction job);
+
+  /// Never blocks; false when the queue is full or shut down.
+  bool try_submit(UniqueFunction job);
+
+  /// Idempotent; joins all workers before returning.
+  void shutdown(DrainMode mode = DrainMode::kDrain);
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_.capacity(); }
+
+  /// True until shutdown begins (best-effort: may race a concurrent
+  /// shutdown, in which case submit() is the authority).
+  bool accepting() const { return !queue_.closed(); }
+
+ private:
+  void worker_loop();
+
+  BoundedMpmcQueue<UniqueFunction> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;
+};
+
+}  // namespace wavm3::serve

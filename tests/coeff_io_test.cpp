@@ -1,0 +1,141 @@
+// Persistence tests for core/coeff_io: a fitted coefficient table must
+// survive save -> load -> save byte-stably and numerically exactly, and
+// malformed coefficient CSVs must be rejected loudly (not read as
+// zeros).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/coeff_io.hpp"
+#include "core/wavm3_model.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::core {
+namespace {
+
+using migration::MigrationType;
+
+/// Coefficients with awkward values: non-terminating binary fractions,
+/// tiny magnitudes, zeros, and a negative bias, so exact round-tripping
+/// is actually exercised.
+Wavm3Model make_model() {
+  Wavm3Model m;
+  int k = 0;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    Wavm3Coefficients table;
+    for (RoleCoefficients* role : {&table.source, &table.target}) {
+      for (PhaseCoefficients* phase :
+           {&role->initiation, &role->transfer, &role->activation}) {
+        ++k;
+        phase->alpha = 1.0 / 3.0 + k;
+        phase->beta = 1.1e-17 * k;
+        phase->gamma = k % 2 == 0 ? 0.0 : 0.1 * k;
+        phase->delta = -0.7 / (k + 1);
+        phase->c = 200.0 + 1.0 / 7.0 * k;
+      }
+    }
+    m.set_coefficients(type, table);
+  }
+  return m;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+void expect_phase_eq(const PhaseCoefficients& a, const PhaseCoefficients& b) {
+  EXPECT_EQ(a.alpha, b.alpha);
+  EXPECT_EQ(a.beta, b.beta);
+  EXPECT_EQ(a.gamma, b.gamma);
+  EXPECT_EQ(a.delta, b.delta);
+  EXPECT_EQ(a.c, b.c);
+}
+
+void expect_table_eq(const Wavm3Coefficients& a, const Wavm3Coefficients& b) {
+  expect_phase_eq(a.source.initiation, b.source.initiation);
+  expect_phase_eq(a.source.transfer, b.source.transfer);
+  expect_phase_eq(a.source.activation, b.source.activation);
+  expect_phase_eq(a.target.initiation, b.target.initiation);
+  expect_phase_eq(a.target.transfer, b.target.transfer);
+  expect_phase_eq(a.target.activation, b.target.activation);
+}
+
+TEST(CoeffIo, SaveLoadSaveIsByteStableAndNumericallyExact) {
+  const std::string path1 = ::testing::TempDir() + "coeffs_roundtrip_1.csv";
+  const std::string path2 = ::testing::TempDir() + "coeffs_roundtrip_2.csv";
+  const Wavm3Model original = make_model();
+  ASSERT_TRUE(save_coefficients_csv(original, path1));
+
+  const Wavm3Model loaded = load_coefficients_csv(path1);
+  ASSERT_TRUE(loaded.is_fitted());
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    expect_table_eq(loaded.coefficients(type), original.coefficients(type));
+  }
+
+  ASSERT_TRUE(save_coefficients_csv(loaded, path2));
+  EXPECT_EQ(slurp(path1), slurp(path2));  // byte-stable round trip
+  EXPECT_FALSE(slurp(path1).empty());
+}
+
+TEST(CoeffIo, SingleTypeTablesRoundTripToo) {
+  const std::string path = ::testing::TempDir() + "coeffs_live_only.csv";
+  Wavm3Model live_only;
+  live_only.set_coefficients(MigrationType::kLive,
+                             make_model().coefficients(MigrationType::kLive));
+  ASSERT_TRUE(save_coefficients_csv(live_only, path));
+  const Wavm3Model loaded = load_coefficients_csv(path);
+  expect_table_eq(loaded.coefficients(MigrationType::kLive),
+                  live_only.coefficients(MigrationType::kLive));
+  EXPECT_THROW(loaded.coefficients(MigrationType::kNonLive), util::ContractError);
+}
+
+TEST(CoeffIo, UnreadableFileYieldsUnfittedModel) {
+  const Wavm3Model m = load_coefficients_csv("/nonexistent/dir/coeffs.csv");
+  EXPECT_FALSE(m.is_fitted());
+}
+
+TEST(CoeffIo, TruncatedRowIsRejected) {
+  const std::string path = ::testing::TempDir() + "coeffs_truncated.csv";
+  write_file(path,
+             "type,role,phase,alpha,beta,gamma,delta,c\n"
+             "live,source,initiation,1.0,2.0\n");  // row cut short
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
+TEST(CoeffIo, MalformedNumberIsRejectedNotZero) {
+  const std::string path = ::testing::TempDir() + "coeffs_malformed.csv";
+  write_file(path,
+             "type,role,phase,alpha,beta,gamma,delta,c\n"
+             "live,source,initiation,not-a-number,0,0,0,210\n");
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
+TEST(CoeffIo, UnknownEnumerationsAreRejected) {
+  const std::string header = "type,role,phase,alpha,beta,gamma,delta,c\n";
+  const std::string path = ::testing::TempDir() + "coeffs_bad_enum.csv";
+  write_file(path, header + "warm,source,initiation,1,0,0,0,210\n");
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+  write_file(path, header + "live,middle,initiation,1,0,0,0,210\n");
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+  write_file(path, header + "live,source,teleport,1,0,0,0,210\n");
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
+TEST(CoeffIo, WrongHeaderIsRejected) {
+  const std::string path = ::testing::TempDir() + "coeffs_bad_header.csv";
+  write_file(path, "alpha,beta\n1,2\n");
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
+}  // namespace
+}  // namespace wavm3::core

@@ -1,0 +1,638 @@
+// Tests for src/serve/: the bounded MPMC queue, the thread pool, the
+// sharded LRU cache, scenario cache keys (incl. quantization), the
+// RCU-style coefficient store, and the prediction service — with the
+// concurrency cases (many-thread hammer with result equivalence,
+// hot-swap while querying, shutdown with a non-empty queue) written to
+// run meaningfully under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/coeff_io.hpp"
+#include "core/planner.hpp"
+#include "serve/coeff_store.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/mpmc_queue.hpp"
+#include "serve/query_stream.hpp"
+#include "serve/scenario_key.hpp"
+#include "serve/service.hpp"
+#include "serve/sim_backend.hpp"
+#include "serve/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wavm3::serve {
+namespace {
+
+using migration::MigrationType;
+
+/// A fitted model from synthetic coefficient tables (no campaign
+/// needed); `scale` perturbs every coefficient so two models give
+/// different predictions.
+core::Wavm3Model make_model(double scale = 1.0) {
+  core::Wavm3Model m;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    const double t = type == MigrationType::kLive ? 1.0 : 0.7;
+    core::Wavm3Coefficients table;
+    table.source.initiation = {2.1 * scale * t, 1.3 * scale, 0.0, 0.0, 210.0 * scale};
+    table.source.transfer = {2.4 * scale * t, 1.1e-7 * scale, 55.0 * scale, 1.9 * scale,
+                             205.0 * scale};
+    table.source.activation = {2.2 * scale * t, 1.2 * scale, 0.0, 0.0, 208.0 * scale};
+    table.target.initiation = {1.9 * scale * t, 0.8 * scale, 0.0, 0.0, 200.0 * scale};
+    table.target.transfer = {2.0 * scale * t, 0.9e-7 * scale, 12.0 * scale, 0.7 * scale,
+                             198.0 * scale};
+    table.target.activation = {2.1 * scale * t, 1.0 * scale, 0.0, 0.0, 202.0 * scale};
+    m.set_coefficients(type, table);
+  }
+  return m;
+}
+
+/// A deterministic scenario family indexed by `i`.
+core::MigrationScenario make_scenario(int i) {
+  core::MigrationScenario sc;
+  sc.type = i % 3 == 0 ? MigrationType::kNonLive : MigrationType::kLive;
+  sc.vm_mem_bytes = util::gib(1.0 + i % 8);
+  sc.vm_cpu_vcpus = 1.0 + i % 4;
+  const double mem_pages = sc.vm_mem_bytes / util::kPageSize;
+  sc.vm_working_set_pages = mem_pages * 0.25;
+  sc.vm_dirty_pages_per_s = sc.vm_working_set_pages * (0.05 + 0.09 * (i % 10));
+  sc.source_cpu_load = 2.0 + i % 20;
+  sc.target_cpu_load = 1.0 + i % 15;
+  return sc;
+}
+
+void expect_forecast_eq(const core::MigrationForecast& a, const core::MigrationForecast& b) {
+  EXPECT_EQ(a.times.ms, b.times.ms);
+  EXPECT_EQ(a.times.ts, b.times.ts);
+  EXPECT_EQ(a.times.te, b.times.te);
+  EXPECT_EQ(a.times.me, b.times.me);
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.precopy_rounds, b.precopy_rounds);
+  EXPECT_EQ(a.downtime, b.downtime);
+  EXPECT_EQ(a.degenerated_to_nonlive, b.degenerated_to_nonlive);
+  EXPECT_EQ(a.source_energy, b.source_energy);
+  EXPECT_EQ(a.target_energy, b.target_energy);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(a.source_phase_energy[p], b.source_phase_energy[p]);
+    EXPECT_EQ(a.target_phase_energy[p], b.target_phase_energy[p]);
+  }
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(MpmcQueue, FifoAndCapacity) {
+  BoundedMpmcQueue<int> q(3);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop().value(), 4);
+}
+
+TEST(MpmcQueue, CloseDrainsThenSignalsEnd) {
+  BoundedMpmcQueue<int> q(8);
+  ASSERT_TRUE(q.push(7));
+  ASSERT_TRUE(q.push(8));
+  q.close();
+  EXPECT_FALSE(q.push(9));  // producers rejected
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_FALSE(q.pop().has_value());  // closed and drained
+}
+
+TEST(MpmcQueue, CloseAndDiscardDropsQueuedItems) {
+  BoundedMpmcQueue<int> q(8);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close_and_discard();
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueue, BackpressureBlocksProducerUntilConsumed) {
+  BoundedMpmcQueue<int> q(2);
+  ASSERT_TRUE(q.push(0));
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2));  // must wait for a pop
+    pushed.store(true);
+  });
+  EXPECT_EQ(q.pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+// ----------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(ThreadPoolConfig{4, 64});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.shutdown(DrainMode::kDrain);
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_FALSE(pool.submit([] {}));  // after shutdown
+}
+
+TEST(ThreadPool, DrainShutdownFinishesNonEmptyQueue) {
+  ThreadPool pool(ThreadPoolConfig{1, 64});
+  std::mutex m;
+  std::condition_variable cv;
+  bool gate_open = false;
+  // Stall the single worker so the queue genuinely fills up.
+  ASSERT_TRUE(pool.submit([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return gate_open; });
+  }));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.submit([&ran] { ran.fetch_add(1); }));
+  }
+  EXPECT_GT(pool.queue_depth(), 0u);
+  std::thread closer([&] { pool.shutdown(DrainMode::kDrain); });
+  {
+    std::lock_guard<std::mutex> lock(m);
+    gate_open = true;
+  }
+  cv.notify_all();
+  closer.join();
+  EXPECT_EQ(ran.load(), 20);  // drained, not dropped
+}
+
+TEST(ThreadPool, DiscardShutdownBreaksQueuedPromises) {
+  ThreadPool pool(ThreadPoolConfig{1, 64});
+  std::mutex m;
+  std::condition_variable cv;
+  bool gate_open = false;
+  ASSERT_TRUE(pool.submit([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return gate_open; });
+  }));
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 10; ++i) {
+    std::promise<int> p;
+    futures.push_back(p.get_future());
+    ASSERT_TRUE(pool.submit([i, p = std::move(p)]() mutable { p.set_value(i); }));
+  }
+  EXPECT_GT(pool.queue_depth(), 0u);
+  std::thread closer([&] { pool.shutdown(DrainMode::kDiscard); });
+  // The worker is gated, so only the discard can empty the queue; wait
+  // for it before letting the worker go, or it could drain jobs first.
+  while (pool.queue_depth() > 0) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(m);
+    gate_open = true;
+  }
+  cv.notify_all();
+  closer.join();
+  int broken = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+      ++broken;
+    }
+  }
+  EXPECT_EQ(broken, 10);  // every queued (unrun) job surfaced as a broken promise
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<int, int> cache(3, 1);  // one shard => global LRU order
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  EXPECT_EQ(cache.get(1).value(), 10);  // refresh 1; LRU is now 2
+  cache.put(4, 40);                     // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), 10);
+  EXPECT_EQ(cache.get(3).value(), 30);
+  EXPECT_EQ(cache.get(4).value(), 40);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.insertions, 4u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 4u);
+}
+
+TEST(LruCache, ShardedCapacityAndClear) {
+  ShardedLruCache<int, int> cache(64, 8);
+  for (int i = 0; i < 200; ++i) cache.put(i, i);
+  EXPECT_LE(cache.size(), 64u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(199).has_value());
+}
+
+TEST(LruCache, ConcurrentMixedAccessIsSafe) {
+  ShardedLruCache<int, int> cache(256, 8);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int key = (t * 37 + i) % 512;
+        if (auto hit = cache.get(key)) {
+          EXPECT_EQ(*hit, key * 3);
+        } else {
+          cache.put(key, key * 3);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 4u * 2000u);
+}
+
+// ----------------------------------------------------------------- keys
+
+TEST(ScenarioKey, DistinguishesScenariosAndVersions) {
+  const core::MigrationScenario a = make_scenario(1);
+  const core::MigrationScenario b = make_scenario(2);
+  EXPECT_TRUE(ScenarioKey(1, a) == ScenarioKey(1, a));
+  EXPECT_FALSE(ScenarioKey(1, a) == ScenarioKey(1, b));
+  EXPECT_FALSE(ScenarioKey(1, a) == ScenarioKey(2, a));  // version retires entries
+  const ScenarioKeyHash hash;
+  EXPECT_EQ(hash(ScenarioKey(1, a)), hash(ScenarioKey(1, a)));
+  EXPECT_NE(hash(ScenarioKey(1, a)), hash(ScenarioKey(1, b)));
+}
+
+TEST(ScenarioKey, QuantizationGroupsNearbyFeatures) {
+  core::MigrationScenario a = make_scenario(5);
+  core::MigrationScenario b = a;
+  b.source_cpu_load *= 1.002;  // 0.2% apart
+  // Exact keys distinguish them; a 5% grid folds them together.
+  EXPECT_FALSE(ScenarioKey(1, canonicalize(a, 0.0)) == ScenarioKey(1, canonicalize(b, 0.0)));
+  EXPECT_TRUE(ScenarioKey(1, canonicalize(a, 0.05)) == ScenarioKey(1, canonicalize(b, 0.05)));
+  core::MigrationScenario c = a;
+  c.source_cpu_load *= 1.5;  // far apart stays distinct even on the grid
+  EXPECT_FALSE(ScenarioKey(1, canonicalize(a, 0.05)) == ScenarioKey(1, canonicalize(c, 0.05)));
+}
+
+// ---------------------------------------------------------------- store
+
+TEST(CoefficientStore, SwapNeverDisturbsHeldSnapshots) {
+  CoefficientStore store(make_model(1.0));
+  const CoefficientStore::Snapshot before = store.snapshot();
+  EXPECT_EQ(before.version, 1u);
+  const double c_before =
+      before.model->coefficients(MigrationType::kLive).source.transfer.c;
+  EXPECT_EQ(store.swap(std::make_shared<const core::Wavm3Model>(make_model(2.0))), 2u);
+  // The old snapshot still reads the old coefficients.
+  EXPECT_EQ(before.model->coefficients(MigrationType::kLive).source.transfer.c, c_before);
+  const CoefficientStore::Snapshot after = store.snapshot();
+  EXPECT_EQ(after.version, 2u);
+  EXPECT_NE(after.model->coefficients(MigrationType::kLive).source.transfer.c, c_before);
+}
+
+TEST(CoefficientStore, RejectsUnfittedModels) {
+  EXPECT_THROW(CoefficientStore store{core::Wavm3Model()}, util::ContractError);
+  CoefficientStore store(make_model());
+  EXPECT_THROW(store.swap(std::make_shared<const core::Wavm3Model>()), util::ContractError);
+  EXPECT_THROW(store.reload_csv("/nonexistent/coeffs.csv"), util::ContractError);
+  EXPECT_EQ(store.version(), 1u);  // failed reload left the store untouched
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST(Metrics, HistogramQuantilesAreOrderedAndConservative) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record_ns(i * 1e3);  // 1us..1ms uniform
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.quantile_ns(0.50);
+  const double p95 = h.quantile_ns(0.95);
+  const double p99 = h.quantile_ns(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 500e3 * 0.95);  // within bucket resolution of the true median
+  EXPECT_LE(p50, 500e3 * 1.10);
+  EXPECT_NEAR(h.mean_ns(), 500.5e3, 5e3);
+}
+
+TEST(Metrics, RegistryRendersTableAndCsv) {
+  MetricsRegistry registry;
+  const int ep = registry.register_endpoint("predict");
+  registry.record(ep, 2e6);
+  registry.record(ep, 4e6);
+  const std::string table = registry.render_table();
+  EXPECT_NE(table.find("predict"), std::string::npos);
+  const std::string csv = registry.render_csv();
+  EXPECT_NE(csv.find("endpoint,requests,qps,mean_us,p50_us,p95_us,p99_us"),
+            std::string::npos);
+  EXPECT_NE(csv.find("predict,2,"), std::string::npos);
+}
+
+// -------------------------------------------------------------- service
+
+TEST(PredictionService, MatchesDirectPlannerBitwise) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationPlanner planner(model);
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  PredictionService service(model, cfg);
+  for (int i = 0; i < 50; ++i) {
+    const core::MigrationScenario sc = make_scenario(i);
+    expect_forecast_eq(service.predict(sc), planner.forecast(sc));
+  }
+  // Second pass is served from the cache — still identical.
+  const CacheStats before = service.stats().cache;
+  for (int i = 0; i < 50; ++i) {
+    const core::MigrationScenario sc = make_scenario(i);
+    expect_forecast_eq(service.predict(sc), planner.forecast(sc));
+  }
+  const CacheStats after = service.stats().cache;
+  EXPECT_GE(after.hits - before.hits, 40u);
+}
+
+TEST(PredictionService, CacheOffStillMatches) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationPlanner planner(model);
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 0;  // disabled
+  PredictionService service(model, cfg);
+  for (int i = 0; i < 20; ++i) {
+    expect_forecast_eq(service.predict(make_scenario(i)), planner.forecast(make_scenario(i)));
+  }
+  EXPECT_EQ(service.stats().cache.hits + service.stats().cache.misses, 0u);
+}
+
+TEST(PredictionService, ManyThreadHammerMatchesDirectCalls) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationPlanner planner(model);
+  constexpr int kScenarios = 64;
+  std::vector<core::MigrationForecast> expected;
+  expected.reserve(kScenarios);
+  for (int i = 0; i < kScenarios; ++i) expected.push_back(planner.forecast(make_scenario(i)));
+
+  ServiceConfig cfg;
+  cfg.threads = 4;
+  cfg.cache_capacity = 128;
+  PredictionService service(model, cfg);
+  std::vector<std::thread> clients;
+  clients.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&service, &expected, t] {
+      for (int i = 0; i < 400; ++i) {
+        const int idx = (t * 13 + i) % kScenarios;
+        // Mix the synchronous and pooled entry points.
+        const core::MigrationForecast fc = (i % 2 == 0)
+                                               ? service.predict(make_scenario(idx))
+                                               : service.submit(make_scenario(idx)).get();
+        expect_forecast_eq(fc, expected[static_cast<std::size_t>(idx)]);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, 8u * 400u);
+  EXPECT_GT(stats.cache.hits, 0u);
+}
+
+TEST(PredictionService, BatchPreservesOrderAndValues) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationPlanner planner(model);
+  PredictionService service(model, ServiceConfig{.threads = 3, .queue_capacity = 16});
+  std::vector<core::MigrationScenario> batch;
+  for (int i = 0; i < 100; ++i) batch.push_back(make_scenario(i));  // > queue capacity
+  const std::vector<core::MigrationForecast> results = service.predict_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (int i = 0; i < 100; ++i) {
+    expect_forecast_eq(results[static_cast<std::size_t>(i)], planner.forecast(batch[static_cast<std::size_t>(i)]));
+  }
+}
+
+TEST(PredictionService, HotSwapInvalidatesCachedResults) {
+  const core::Wavm3Model model_a = make_model(1.0);
+  const core::Wavm3Model model_b = make_model(2.0);
+  PredictionService service(model_a, ServiceConfig{.threads = 1});
+  const core::MigrationScenario sc = make_scenario(3);
+
+  const core::MigrationForecast r_a = service.predict(sc);
+  expect_forecast_eq(service.predict(sc), r_a);  // cached
+  EXPECT_EQ(service.stats().cache.hits, 1u);
+
+  EXPECT_EQ(service.swap_model(std::make_shared<const core::Wavm3Model>(model_b)), 2u);
+  const core::MigrationForecast r_b = service.predict(sc);
+  // New coefficients answer, not the cached result for version 1.
+  expect_forecast_eq(r_b, core::MigrationPlanner(model_b).forecast(sc));
+  EXPECT_NE(r_b.source_energy, r_a.source_energy);
+  EXPECT_EQ(service.stats().cache.misses, 2u);  // the swap forced a recompute
+}
+
+TEST(PredictionService, HotSwapWhileQueryingIsConsistent) {
+  const core::Wavm3Model model_a = make_model(1.0);
+  const core::Wavm3Model model_b = make_model(2.0);
+  const core::MigrationPlanner planner_a(model_a);
+  const core::MigrationPlanner planner_b(model_b);
+  constexpr int kScenarios = 16;
+  std::vector<core::MigrationForecast> expect_a;
+  std::vector<core::MigrationForecast> expect_b;
+  for (int i = 0; i < kScenarios; ++i) {
+    expect_a.push_back(planner_a.forecast(make_scenario(i)));
+    expect_b.push_back(planner_b.forecast(make_scenario(i)));
+  }
+
+  PredictionService service(model_a, ServiceConfig{.threads = 4, .cache_capacity = 256});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 1500 && !stop.load(std::memory_order_relaxed); ++i) {
+        const int idx = (i + t) % kScenarios;
+        const core::MigrationForecast fc = service.predict(make_scenario(idx));
+        const auto& a = expect_a[static_cast<std::size_t>(idx)];
+        const auto& b = expect_b[static_cast<std::size_t>(idx)];
+        // Every answer must exactly match one of the two published
+        // coefficient sets — never a torn mix.
+        const bool matches_a = fc.source_energy == a.source_energy &&
+                               fc.target_energy == a.target_energy;
+        const bool matches_b = fc.source_energy == b.source_energy &&
+                               fc.target_energy == b.target_energy;
+        EXPECT_TRUE(matches_a || matches_b);
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < 50; ++i) {
+      service.swap_model(std::make_shared<const core::Wavm3Model>(
+          i % 2 == 0 ? model_b : model_a));
+      std::this_thread::yield();
+    }
+  });
+  swapper.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_GE(service.model_version(), 51u);
+}
+
+TEST(PredictionService, ReloadFromCsvSwapsCoefficients) {
+  const core::Wavm3Model model = make_model(1.0);
+  const core::Wavm3Model recalibrated = make_model(3.0);
+  const std::string path = ::testing::TempDir() + "serve_reload_coeffs.csv";
+  ASSERT_TRUE(core::save_coefficients_csv(recalibrated, path));
+
+  PredictionService service(model, ServiceConfig{.threads = 1});
+  const core::MigrationScenario sc = make_scenario(7);
+  const core::MigrationForecast before = service.predict(sc);
+  EXPECT_EQ(service.reload(path), 2u);
+  const core::MigrationForecast after = service.predict(sc);
+  EXPECT_NE(before.source_energy, after.source_energy);
+  expect_forecast_eq(after, core::MigrationPlanner(recalibrated).forecast(sc));
+  // A bad reload throws and keeps serving the current coefficients.
+  EXPECT_THROW(service.reload("/nonexistent/coeffs.csv"), util::ContractError);
+  EXPECT_EQ(service.model_version(), 2u);
+  expect_forecast_eq(service.predict(sc), after);
+}
+
+TEST(PredictionService, QuantizedKeysAnswerFromTheGridPoint) {
+  const core::Wavm3Model model = make_model();
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.quantization_step = 0.05;
+  PredictionService service(model, cfg);
+  core::MigrationScenario a = make_scenario(4);
+  core::MigrationScenario b = a;
+  b.source_cpu_load *= 1.003;  // within the grid pitch
+  const core::MigrationForecast fa = service.predict(a);
+  const core::MigrationForecast fb = service.predict(b);
+  expect_forecast_eq(fa, fb);  // same grid point, same (cached) answer
+  EXPECT_EQ(service.stats().cache.hits, 1u);
+  // The answer is the planner's forecast of the canonicalized scenario.
+  expect_forecast_eq(
+      fa, core::MigrationPlanner(model).forecast(canonicalize(a, cfg.quantization_step)));
+}
+
+TEST(PredictionService, ShutdownDrainsThenRejectsNewWork) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(model, ServiceConfig{.threads = 2, .queue_capacity = 256});
+  std::vector<std::future<core::MigrationForecast>> futures;
+  for (int i = 0; i < 100; ++i) futures.push_back(service.submit(make_scenario(i)));
+  service.shutdown(DrainMode::kDrain);
+  for (auto& f : futures) EXPECT_GT(f.get().total_energy(), 0.0);  // all served
+  auto rejected = service.submit(make_scenario(0));
+  EXPECT_THROW(rejected.get(), std::runtime_error);
+}
+
+TEST(PredictionService, SubmitFastPathServesHitsWithoutQueueing) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(model, ServiceConfig{.threads = 1});
+  const core::MigrationScenario sc = make_scenario(9);
+  const core::MigrationForecast first = service.predict(sc);  // warm the cache
+  ASSERT_EQ(service.stats().cache.insertions, 1u);
+  const std::uint64_t hits_before = service.stats().cache.hits;
+  auto fut = service.submit(sc);
+  // The fast path resolves the future on the submitting thread, so it
+  // must already be ready — no waiting on the single worker.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  expect_forecast_eq(fut.get(), first);
+  EXPECT_EQ(service.stats().cache.hits, hits_before + 1);
+  // One predict + one submit of the same scenario: exactly one miss.
+  EXPECT_EQ(service.stats().cache.misses, 1u);
+}
+
+// ---------------------------------------------------- simulated fidelity
+
+TEST(SimBackend, Deterministic) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationScenario sc = make_scenario(4);
+  expect_forecast_eq(simulate_forecast(model, sc), simulate_forecast(model, sc));
+}
+
+TEST(SimBackend, AgreesWithClosedFormOnTrafficAndTiming) {
+  // The engine and the planner model the same pre-copy laws; their
+  // traffic/timing answers must land in the same ballpark (the engine
+  // adds helper-CPU feedback the closed form approximates).
+  const core::MigrationScenario sc = make_scenario(1);
+  const core::MigrationForecast sim = simulate_timings(sc);
+  const core::MigrationForecast closed = core::forecast_timings(sc);
+  EXPECT_NEAR(sim.total_bytes, closed.total_bytes, 0.25 * closed.total_bytes);
+  EXPECT_NEAR(sim.times.transfer_duration(), closed.times.transfer_duration(),
+              0.25 * closed.times.transfer_duration() + 1.0);
+  EXPECT_GT(sim.downtime, 0.0);
+}
+
+TEST(PredictionService, SimulatedFidelityIsCachedAndMatchesBackend) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(
+      model, ServiceConfig{.threads = 2, .fidelity = Fidelity::kSimulated});
+  const core::MigrationScenario sc = make_scenario(6);
+  const core::MigrationForecast direct = simulate_forecast(model, sc);
+  expect_forecast_eq(service.predict(sc), direct);          // miss: engine run
+  expect_forecast_eq(service.predict(sc), direct);          // hit
+  expect_forecast_eq(service.submit(sc).get(), direct);     // hit via fast path
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 2u);
+}
+
+TEST(PredictionService, SimulatedQueryStreamServable) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(
+      model, ServiceConfig{.threads = 2, .fidelity = Fidelity::kSimulated});
+  QueryStreamGenerator g = QueryStreamGenerator::diurnal(QueryStreamOptions{}, 17);
+  for (const core::MigrationForecast& fc : service.predict_batch(g.generate(16))) {
+    EXPECT_GT(fc.total_energy(), 0.0);
+    EXPECT_GT(fc.times.me, 0.0);
+    EXPECT_GT(fc.total_bytes, 0.0);
+  }
+}
+
+// --------------------------------------------------------- query stream
+
+TEST(QueryStream, DeterministicAndRepeating) {
+  QueryStreamOptions opts;
+  opts.repeat_fraction = 0.9;
+  QueryStreamGenerator g1 = QueryStreamGenerator::diurnal(opts, 99);
+  QueryStreamGenerator g2 = QueryStreamGenerator::diurnal(opts, 99);
+  const auto s1 = g1.generate(500);
+  const auto s2 = g2.generate(500);
+  ASSERT_EQ(s1.size(), 500u);
+  int repeats = 0;
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].vm_mem_bytes, s2[i].vm_mem_bytes);
+    EXPECT_EQ(s1[i].source_cpu_load, s2[i].source_cpu_load);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (scenario_fields(s1[i]) == scenario_fields(s1[j])) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  // Roughly 90% of a 500-query stream should be replays.
+  EXPECT_GT(repeats, 350);
+  EXPECT_LT(repeats, 500);
+}
+
+TEST(QueryStream, ScenariosAreServable) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(model, ServiceConfig{.threads = 2});
+  QueryStreamGenerator g = QueryStreamGenerator::diurnal(QueryStreamOptions{}, 7);
+  for (const core::MigrationForecast& fc : service.predict_batch(g.generate(64))) {
+    EXPECT_GT(fc.total_energy(), 0.0);
+    EXPECT_GT(fc.times.me, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wavm3::serve

@@ -17,11 +17,14 @@
 //       Reproduce every table of the paper in one run.
 //
 // Run `wavm3 help` or any subcommand with --help for details.
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,8 @@
 #include "models/huang.hpp"
 #include "models/liu.hpp"
 #include "models/strunk.hpp"
+#include "serve/query_stream.hpp"
+#include "serve/service.hpp"
 #include "stats/diagnostics.hpp"
 #include "stats/metrics.hpp"
 #include "stats/resampling.hpp"
@@ -51,6 +56,8 @@ namespace {
 using namespace wavm3;
 
 /// Tiny flag parser: --name value pairs plus boolean --name flags.
+/// Numeric values are parsed strictly (full consumption, no atof-style
+/// silent zeros); malformed values abort with a clear message.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -61,6 +68,9 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
+      // The next token is this flag's value unless it is itself a
+      // "--flag". A leading single dash (negative number, e.g.
+      // `--seed-offset -5`) is a value, not a flag.
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[key] = argv[++i];
       } else {
@@ -76,10 +86,37 @@ class Args {
   }
   double get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+      std::fprintf(stderr, "--%s needs a number, got '%s'\n", key.c_str(), s.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (s.empty() || end != s.c_str() + s.size() || errno == ERANGE) {
+      std::fprintf(stderr, "--%s needs an integer, got '%s'\n", key.c_str(), s.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   std::uint64_t get_seed() const {
-    return static_cast<std::uint64_t>(get_double("seed", 2015));
+    const long v = get_int("seed", 2015);
+    if (v < 0) {
+      std::fprintf(stderr, "--seed must be nonnegative, got %ld\n", v);
+      std::exit(2);
+    }
+    return static_cast<std::uint64_t>(v);
   }
 
  private:
@@ -363,8 +400,8 @@ int cmd_report(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   // Closed-loop fleet simulation comparing consolidation strategies.
-  const int hosts = static_cast<int>(args.get_double("hosts", 6));
-  const int vms = static_cast<int>(args.get_double("vms", 16));
+  const int hosts = static_cast<int>(args.get_int("hosts", 6));
+  const int vms = static_cast<int>(args.get_int("vms", 16));
   const double hours = args.get_double("hours", 12.0);
   const double horizon = args.get_double("horizon", 7200.0);
 
@@ -394,6 +431,90 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  // Load-tests the in-process prediction service (src/serve/) with a
+  // synthetic consolidation-round query stream and prints its metrics.
+  core::Wavm3Model model;
+  if (args.has("coeffs")) {
+    model = core::load_coefficients_csv(args.get("coeffs", ""));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    util::set_log_level(util::LogLevel::kWarn);
+    std::puts("no --coeffs given; fitting on a fast simulated campaign...");
+    const exp::CampaignResult campaign =
+        exp::run_campaign(testbed_by_name(args.get("testbed", "m")),
+                          exp::fast_campaign_options(), args.get_seed());
+    model.fit(campaign.dataset);
+  }
+
+  serve::ServiceConfig cfg;
+  cfg.threads = static_cast<int>(args.get_int("threads", 4));
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 1024));
+  cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 4096));
+  cfg.cache_shards = static_cast<std::size_t>(args.get_int("cache-shards", 8));
+  cfg.quantization_step = args.get_double("quantization", 0.0);
+  const std::string fidelity = args.get("fidelity", "closed");
+  if (fidelity == "sim") {
+    cfg.fidelity = serve::Fidelity::kSimulated;
+  } else if (fidelity != "closed") {
+    std::fprintf(stderr, "unknown --fidelity '%s' (expected closed|sim)\n",
+                 fidelity.c_str());
+    return 2;
+  }
+
+  serve::QueryStreamOptions qopts;
+  qopts.repeat_fraction = args.get_double("repeat-fraction", 0.9);
+  const long total = args.get_int("requests", 20000);
+  const long batch = std::max(1L, args.get_int("batch", 64));
+  const long reloads = args.get_int("reloads", 2);
+
+  serve::PredictionService service(model, cfg);
+  serve::QueryStreamGenerator stream =
+      serve::QueryStreamGenerator::diurnal(qopts, args.get_seed());
+
+  std::printf("serving %ld requests (batch %ld) on %d threads; cache %zu entries%s, "
+              "repeat fraction %.0f%%, fidelity %s\n",
+              total, batch, cfg.threads, cfg.cache_capacity,
+              cfg.cache_capacity == 0 ? " (off)" : "", qopts.repeat_fraction * 100,
+              cfg.fidelity == serve::Fidelity::kSimulated ? "simulated" : "closed-form");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double energy_checksum = 0.0;
+  long done = 0;
+  long next_reload = reloads > 0 ? total / (reloads + 1) : total + 1;
+  while (done < total) {
+    const auto scenarios =
+        stream.generate(static_cast<std::size_t>(std::min(batch, total - done)));
+    for (const core::MigrationForecast& fc : service.predict_batch(scenarios)) {
+      energy_checksum += fc.total_energy();
+    }
+    done += static_cast<long>(scenarios.size());
+    if (done >= next_reload && next_reload <= total) {
+      // Hot-swap the coefficients mid-stream (a recalibration event);
+      // in-flight predictions are never blocked, cached results from
+      // the old version are retired by the version-keyed cache.
+      service.swap_model(std::make_shared<const core::Wavm3Model>(model));
+      next_reload += total / (reloads + 1);
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::puts("");
+  if (args.has("csv")) {
+    std::fputs(service.metrics_csv().c_str(), stdout);
+  } else {
+    std::fputs(service.metrics_table().c_str(), stdout);
+  }
+  std::printf("\nstream   : %ld requests in %.2f s -> %.0f predictions/s\n", total, elapsed,
+              static_cast<double>(total) / std::max(1e-9, elapsed));
+  std::printf("checksum : total predicted energy %.3f MJ\n", energy_checksum / 1e6);
+  return 0;
+}
+
 int cmd_help() {
   std::puts(
       "wavm3 - workload-aware VM migration energy model (CLUSTER'15 reproduction)\n"
@@ -408,6 +529,10 @@ int cmd_help() {
       "  tables    [--fast] [--seed N]\n"
       "  simulate  [--testbed m|o] [--hosts N] [--vms N] [--hours H]\n"
       "            [--horizon SECONDS] [--seed N]\n"
+      "  serve-bench [--coeffs FILE | --testbed m|o] [--threads N] [--requests N]\n"
+      "            [--batch N] [--cache-capacity N] [--cache-shards N]\n"
+      "            [--quantization F] [--repeat-fraction F] [--queue N]\n"
+      "            [--reloads N] [--fidelity closed|sim] [--csv] [--seed N]\n"
       "  report    [--out FILE] [--fast] [--seed N]\n"
       "  help\n");
   return 0;
@@ -426,6 +551,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "tables") return cmd_tables(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "serve-bench") return cmd_serve_bench(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "help" || cmd == "--help") return cmd_help();
   } catch (const std::exception& e) {
