@@ -1,0 +1,327 @@
+// Tier-2 bench for fault resilience, in two parts:
+//   1. Wasted migration energy vs abort point: engine runs with a
+//      connection loss injected at increasing offsets into the
+//      migration show how the energy thrown away grows with how late
+//      the failure hits (the cost asymmetry that makes abort-aware
+//      consolidation worthwhile).
+//   2. The serve-path degradation ladder under an always-failing sim
+//      backend: success rate, p99 latency and shed rate with the
+//      ladder on (retry + breaker + closed-form fallback) vs off.
+// Prints both tables, emits bench_out/fault_resilience.json, and
+// registers google-benchmark timings for the fault-plan hot paths.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "faults/fault_plan.hpp"
+#include "migration/engine.hpp"
+#include "serve/query_stream.hpp"
+#include "serve/service.hpp"
+#include "serve/sim_backend.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace wavm3;
+using migration::MigrationType;
+
+core::Wavm3Model make_model() {
+  core::Wavm3Model m;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    const double t = type == MigrationType::kLive ? 1.0 : 0.7;
+    core::Wavm3Coefficients table;
+    table.source.initiation = {2.1 * t, 1.3, 0.0, 0.0, 210.0};
+    table.source.transfer = {2.4 * t, 1.1e-7, 55.0, 1.9, 205.0};
+    table.source.activation = {2.2 * t, 1.2, 0.0, 0.0, 208.0};
+    table.target.initiation = {1.9 * t, 0.8, 0.0, 0.0, 200.0};
+    table.target.transfer = {2.0 * t, 0.9e-7, 12.0, 0.7, 198.0};
+    table.target.activation = {2.1 * t, 1.0, 0.0, 0.0, 202.0};
+    m.set_coefficients(type, table);
+  }
+  return m;
+}
+
+core::MigrationScenario make_scenario() {
+  core::MigrationScenario sc;
+  sc.type = MigrationType::kLive;
+  sc.vm_mem_bytes = util::gib(4.0);
+  sc.vm_cpu_vcpus = 2.0;
+  const double pages = sc.vm_mem_bytes / util::kPageSize;
+  sc.vm_working_set_pages = pages * 0.25;
+  sc.vm_dirty_pages_per_s = sc.vm_working_set_pages * 0.2;
+  sc.source_cpu_load = 4.0;
+  sc.target_cpu_load = 2.0;
+  sc.source_cpu_capacity = 32.0;
+  sc.target_cpu_capacity = 32.0;
+  sc.link_payload_rate = 117.5e6;
+  return sc;
+}
+
+/// Energy both hosts spent on `rec`, priced with the fitted model.
+double spent_energy(const core::Wavm3Model& model, const core::MigrationScenario& sc,
+                    const migration::MigrationRecord& rec) {
+  core::MigrationForecast fc;
+  fc.times = rec.times;
+  fc.total_bytes = rec.total_bytes;
+  fc.precopy_rounds = rec.precopy_rounds;
+  fc.downtime = rec.downtime;
+  fc.degenerated_to_nonlive = rec.degenerated_to_nonlive;
+  fc.bandwidth = rec.total_bytes / std::max(1e-9, rec.times.transfer_duration());
+  core::attach_energy(model, sc, fc);
+  return fc.total_energy();
+}
+
+struct AbortRow {
+  std::string label;
+  double abort_offset = 0.0;  ///< seconds into the migration
+  double pushed_gb = 0.0;
+  double wasted_kj = 0.0;
+  std::string outcome;
+};
+
+std::vector<AbortRow> wasted_energy_vs_abort_point(const core::Wavm3Model& model) {
+  const core::MigrationScenario sc = make_scenario();
+  const migration::MigrationRecord clean = serve::simulate_record(sc);
+  const double transfer = clean.times.transfer_duration();
+  const double clean_energy = spent_energy(model, sc, clean);
+
+  std::vector<AbortRow> rows;
+  rows.push_back({"completed (no fault)", clean.times.me - clean.times.ms,
+                  clean.total_bytes / 1e9, 0.0, to_string(clean.outcome)});
+
+  auto aborted = [&](const std::string& label, faults::FaultPhase phase, double offset) {
+    auto plan = std::make_shared<faults::FaultPlan>();
+    plan->add(faults::ConnectionLoss{phase, offset});
+    const migration::MigrationRecord rec = serve::simulate_record(sc, plan);
+    AbortRow row;
+    row.label = label;
+    row.abort_offset = rec.times.me - rec.times.ms;
+    row.pushed_gb = rec.total_bytes / 1e9;
+    // Everything spent on a failed migration is wasted — the VM is
+    // back where it started (or worse).
+    row.wasted_kj = spent_energy(model, sc, rec) / 1e3;
+    row.outcome = to_string(rec.outcome);
+    rows.push_back(row);
+  };
+
+  aborted("loss in initiation", faults::FaultPhase::kInitiation, 0.1);
+  for (const double f : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "loss at %2.0f%% of transfer", f * 100);
+    aborted(label, faults::FaultPhase::kTransfer, f * transfer);
+  }
+
+  std::printf("wasted energy vs abort point (%.1f GB live migration, "
+              "completed run costs %.1f kJ):\n",
+              sc.vm_mem_bytes / util::gib(1), clean_energy / 1e3);
+  std::printf("%-26s %10s %12s %12s  %s\n", "abort point", "t [s]", "pushed [GB]",
+              "wasted [kJ]", "outcome");
+  for (const AbortRow& r : rows) {
+    std::printf("%-26s %10.1f %12.2f %12.1f  %s\n", r.label.c_str(), r.abort_offset,
+                r.pushed_gb, r.wasted_kj, r.outcome.c_str());
+  }
+  std::printf("\n");
+  return rows;
+}
+
+struct LadderResult {
+  double success_rate = 0.0;
+  double p99_ms = 0.0;
+  double shed_rate = 0.0;
+  double degraded = 0.0;
+  double breaker_opens = 0.0;
+};
+
+/// Hammers a service whose sim backend always fails (after a small
+/// artificial delay, so a broken backend is also a *slow* backend) and
+/// reports client-visible outcomes.
+LadderResult run_ladder(const core::Wavm3Model& model, bool ladder_on) {
+  serve::ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.queue_capacity = 32;
+  cfg.cache_capacity = 0;  // every request exercises the backend path
+  cfg.fidelity = serve::Fidelity::kSimulated;
+  cfg.simulated_backend = [](const core::Wavm3Model&,
+                             const core::MigrationScenario&) -> core::MigrationForecast {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    throw std::runtime_error("injected backend failure");
+  };
+  if (ladder_on) {
+    cfg.backend_max_retries = 1;
+    cfg.backend_backoff_initial_s = 0.001;
+    cfg.breaker.failure_threshold = 5;
+    cfg.breaker.open_duration_s = 0.5;
+    cfg.degrade_to_closed_form = true;
+  } else {
+    cfg.backend_max_retries = 0;
+    cfg.breaker.failure_threshold = 1 << 30;  // effectively no breaker
+    cfg.degrade_to_closed_form = false;
+  }
+  serve::PredictionService service(model, cfg);
+  serve::QueryStreamGenerator stream =
+      serve::QueryStreamGenerator::diurnal(serve::QueryStreamOptions{}, 31);
+
+  // Submit the whole burst first (so the bounded queue actually fills
+  // and sheds), then collect. Requests drain FIFO, so get()-return time
+  // minus enqueue time is a faithful per-request latency.
+  constexpr int kRequests = 600;
+  int succeeded = 0;
+  int shed = 0;
+  std::vector<std::future<core::MigrationForecast>> inflight;
+  std::vector<std::chrono::steady_clock::time_point> enqueued;
+  for (const core::MigrationScenario& sc : stream.generate(kRequests)) {
+    // Paced arrivals (~10k req/s): well above what the failing backend
+    // can serve, well below what degraded answers can, so the shed rate
+    // measures the ladder rather than raw enqueue speed.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::optional<std::future<core::MigrationForecast>> f = service.try_submit(sc);
+    if (!f.has_value()) {
+      ++shed;
+      continue;
+    }
+    inflight.push_back(std::move(*f));
+    enqueued.push_back(t0);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(inflight.size());
+  for (std::size_t i = 0; i < inflight.size(); ++i) {
+    try {
+      benchmark::DoNotOptimize(inflight[i].get().total_energy());
+      ++succeeded;
+    } catch (const std::exception&) {
+      // failed request: latency still counts, success does not
+    }
+    latencies.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - enqueued[i])
+            .count());
+  }
+
+  LadderResult out;
+  out.success_rate = static_cast<double>(succeeded) / kRequests;
+  out.shed_rate = static_cast<double>(shed) / kRequests;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    out.p99_ms = latencies[static_cast<std::size_t>(
+                     0.99 * static_cast<double>(latencies.size() - 1))] *
+                 1e3;
+  }
+  const serve::ResilienceStats r = service.stats().resilience;
+  out.degraded = static_cast<double>(r.degraded_to_closed_form);
+  out.breaker_opens = static_cast<double>(r.breaker_open_transitions);
+  return out;
+}
+
+void print_report() {
+  std::printf("==============================================================\n");
+  std::printf("faults: wasted migration energy and the serve degradation ladder\n");
+  std::printf("==============================================================\n\n");
+
+  const core::Wavm3Model model = make_model();
+  const std::vector<AbortRow> abort_rows = wasted_energy_vs_abort_point(model);
+
+  std::printf("serve path under an always-failing (and slow) sim backend:\n");
+  std::printf("%-22s %12s %10s %10s %10s %8s\n", "configuration", "success", "p99 [ms]",
+              "shed", "degraded", "opens");
+  const LadderResult with = run_ladder(model, true);
+  const LadderResult without = run_ladder(model, false);
+  std::printf("%-22s %11.1f%% %10.2f %9.1f%% %10.0f %8.0f\n", "ladder on",
+              with.success_rate * 100, with.p99_ms, with.shed_rate * 100, with.degraded,
+              with.breaker_opens);
+  std::printf("%-22s %11.1f%% %10.2f %9.1f%% %10.0f %8.0f\n", "ladder off",
+              without.success_rate * 100, without.p99_ms, without.shed_rate * 100,
+              without.degraded, without.breaker_opens);
+  std::printf("\n");
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream json("bench_out/fault_resilience.json");
+  if (json) {
+    json << "{\n  \"wasted_energy_vs_abort\": [";
+    for (std::size_t i = 0; i < abort_rows.size(); ++i) {
+      const AbortRow& r = abort_rows[i];
+      json << (i == 0 ? "" : ", ") << "{\"label\": \"" << r.label
+           << "\", \"abort_offset_s\": " << r.abort_offset
+           << ", \"pushed_gb\": " << r.pushed_gb << ", \"wasted_kj\": " << r.wasted_kj
+           << ", \"outcome\": \"" << r.outcome << "\"}";
+    }
+    auto ladder_json = [&json](const char* name, const LadderResult& r) {
+      json << "\"" << name << "\": {\"success_rate\": " << r.success_rate
+           << ", \"p99_ms\": " << r.p99_ms << ", \"shed_rate\": " << r.shed_rate
+           << ", \"degraded\": " << r.degraded
+           << ", \"breaker_open_transitions\": " << r.breaker_opens << "}";
+    };
+    json << "],\n  ";
+    ladder_json("ladder_on", with);
+    json << ",\n  ";
+    ladder_json("ladder_off", without);
+    json << "\n}\n";
+    std::printf("wrote bench_out/fault_resilience.json\n\n");
+  }
+}
+
+void BM_FaultPlanLinkFactor(benchmark::State& state) {
+  faults::FaultPlanOptions opts;
+  opts.degradations = 4;
+  opts.stalls = 4;
+  opts.flaps = 2;
+  const faults::FaultPlan plan = faults::FaultPlan::random(opts, 3);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.link_factor(t));
+    t += 0.37;
+    if (t > opts.horizon) t = 0.0;
+  }
+}
+BENCHMARK(BM_FaultPlanLinkFactor);
+
+void BM_FaultPlanAverageFactor(benchmark::State& state) {
+  faults::FaultPlanOptions opts;
+  opts.degradations = 4;
+  opts.stalls = 4;
+  opts.flaps = 2;
+  const faults::FaultPlan plan = faults::FaultPlan::random(opts, 3);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.average_link_factor(t, t + 30.0));
+    t += 0.37;
+    if (t > opts.horizon) t = 0.0;
+  }
+}
+BENCHMARK(BM_FaultPlanAverageFactor);
+
+void BM_SimulateRecordFaulted(benchmark::State& state) {
+  const core::MigrationScenario sc = make_scenario();
+  auto plan = std::make_shared<faults::FaultPlan>();
+  plan->add(faults::LinkDegradation{0.0, 1e6, 0.6});
+  plan->add(faults::ConnectionLoss{faults::FaultPhase::kTransfer, 15.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::simulate_record(sc, plan).wasted_bytes);
+  }
+}
+BENCHMARK(BM_SimulateRecordFaulted);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

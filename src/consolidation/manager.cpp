@@ -16,6 +16,7 @@ ConsolidationManager::ConsolidationManager(ConsolidationPolicy policy,
                     policy_.overload_fraction <= 1.0,
                 "overload fraction must exceed the underload fraction");
   WAVM3_REQUIRE(policy_.horizon_seconds > 0.0, "horizon must be positive");
+  WAVM3_REQUIRE(policy_.max_retries >= 0, "retry bound must be non-negative");
 }
 
 core::MigrationScenario ConsolidationManager::scenario_for(const cloud::DataCenter& /*dc*/,

@@ -28,6 +28,10 @@ struct ConsolidationPolicy {
   double overload_fraction = 0.90;   ///< never load a target beyond this fraction
   double horizon_seconds = 3600.0;   ///< period the vacated host would stay off
   migration::MigrationType migration_type = migration::MigrationType::kLive;
+  /// How often a rolled-back plan migration is re-attempted before the
+  /// executor gives up on it (failures waste energy, so retries are
+  /// bounded; the next controller tick replans from the new snapshot).
+  int max_retries = 2;
 };
 
 /// Observable steady-state host power estimate used for the benefit

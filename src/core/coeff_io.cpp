@@ -1,8 +1,10 @@
 #include "core/coeff_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -21,9 +23,14 @@ const std::vector<std::string>& columns() {
 }
 
 double to_double(const std::string& s) {
+  WAVM3_REQUIRE(!s.empty(), "missing coefficient field in coefficients CSV");
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   WAVM3_REQUIRE(end != s.c_str() && *end == '\0', "malformed number in coefficients CSV: " + s);
+  // strtod happily parses "nan" and "inf"; a non-finite coefficient
+  // would silently poison every downstream forecast, so refuse it at
+  // the door (reload() keeps the previous coefficients live).
+  WAVM3_REQUIRE(std::isfinite(v), "non-finite coefficient in coefficients CSV: " + s);
   return v;
 }
 
@@ -80,18 +87,34 @@ Wavm3Model load_coefficients_csv(const std::string& path) {
   WAVM3_REQUIRE(header == columns(), "unexpected coefficients CSV header in " + path);
 
   std::map<MigrationType, Wavm3Coefficients> tables;
+  std::map<MigrationType, std::set<std::string>> filled;
   for (const auto& r : rows) {
     MigrationType type;
     if (r[0] == "live") type = MigrationType::kLive;
     else if (r[0] == "non-live") type = MigrationType::kNonLive;
     else throw util::ContractError("unknown migration type in coefficients CSV: " + r[0]);
 
+    const std::string slot_name = r[1] + "/" + r[2];
+    WAVM3_REQUIRE(filled[type].insert(slot_name).second,
+                  "duplicate coefficients CSV row: " + r[0] + " " + slot_name);
     PhaseCoefficients* slot = phase_slot(tables[type], r[1], r[2]);
     slot->alpha = to_double(r[3]);
     slot->beta = to_double(r[4]);
     slot->gamma = to_double(r[5]);
     slot->delta = to_double(r[6]);
     slot->c = to_double(r[7]);
+  }
+  // A migration type mentioned at all must be fully specified — a
+  // half-filled table would leave the missing phases priced at zero.
+  for (const auto& [type, slots] : filled) {
+    for (const char* role : {"source", "target"}) {
+      for (const char* phase : {"initiation", "transfer", "activation"}) {
+        const std::string slot_name = std::string(role) + "/" + phase;
+        WAVM3_REQUIRE(slots.count(slot_name) != 0,
+                      std::string("coefficients CSV is missing ") +
+                          migration::to_string(type) + " " + slot_name + " in " + path);
+      }
+    }
   }
   for (const auto& [type, table] : tables) model.set_coefficients(type, table);
   return model;

@@ -34,8 +34,13 @@ struct DataCenterSimulation::Runtime {
   std::unique_ptr<consolidation::ConsolidationManager> manager;
 
   std::set<std::string> powered_off;
-  std::deque<consolidation::MigrationProposal> pending;  ///< plan being executed
-  std::string vacating_host;                             ///< host the plan empties
+  /// One queued move of the plan being executed, with its retry count.
+  struct PendingMove {
+    consolidation::MigrationProposal proposal;
+    int attempts = 0;
+  };
+  std::deque<PendingMove> pending;  ///< plan being executed
+  std::string vacating_host;        ///< host the plan empties
 
   // Trapezoidal energy accounting.
   std::map<std::string, double> energy;
@@ -64,21 +69,45 @@ struct DataCenterSimulation::Runtime {
     last_sample_time = t;
   }
 
+  /// Outcome bookkeeping shared by plan and overload-relief moves.
+  void account_migration(const migration::MigrationRecord& r) {
+    if (r.completed) {
+      ++report.migrations_executed;
+      performance_sum += r.vm_mean_performance;
+    } else {
+      ++report.migrations_failed;
+      report.wasted_migration_bytes += r.wasted_bytes;
+    }
+    report.total_migration_downtime += r.downtime;
+  }
+
   /// Starts the next queued migration of the active plan, or finalises
   /// the plan (powering the vacated host off when it emptied).
   void execute_next_migration() {
     while (!pending.empty()) {
-      const consolidation::MigrationProposal prop = pending.front();
+      const PendingMove move = pending.front();
       pending.pop_front();
+      const consolidation::MigrationProposal& prop = move.proposal;
       cloud::Host* source = dc.host(prop.source);
       cloud::Host* target = dc.host(prop.target);
       if (source == nullptr || target == nullptr || !source->has_vm(prop.vm_id)) continue;
       try {
         engine->migrate(prop.vm_id, prop.source, prop.target, cfg.policy.migration_type, {},
-                        [this](const migration::MigrationRecord& r) {
-                          ++report.migrations_executed;
-                          report.total_migration_downtime += r.downtime;
-                          performance_sum += r.vm_mean_performance;
+                        [this, move](const migration::MigrationRecord& r) {
+                          account_migration(r);
+                          // A rolled-back move left the world as it was:
+                          // re-attempt in place, up to the policy's
+                          // bound (a lost VM is already on the target,
+                          // so only rollbacks retry). Past the bound
+                          // the plan continues without this move; the
+                          // next controller tick replans around it.
+                          if (r.outcome == migration::MigrationOutcome::kRolledBack &&
+                              move.attempts < cfg.policy.max_retries) {
+                            ++report.migrations_retried;
+                            PendingMove retry = move;
+                            ++retry.attempts;
+                            pending.push_front(retry);
+                          }
                           execute_next_migration();
                         });
         return;  // one at a time; continue from the completion callback
@@ -135,12 +164,10 @@ struct DataCenterSimulation::Runtime {
       if (best == nullptr) continue;
 
       try {
+        // Relief moves are not retried on failure: the next controller
+        // tick reassesses the (possibly changed) overload picture.
         engine->migrate(vm->id(), h->name(), best->name(), cfg.policy.migration_type, {},
-                        [this](const migration::MigrationRecord& r) {
-                          ++report.migrations_executed;
-                          report.total_migration_downtime += r.downtime;
-                          performance_sum += r.vm_mean_performance;
-                        });
+                        [this](const migration::MigrationRecord& r) { account_migration(r); });
       } catch (const util::ContractError& e) {
         util::log_warn(std::string("dcsim: overload relief failed: ") + e.what());
       }
@@ -157,7 +184,10 @@ struct DataCenterSimulation::Runtime {
         continue;
       }
       vacating_host = plan.vacated_host;
-      pending.assign(plan.migrations.begin(), plan.migrations.end());
+      pending.clear();
+      for (const consolidation::MigrationProposal& m : plan.migrations) {
+        pending.push_back(PendingMove{m, 0});
+      }
       execute_next_migration();
       return;  // one plan at a time
     }
@@ -210,6 +240,7 @@ DcSimReport DataCenterSimulation::run() {
 
   rt.engine = std::make_unique<migration::MigrationEngine>(
       rt.sim, rt.dc, net::BandwidthModel(config_.bandwidth), config_.migration);
+  if (config_.faults != nullptr) rt.engine->set_fault_plan(config_.faults);
   if (planner_ != nullptr) {
     consolidation::HostPowerEstimate estimate;
     estimate.idle_watts = config_.power.idle_watts;

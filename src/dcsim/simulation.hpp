@@ -26,6 +26,7 @@
 #include "consolidation/manager.hpp"
 #include "core/planner.hpp"
 #include "dcsim/traced_workload.hpp"
+#include "faults/fault_plan.hpp"
 #include "migration/engine.hpp"
 #include "net/bandwidth_model.hpp"
 #include "power/host_power_model.hpp"
@@ -60,6 +61,10 @@ struct DcSimConfig {
   double standby_watts = 0.0;              ///< draw of a powered-off host
   consolidation::ConsolidationPolicy policy;
   Strategy strategy = Strategy::kCostAware;
+  /// Optional fault schedule injected into the migration engine (link
+  /// faults, overload spikes, connection losses). Failed plan moves
+  /// are retried up to policy.max_retries each.
+  std::shared_ptr<const faults::FaultPlan> faults;
 };
 
 /// What one simulation produced.
@@ -68,7 +73,10 @@ struct DcSimReport {
   double duration = 0.0;
   double total_energy_joules = 0.0;          ///< fleet energy over the horizon
   std::map<std::string, double> host_energy; ///< per-host breakdown
-  int migrations_executed = 0;
+  int migrations_executed = 0;               ///< completed migrations
+  int migrations_failed = 0;                 ///< rolled back or VM lost
+  int migrations_retried = 0;                ///< re-attempts after rollback
+  double wasted_migration_bytes = 0.0;       ///< traffic of failed migrations
   int plans_rejected_by_cost = 0;            ///< cost-aware refusals
   int power_off_events = 0;
   int power_on_events = 0;

@@ -22,6 +22,15 @@ const char* to_string(MigrationType t) {
   return "?";
 }
 
+const char* to_string(MigrationOutcome o) {
+  switch (o) {
+    case MigrationOutcome::kCompleted: return "completed";
+    case MigrationOutcome::kRolledBack: return "rolled-back";
+    case MigrationOutcome::kVmLost: return "vm-lost";
+  }
+  return "?";
+}
+
 MigrationConfig xm_toolstack_config() {
   MigrationConfig cfg;
   cfg.initiation_duration = 4.5;          // python toolstack startup
@@ -48,6 +57,8 @@ MigrationEngine::MigrationEngine(sim::Simulator& simulator, cloud::DataCenter& d
   WAVM3_REQUIRE(config_.max_transfer_factor >= 1.0, "transfer factor must allow one full pass");
   WAVM3_REQUIRE(config_.resume_point_fraction > 0.0 && config_.resume_point_fraction < 1.0,
                 "resume point must fall inside the activation phase");
+  WAVM3_REQUIRE(config_.postcopy_restart_duration > 0.0,
+                "post-copy restart duration must be positive");
 }
 
 const MigrationRecord* MigrationEngine::active_record() const {
@@ -115,7 +126,125 @@ void MigrationEngine::migrate(const std::string& vm_id, const std::string& sourc
   active_->target->set_migration_cpu_demand(config_.initiation_cpu);
 
   const double init_duration = config_.initiation_duration * jitter.initiation_factor;
-  sim_.schedule_in(init_duration, [this] { on_initiation_end(); });
+  active_->pending_phase_event = sim_.schedule_in(init_duration, [this] { on_initiation_end(); });
+
+  // Arm the fault plan's connection losses: phase-bound initiation
+  // losses now, absolute-time losses at their scheduled instant (both
+  // self-ignore if the migration has moved on; see request_abort).
+  if (fault_plan_ != nullptr) {
+    if (std::optional<double> at = fault_plan_->next_loss_at_or_after(now)) {
+      active_->fault_events.push_back(sim_.schedule_at(
+          *at, [this] { request_abort(faults::FaultPhase::kAny, "connection lost"); }));
+    }
+    arm_phase_loss(faults::FaultPhase::kInitiation);
+  }
+}
+
+void MigrationEngine::arm_phase_loss(faults::FaultPhase phase) {
+  if (fault_plan_ == nullptr || !active_) return;
+  const std::optional<double> offset = fault_plan_->loss_offset_in(phase);
+  if (!offset) return;
+  active_->fault_events.push_back(sim_.schedule_in(*offset, [this, phase] {
+    request_abort(phase, std::string("connection lost during ") + faults::to_string(phase));
+  }));
+}
+
+void MigrationEngine::request_abort(faults::FaultPhase expected, const std::string& reason) {
+  if (!active_) return;
+  const MigrationPhase phase = current_phase();
+  // After te the target holds the complete VM state and finishes the
+  // activation unilaterally: a lost migration connection no longer
+  // matters, so losses landing there (or stale phase-bound events) are
+  // ignored.
+  if (phase != MigrationPhase::kInitiation && phase != MigrationPhase::kTransfer) return;
+  if (expected == faults::FaultPhase::kInitiation && phase != MigrationPhase::kInitiation)
+    return;
+  if (expected == faults::FaultPhase::kTransfer && phase != MigrationPhase::kTransfer) return;
+  abort_active(reason);
+}
+
+void MigrationEngine::cancel_fault_events() {
+  if (!active_) return;
+  for (const sim::EventId id : active_->fault_events) sim_.cancel(id);
+  active_->fault_events.clear();
+}
+
+void MigrationEngine::abort_active(const std::string& reason) {
+  WAVM3_ASSERT(active_.has_value(), "abort without active migration");
+  ActiveState& st = *active_;
+  const double now = sim_.now();
+  const MigrationPhase phase = current_phase();
+  WAVM3_ASSERT(phase == MigrationPhase::kInitiation || phase == MigrationPhase::kTransfer,
+               "can only abort during initiation or transfer");
+  accrue_vm_performance();
+  sim_.cancel(st.pending_phase_event);
+  cancel_fault_events();
+
+  // Partial-round accounting: a round's bytes are booked up-front at
+  // round start, so the in-flight round keeps only what actually made
+  // it across before the connection died.
+  if (phase == MigrationPhase::kTransfer && !st.record.rounds.empty()) {
+    RoundInfo& round = st.record.rounds.back();
+    if (round.duration == 0.0) {  // still in flight
+      const double elapsed = now - round.start;
+      const double sent = std::min(round.bytes, st.round_bandwidth * elapsed);
+      const double unsent = round.bytes - sent;
+      round.bytes = sent;
+      round.duration = elapsed;
+      st.record.total_bytes -= unsent;
+      st.link->refund_transfer(unsent);
+    }
+  }
+
+  MigrationOutcome outcome = MigrationOutcome::kRolledBack;
+  if (st.in_postcopy_pull) {
+    // Post-copy pull failure: the VM already executes on the target
+    // but most of its memory is stranded on the source — it cannot
+    // make progress. Documented semantics (see MigrationOutcome): the
+    // VM is lost and reboots from persistent state on the target.
+    outcome = MigrationOutcome::kVmLost;
+    st.vm->stop();
+    const cloud::VmPtr vm = st.vm;
+    sim_.schedule_in(config_.postcopy_restart_duration, [vm] {
+      if (vm->state() == cloud::VmState::kStopped) vm->start();
+    });
+    st.record.downtime += config_.postcopy_restart_duration;
+  } else {
+    // Pre-copy (and non-live, and the post-copy handoff): memory moves
+    // ahead of the VM, so the VM never left the source. Roll back: a
+    // suspended VM resumes on the spot, a running one never noticed.
+    if (st.vm->state() == cloud::VmState::kSuspended) {
+      st.vm->resume();
+      if (st.suspended_at >= 0.0) st.record.downtime = now - st.suspended_at;
+    }
+  }
+  st.in_postcopy_handoff = false;
+  st.in_postcopy_pull = false;
+  st.in_stop_and_copy = false;
+
+  // Close the record with what actually happened. te/me collapse onto
+  // the abort instant (rollback cleanup is treated as instantaneous);
+  // everything pushed was discarded, so it is all waste.
+  if (phase == MigrationPhase::kInitiation) st.record.times.ts = now;
+  st.record.times.te = now;
+  st.record.times.me = now;
+  st.record.wasted_bytes = st.record.total_bytes;
+  st.record.completed = false;
+  st.record.outcome = outcome;
+  st.record.failure_phase = phase;
+  st.record.failure_reason = reason;
+  const double span = st.record.times.total_duration();
+  st.record.vm_mean_performance = span > 0.0 ? st.perf_integral / span : 1.0;
+  st.source_lifecycle = false;
+  st.target_lifecycle = false;
+  clear_migration_demands();
+
+  WAVM3_ASSERT(st.record.times.well_formed(), "phase timestamps out of order");
+  completed_.push_back(st.record);
+  CompletionFn cb = std::move(st.on_complete);
+  active_.reset();
+  if (cb) cb(completed_.back());
+  start_next_queued();
 }
 
 double MigrationEngine::current_vm_performance() const {
@@ -147,6 +276,7 @@ void MigrationEngine::on_initiation_end() {
   st.record.times.ts = sim_.now();
   st.source_lifecycle = false;
   st.target_lifecycle = false;
+  arm_phase_loss(faults::FaultPhase::kTransfer);
 
   const double full_image = st.mem_pages * static_cast<double>(util::kPageSize);
   if (st.record.type == MigrationType::kPostCopy) {
@@ -165,24 +295,39 @@ void MigrationEngine::on_initiation_end() {
   begin_round(0, full_image, st.record.type == MigrationType::kNonLive);
 }
 
-double MigrationEngine::compute_bandwidth() const {
+double MigrationEngine::compute_bandwidth(double window_end) const {
   WAVM3_ASSERT(active_.has_value(), "bandwidth query without active migration");
   const ActiveState& st = *active_;
   const double t = sim_.now();
-  const double bw = bandwidth_model_.achievable_bandwidth(
-      *st.link, st.source->headroom_excluding_migration(t),
-      st.target->headroom_excluding_migration(t));
+  double source_headroom = st.source->headroom_excluding_migration(t);
+  double target_headroom = st.target->headroom_excluding_migration(t);
+  // An injected overload spike steals headroom from the migration
+  // helper; a degraded/flapping/stalling link caps the wire itself
+  // (averaged over the round's window so mid-round faults count).
+  double link_factor = 1.0;
+  if (fault_plan_ != nullptr) {
+    source_headroom =
+        std::max(0.0, source_headroom - fault_plan_->host_overload(st.record.source, t));
+    target_headroom =
+        std::max(0.0, target_headroom - fault_plan_->host_overload(st.record.target, t));
+    link_factor = std::clamp(window_end > t ? fault_plan_->average_link_factor(t, window_end)
+                                            : fault_plan_->link_factor(t),
+                             0.0, 1.0);
+  }
+  const double bw =
+      bandwidth_model_.achievable_bandwidth(*st.link, source_headroom, target_headroom) *
+      link_factor;
   // Network-intensive guests contend with the migration stream for the
   // NIC, but dom0's bulk sender largely outcompetes guest TCP flows:
   // only `guest_traffic_claim` of the guest demand is actually lost to
   // the migration (SIII-B: guest traffic only matters near saturation).
   const double guest_traffic = std::max(st.source->guest_network_demand(t),
                                         st.target->guest_network_demand(t));
-  const double floor = config_.contention_floor * st.link->max_payload_rate();
+  const double floor = config_.contention_floor * st.link->max_payload_rate() * link_factor;
   const double after_contention =
       std::max(floor, bw - config_.guest_traffic_claim * guest_traffic);
   const double jittered = after_contention * st.jitter.bandwidth_factor;
-  return std::clamp(jittered, kMinBandwidth, st.link->max_payload_rate());
+  return std::max(kMinBandwidth, std::min(jittered, st.link->max_payload_rate()));
 }
 
 void MigrationEngine::apply_migration_demands(double bandwidth_fraction) {
@@ -207,9 +352,21 @@ void MigrationEngine::begin_round(int index, double bytes, bool stop_and_copy) {
   st.round_bytes = bytes;
   st.in_stop_and_copy = stop_and_copy;
 
+  // Optional wire compression: fewer bytes cross the link, the sender
+  // burns extra CPU squeezing them.
+  const double wire_bytes = bytes / std::max(1.0, config_.compression_ratio);
+
   // Bandwidth is computed from headroom *before* the helper's own
   // demand, then the helper demand is applied for the power model.
-  st.round_bandwidth = compute_bandwidth();
+  // With a fault plan, a first instantaneous estimate sizes the
+  // round's window, then one refinement averages the link factor over
+  // that window so stalls/flaps landing mid-round slow it down.
+  st.round_bandwidth = compute_bandwidth(st.round_start);
+  if (fault_plan_ != nullptr && fault_plan_->has_link_faults()) {
+    const double estimated =
+        std::max(kMinRoundSeconds, wire_bytes / st.round_bandwidth);
+    st.round_bandwidth = compute_bandwidth(st.round_start + estimated);
+  }
   // Dynamic rate limiting (Clark et al.): pre-copy rounds are throttled
   // to bound the interference with the running VM; the stop-and-copy
   // burst is not.
@@ -221,9 +378,6 @@ void MigrationEngine::begin_round(int index, double bytes, bool stop_and_copy) {
     st.round_bandwidth = std::clamp(limit, kMinBandwidth, st.round_bandwidth);
   }
   apply_migration_demands(st.round_bandwidth / st.link->max_payload_rate());
-  // Optional wire compression: fewer bytes cross the link, the sender
-  // burns extra CPU squeezing them.
-  const double wire_bytes = bytes / std::max(1.0, config_.compression_ratio);
   if (config_.compression_ratio > 1.0) {
     st.source->set_migration_cpu_demand(st.source->migration_cpu_demand() +
                                         config_.compression_cpu);
@@ -241,7 +395,7 @@ void MigrationEngine::begin_round(int index, double bytes, bool stop_and_copy) {
   st.record.rounds.push_back(info);
 
   const double duration = std::max(kMinRoundSeconds, wire_bytes / st.round_bandwidth);
-  sim_.schedule_in(duration, [this] { on_round_end(); });
+  st.pending_phase_event = sim_.schedule_in(duration, [this] { on_round_end(); });
 }
 
 double MigrationEngine::fresh_dirty_pages(double tau) const {
@@ -407,6 +561,8 @@ void MigrationEngine::on_activation_end() {
   const double span = st.record.times.total_duration();
   st.record.vm_mean_performance = span > 0.0 ? st.perf_integral / span : 1.0;
   st.record.completed = true;
+  st.record.outcome = MigrationOutcome::kCompleted;
+  cancel_fault_events();
   st.source_lifecycle = false;
   st.target_lifecycle = false;
   clear_migration_demands();

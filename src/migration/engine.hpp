@@ -19,11 +19,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cloud/datacenter.hpp"
+#include "faults/fault_plan.hpp"
 #include "migration/phases.hpp"
 #include "net/bandwidth_model.hpp"
 #include "power/host_power_model.hpp"
@@ -38,6 +40,28 @@ namespace wavm3::migration {
 enum class MigrationType { kNonLive, kLive, kPostCopy };
 
 const char* to_string(MigrationType t);
+
+/// How a migration ended.
+///
+///   kCompleted  - the VM runs on the target, resources freed.
+///   kRolledBack - the connection was lost before the transfer
+///                 completed (initiation or transfer phase). The VM
+///                 never left the source: it keeps running there (a
+///                 suspended VM is resumed on the spot), every byte
+///                 already pushed is discarded, and the energy both
+///                 hosts spent is pure waste (see
+///                 MigrationRecord::wasted_bytes).
+///   kVmLost     - post-copy only: the pull stream died while the VM
+///                 was already executing on the target with most of
+///                 its memory still on the source. The VM cannot make
+///                 progress and is restarted from persistent state on
+///                 the target after MigrationConfig::
+///                 postcopy_restart_duration (added to downtime).
+///                 This is the classic post-copy durability hazard and
+///                 why kRolledBack never applies to the pull phase.
+enum class MigrationOutcome { kCompleted, kRolledBack, kVmLost };
+
+const char* to_string(MigrationOutcome o);
 
 /// Tunables of the migration machinery.
 struct MigrationConfig {
@@ -92,6 +116,11 @@ struct MigrationConfig {
   double compression_ratio = 1.0;
   double compression_cpu = 0.8;  ///< extra sender vCPUs while compressing
 
+  // --- failure handling ---
+  /// Post-copy pull failure (MigrationOutcome::kVmLost): seconds to
+  /// reboot the stranded VM from persistent state on the target.
+  double postcopy_restart_duration = 30.0;
+
   // --- activation ---
   double source_cleanup_duration = 2.0;  ///< freeing resources on the source
   double target_resume_duration = 3.5;   ///< loading state + starting the VM
@@ -142,7 +171,16 @@ struct MigrationRecord {
   /// This is the quantitative form of Table I's "slowdown" column.
   double vm_mean_performance = 1.0;
   bool degenerated_to_nonlive = false;  ///< pre-copy aborted by caps (high DR)
+  /// True iff outcome == kCompleted (kept for compatibility).
   bool completed = false;
+  MigrationOutcome outcome = MigrationOutcome::kCompleted;
+  /// Phase the failure hit (kNormal when the migration completed).
+  MigrationPhase failure_phase = MigrationPhase::kNormal;
+  std::string failure_reason;  ///< empty when the migration completed
+  /// Payload bytes pushed and then thrown away by the failure — the
+  /// traffic (and hence energy) both hosts spent for nothing. Equals
+  /// total_bytes on failure, 0 on success.
+  double wasted_bytes = 0.0;
   std::vector<RoundInfo> rounds;
 };
 
@@ -157,6 +195,17 @@ class MigrationEngine {
 
   const MigrationConfig& config() const { return config_; }
   const net::BandwidthModel& bandwidth_model() const { return bandwidth_model_; }
+
+  /// Installs (or clears, with nullptr) the fault plan consulted by
+  /// subsequent migrations: link faults shape per-round bandwidth,
+  /// host overload spikes shave endpoint headroom, and connection
+  /// losses abort the in-flight migration (see MigrationOutcome for
+  /// the per-type failure semantics). Takes effect from the next
+  /// migrate() call.
+  void set_fault_plan(std::shared_ptr<const faults::FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  const faults::FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
   /// Starts migrating `vm_id` from `source` to `target` at the current
   /// simulation time. The VM must be running on `source`; the hosts
@@ -241,6 +290,12 @@ class MigrationEngine {
     // Lifecycle transients for the power model.
     bool source_lifecycle = false;
     bool target_lifecycle = false;
+
+    // Abort machinery: the pending phase event (initiation end or
+    // round end) cancelled when a connection loss cuts the migration
+    // short, and the armed loss events cancelled when it completes.
+    sim::EventId pending_phase_event = sim::kInvalidEvent;
+    std::vector<sim::EventId> fault_events;
   };
 
   // Phase transitions (event callbacks).
@@ -261,8 +316,29 @@ class MigrationEngine {
   /// that changes the VM's state or placement.
   void accrue_vm_performance();
 
-  /// Achievable bandwidth right now given both hosts' CPU headrooms.
-  double compute_bandwidth() const;
+  /// Achievable bandwidth given both hosts' CPU headrooms (overload
+  /// spikes subtracted). With a fault plan and `window_end` > now, the
+  /// link factor is averaged over [now, window_end] so stalls and
+  /// flaps landing mid-round slow the round down; otherwise the
+  /// instantaneous factor applies.
+  double compute_bandwidth(double window_end) const;
+
+  /// Arms a connection-loss abort for losses bound to `phase` (called
+  /// at each phase entry) — plus, from kInitiation, the earliest
+  /// absolute-time loss.
+  void arm_phase_loss(faults::FaultPhase phase);
+
+  /// Abort entry point for armed loss events: ignored when the
+  /// migration already left `expected` (or, for kAny, once activation
+  /// started — after te the target holds the full state and finishes
+  /// unilaterally).
+  void request_abort(faults::FaultPhase expected, const std::string& reason);
+
+  /// Tears the in-flight migration down mid-phase; see
+  /// MigrationOutcome for the rollback / vm-lost semantics.
+  void abort_active(const std::string& reason);
+
+  void cancel_fault_events();
 
   /// Applies CPUmigr demands for the current activity level.
   void apply_migration_demands(double bandwidth_fraction);
@@ -272,6 +348,7 @@ class MigrationEngine {
   cloud::DataCenter& dc_;
   net::BandwidthModel bandwidth_model_;
   MigrationConfig config_;
+  std::shared_ptr<const faults::FaultPlan> fault_plan_;
   struct QueuedRequest {
     std::string vm_id;
     std::string source;

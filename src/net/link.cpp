@@ -1,5 +1,7 @@
 #include "net/link.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace wavm3::net {
@@ -13,6 +15,12 @@ Link::Link(LinkSpec spec) : spec_(std::move(spec)) {
 void Link::account_transfer(double bytes) {
   WAVM3_REQUIRE(bytes >= 0.0, "cannot account negative bytes");
   total_bytes_ += bytes;
+}
+
+void Link::refund_transfer(double bytes) {
+  WAVM3_REQUIRE(bytes >= 0.0, "cannot refund negative bytes");
+  WAVM3_REQUIRE(bytes <= total_bytes_ + 1e-6, "cannot refund more than was accounted");
+  total_bytes_ = std::max(0.0, total_bytes_ - bytes);
 }
 
 }  // namespace wavm3::net

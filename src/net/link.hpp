@@ -28,6 +28,11 @@ class Link {
   /// Records `bytes` of payload moved across the link.
   void account_transfer(double bytes);
 
+  /// Removes `bytes` previously accounted but never actually carried
+  /// (the untransferred remainder of a round cut short by a connection
+  /// loss; rounds are accounted up-front at round start).
+  void refund_transfer(double bytes);
+
   /// Total payload bytes moved since construction.
   double total_bytes() const { return total_bytes_; }
 

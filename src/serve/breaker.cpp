@@ -1,0 +1,113 @@
+#include "serve/breaker.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace wavm3::serve {
+
+namespace {
+double steady_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+const char* to_string(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config, Clock clock)
+    : config_(config), clock_(clock ? std::move(clock) : Clock(steady_seconds)) {
+  WAVM3_REQUIRE(config_.failure_threshold >= 1, "failure threshold must be >= 1");
+  WAVM3_REQUIRE(config_.open_duration_s > 0.0, "open duration must be positive");
+  WAVM3_REQUIRE(config_.half_open_successes >= 1, "half-open successes must be >= 1");
+}
+
+bool CircuitBreaker::allow() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now() - opened_at_ >= config_.open_duration_s) {
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejections_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejections_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // A straggler finishing after the breaker re-opened: ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ = now();
+        ++open_transitions_;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: straight back to open, cool-down restarts.
+      probe_in_flight_ = false;
+      state_ = State::kOpen;
+      opened_at_ = now();
+      ++open_transitions_;
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::open_transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return open_transitions_;
+}
+
+std::uint64_t CircuitBreaker::rejections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejections_;
+}
+
+}  // namespace wavm3::serve

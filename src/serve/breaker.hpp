@@ -1,0 +1,79 @@
+// Circuit breaker guarding the expensive simulated backend.
+//
+// Classic three-state breaker (closed -> open -> half-open -> closed):
+// consecutive backend failures trip it open; while open, callers skip
+// the backend entirely (the service degrades kSimulated answers to the
+// closed-form planner instead of queueing doomed engine runs); after a
+// cool-down, a limited number of half-open probes test the backend and
+// either close the breaker again or re-open it on the first failure.
+//
+// The clock is injectable so transition tests are deterministic; the
+// service wires in a steady_clock by default. All methods are
+// thread-safe (one small mutex — the breaker is consulted only on the
+// simulated path, which is orders of magnitude more expensive than the
+// lock).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace wavm3::serve {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Seconds the breaker stays open before probing (half-open).
+  double open_duration_s = 5.0;
+  /// Consecutive half-open successes required to close again.
+  int half_open_successes = 2;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Monotonic seconds; injectable for deterministic tests.
+  using Clock = std::function<double()>;
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {}, Clock clock = nullptr);
+
+  /// True when the caller may hit the backend now. An open breaker
+  /// transitions to half-open (and allows one probe) once the
+  /// cool-down has elapsed; while half-open only one probe may be in
+  /// flight at a time.
+  bool allow();
+
+  /// Reports the result of an allowed backend call.
+  void record_success();
+  void record_failure();
+
+  State state() const;
+
+  /// Times the breaker tripped open (closed/half-open -> open).
+  std::uint64_t open_transitions() const;
+
+  /// allow() calls rejected because the breaker was open.
+  std::uint64_t rejections() const;
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  double now() const { return clock_(); }
+
+  CircuitBreakerConfig config_;
+  Clock clock_;
+
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  double opened_at_ = 0.0;
+  std::uint64_t open_transitions_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+const char* to_string(CircuitBreaker::State s);
+
+}  // namespace wavm3::serve

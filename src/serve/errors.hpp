@@ -1,0 +1,49 @@
+// Typed error taxonomy of the prediction service.
+//
+// Every failure the serve path can produce carries a PredictErrorCode,
+// so callers can branch on *why* a request failed (shed it? retry it?
+// escalate?) instead of string-matching what(). PredictError derives
+// from std::runtime_error on purpose: code written against the
+// pre-taxonomy API ("submit() after shutdown throws runtime_error")
+// keeps working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wavm3::serve {
+
+/// Why a request failed.
+enum class PredictErrorCode {
+  kShutdown,          ///< service no longer accepts work
+  kQueueFull,         ///< load shed: bounded queue at capacity (try_submit)
+  kDeadlineExceeded,  ///< request spent its deadline waiting in the queue
+  kBackendFailure,    ///< sim backend failed and degradation is disabled
+};
+
+const char* to_string(PredictErrorCode code);
+
+/// A typed service failure. Catchable as std::runtime_error for
+/// compatibility with pre-taxonomy callers.
+class PredictError : public std::runtime_error {
+ public:
+  PredictError(PredictErrorCode code, const std::string& detail)
+      : std::runtime_error(std::string(to_string(code)) + ": " + detail), code_(code) {}
+
+  PredictErrorCode code() const { return code_; }
+
+ private:
+  PredictErrorCode code_;
+};
+
+inline const char* to_string(PredictErrorCode code) {
+  switch (code) {
+    case PredictErrorCode::kShutdown: return "shutdown";
+    case PredictErrorCode::kQueueFull: return "queue-full";
+    case PredictErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case PredictErrorCode::kBackendFailure: return "backend-failure";
+  }
+  return "?";
+}
+
+}  // namespace wavm3::serve

@@ -1,10 +1,15 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "serve/sim_backend.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace wavm3::serve {
@@ -16,7 +21,12 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
                                      ServiceConfig config)
     : config_(config),
       store_(std::move(model)),
+      breaker_(config.breaker),
       pool_(ThreadPoolConfig{config.threads, config.queue_capacity}) {
+  WAVM3_REQUIRE(config_.backend_max_retries >= 0, "retry budget must be non-negative");
+  WAVM3_REQUIRE(config_.backend_backoff_initial_s >= 0.0 &&
+                    config_.backend_backoff_multiplier >= 1.0,
+                "backoff must not shrink");
   if (config_.cache_capacity > 0) {
     cache_ = std::make_unique<
         ShardedLruCache<ScenarioKey, core::MigrationForecast, ScenarioKeyHash>>(
@@ -29,10 +39,68 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
 
 PredictionService::~PredictionService() { shutdown(DrainMode::kDrain); }
 
-core::MigrationForecast PredictionService::compute(
-    const core::Wavm3Model& model, const core::MigrationScenario& canonical) const {
-  if (config_.fidelity == Fidelity::kSimulated) return simulate_forecast(model, canonical);
-  return core::MigrationPlanner(model).forecast(canonical);
+PredictionService::EvalResult PredictionService::degrade_or_throw(
+    const core::Wavm3Model& model, const core::MigrationScenario& canonical,
+    const char* why) {
+  if (config_.degrade_to_closed_form) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    // Degraded answers are served but never cached: once the backend
+    // recovers, the service should answer simulated again instead of
+    // replaying closed-form leftovers until the cache turns over.
+    return EvalResult{core::MigrationPlanner(model).forecast(canonical), false};
+  }
+  throw PredictError(PredictErrorCode::kBackendFailure, why);
+}
+
+double PredictionService::backoff_delay(int attempt) {
+  double delay = config_.backend_backoff_initial_s *
+                 std::pow(config_.backend_backoff_multiplier, attempt - 1);
+  const double jitter = std::clamp(config_.backend_backoff_jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    // Deterministic jitter: the k-th backoff ever taken gets the k-th
+    // draw of the seeded stream — reproducible modulo thread
+    // interleaving, and retry bursts still decorrelate.
+    const std::uint64_t ticket = backoff_ticket_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t bits = util::splitmix64(config_.backend_backoff_seed ^ ticket);
+    const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 - jitter + 2.0 * jitter * unit;
+  }
+  return delay;
+}
+
+PredictionService::EvalResult PredictionService::compute(
+    const core::Wavm3Model& model, const core::MigrationScenario& canonical) {
+  if (config_.fidelity != Fidelity::kSimulated) {
+    return EvalResult{core::MigrationPlanner(model).forecast(canonical), true};
+  }
+  // The degradation ladder, rung by rung: (1) breaker open -> answer
+  // closed-form immediately instead of queueing doomed engine runs;
+  // (2) backend call, retried with exponential backoff + jitter;
+  // (3) retries exhausted -> closed-form (or a typed failure when
+  // degradation is disabled).
+  if (!breaker_.allow()) return degrade_or_throw(model, canonical, "circuit breaker open");
+  int attempt = 0;
+  for (;;) {
+    try {
+      core::MigrationForecast fc = config_.simulated_backend
+                                       ? config_.simulated_backend(model, canonical)
+                                       : simulate_forecast(model, canonical);
+      breaker_.record_success();
+      return EvalResult{std::move(fc), true};
+    } catch (...) {
+      backend_failures_.fetch_add(1, std::memory_order_relaxed);
+      breaker_.record_failure();
+      if (attempt >= config_.backend_max_retries) break;
+      ++attempt;
+      backend_retries_.fetch_add(1, std::memory_order_relaxed);
+      const double delay = backoff_delay(attempt);
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+      if (!breaker_.allow()) break;  // tripped open mid-retry: stop hammering
+    }
+  }
+  return degrade_or_throw(model, canonical, "simulated backend failed");
 }
 
 core::MigrationForecast PredictionService::evaluate(const core::MigrationScenario& sc) {
@@ -41,11 +109,11 @@ core::MigrationForecast PredictionService::evaluate(const core::MigrationScenari
   if (cache_ != nullptr) {
     const ScenarioKey key(snap.version, canonical);
     if (std::optional<core::MigrationForecast> hit = cache_->get(key)) return *hit;
-    const core::MigrationForecast fc = compute(*snap.model, canonical);
-    cache_->put(key, fc);
-    return fc;
+    EvalResult result = compute(*snap.model, canonical);
+    if (result.cacheable) cache_->put(key, result.forecast);
+    return result.forecast;
   }
-  return compute(*snap.model, canonical);
+  return compute(*snap.model, canonical).forecast;
 }
 
 core::MigrationForecast PredictionService::predict(const core::MigrationScenario& sc) {
@@ -53,8 +121,38 @@ core::MigrationForecast PredictionService::predict(const core::MigrationScenario
   return evaluate(sc);
 }
 
+void PredictionService::run_job(const core::MigrationScenario& scenario, double deadline_s,
+                                std::chrono::steady_clock::time_point enqueued,
+                                std::promise<core::MigrationForecast>& promise) {
+  const LatencyTimer timer(metrics_, ep_submit_);
+  try {
+    if (deadline_s > 0.0) {
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - enqueued)
+              .count();
+      if (waited > deadline_s) {
+        // The request spent its whole budget queued; answering it now
+        // would only delay live requests behind it.
+        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        throw PredictError(
+            PredictErrorCode::kDeadlineExceeded,
+            util::format("queued %.1f ms past a %.1f ms deadline", waited * 1e3,
+                         deadline_s * 1e3));
+      }
+    }
+    promise.set_value(evaluate(scenario));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+}
+
 std::future<core::MigrationForecast> PredictionService::submit(
     const core::MigrationScenario& sc) {
+  return submit(sc, config_.default_deadline_s);
+}
+
+std::future<core::MigrationForecast> PredictionService::submit(
+    const core::MigrationScenario& sc, double deadline_s) {
   // Fast path: a cache hit is answered on the caller's thread,
   // skipping the queue round trip entirely (hits also dodge
   // backpressure, which is the point — only real work queues). A
@@ -71,23 +169,52 @@ std::future<core::MigrationForecast> PredictionService::submit(
       return ready.get_future();
     }
   }
+  const std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
   std::promise<core::MigrationForecast> promise;
   std::future<core::MigrationForecast> future = promise.get_future();
   const bool queued = pool_.submit(
-      [this, sc, promise = std::move(promise)]() mutable {
-        const LatencyTimer timer(metrics_, ep_submit_);
-        try {
-          promise.set_value(evaluate(sc));
-        } catch (...) {
-          promise.set_exception(std::current_exception());
-        }
+      [this, sc, deadline_s, enqueued, promise = std::move(promise)]() mutable {
+        run_job(sc, deadline_s, enqueued, promise);
       });
   if (!queued) {
     // Pool already shut down: fail the request instead of hanging.
+    rejected_after_shutdown_.fetch_add(1, std::memory_order_relaxed);
     std::promise<core::MigrationForecast> failed;
-    failed.set_exception(std::make_exception_ptr(
-        std::runtime_error("prediction service is shut down")));
+    failed.set_exception(std::make_exception_ptr(PredictError(
+        PredictErrorCode::kShutdown, "prediction service is shut down")));
     return failed.get_future();
+  }
+  return future;
+}
+
+std::optional<std::future<core::MigrationForecast>> PredictionService::try_submit(
+    const core::MigrationScenario& sc) {
+  if (cache_ != nullptr && pool_.accepting()) {
+    const core::MigrationScenario canonical = canonicalize(sc, config_.quantization_step);
+    const CoefficientStore::Snapshot snap = store_.snapshot();
+    if (std::optional<core::MigrationForecast> hit =
+            cache_->peek(ScenarioKey(snap.version, canonical))) {
+      const LatencyTimer timer(metrics_, ep_submit_);
+      std::promise<core::MigrationForecast> ready;
+      ready.set_value(*hit);
+      return ready.get_future();
+    }
+  }
+  const std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+  const double deadline_s = config_.default_deadline_s;
+  std::promise<core::MigrationForecast> promise;
+  std::future<core::MigrationForecast> future = promise.get_future();
+  const bool queued = pool_.try_submit(
+      [this, sc, deadline_s, enqueued, promise = std::move(promise)]() mutable {
+        run_job(sc, deadline_s, enqueued, promise);
+      });
+  if (!queued) {
+    if (pool_.accepting()) {
+      shed_.fetch_add(1, std::memory_order_relaxed);  // queue full: load shed
+    } else {
+      rejected_after_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
   }
   return future;
 }
@@ -119,6 +246,16 @@ ServiceStats PredictionService::stats() const {
   s.queue_depth = pool_.queue_depth();
   s.threads = pool_.threads();
   s.model_version = store_.version();
+  s.resilience.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  s.resilience.shed = shed_.load(std::memory_order_relaxed);
+  s.resilience.rejected_after_shutdown =
+      rejected_after_shutdown_.load(std::memory_order_relaxed);
+  s.resilience.backend_failures = backend_failures_.load(std::memory_order_relaxed);
+  s.resilience.backend_retries = backend_retries_.load(std::memory_order_relaxed);
+  s.resilience.degraded_to_closed_form = degraded_.load(std::memory_order_relaxed);
+  s.resilience.breaker_open_transitions = breaker_.open_transitions();
+  s.resilience.breaker_rejections = breaker_.rejections();
+  s.resilience.breaker_state = to_string(breaker_.state());
   s.endpoints = metrics_.reports();
   return s;
 }
@@ -136,6 +273,20 @@ std::string PredictionService::metrics_table() const {
   out += util::format("workers  : %d threads, queue depth %zu\n", s.threads, s.queue_depth);
   out += util::format("coeffs   : version %llu\n",
                       static_cast<unsigned long long>(s.model_version));
+  const ResilienceStats& r = s.resilience;
+  out += util::format(
+      "breaker  : %s, %llu open transitions, %llu rejections\n",
+      r.breaker_state.c_str(), static_cast<unsigned long long>(r.breaker_open_transitions),
+      static_cast<unsigned long long>(r.breaker_rejections));
+  out += util::format(
+      "resilience: %llu backend failures (%llu retries), %llu degraded to closed-form, "
+      "%llu deadline-expired, %llu shed, %llu rejected-after-shutdown\n",
+      static_cast<unsigned long long>(r.backend_failures),
+      static_cast<unsigned long long>(r.backend_retries),
+      static_cast<unsigned long long>(r.degraded_to_closed_form),
+      static_cast<unsigned long long>(r.deadline_expired),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.rejected_after_shutdown));
   return out;
 }
 
@@ -153,6 +304,23 @@ std::string PredictionService::metrics_csv() const {
   out += util::format("threads,%d\n", s.threads);
   out += util::format("coefficient_version,%llu\n",
                       static_cast<unsigned long long>(s.model_version));
+  const ResilienceStats& r = s.resilience;
+  out += util::format("backend_failures,%llu\n",
+                      static_cast<unsigned long long>(r.backend_failures));
+  out += util::format("backend_retries,%llu\n",
+                      static_cast<unsigned long long>(r.backend_retries));
+  out += util::format("degraded_to_closed_form,%llu\n",
+                      static_cast<unsigned long long>(r.degraded_to_closed_form));
+  out += util::format("deadline_expired,%llu\n",
+                      static_cast<unsigned long long>(r.deadline_expired));
+  out += util::format("shed,%llu\n", static_cast<unsigned long long>(r.shed));
+  out += util::format("rejected_after_shutdown,%llu\n",
+                      static_cast<unsigned long long>(r.rejected_after_shutdown));
+  out += util::format("breaker_open_transitions,%llu\n",
+                      static_cast<unsigned long long>(r.breaker_open_transitions));
+  out += util::format("breaker_rejections,%llu\n",
+                      static_cast<unsigned long long>(r.breaker_rejections));
+  out += std::string("breaker_state,") + r.breaker_state + "\n";
   return out;
 }
 

@@ -14,7 +14,10 @@
 // baked into every cache key retires stale results automatically.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -23,7 +26,9 @@
 
 #include "core/planner.hpp"
 #include "core/wavm3_model.hpp"
+#include "serve/breaker.hpp"
 #include "serve/coeff_store.hpp"
+#include "serve/errors.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scenario_key.hpp"
@@ -38,6 +43,12 @@ enum class Fidelity {
                 ///< orders of magnitude slower — caching is essential)
 };
 
+/// Replacement backend for Fidelity::kSimulated — the test/bench hook
+/// used to inject failing or slow backends. Exceptions thrown here
+/// drive the retry / breaker / degradation ladder.
+using SimulatedBackend = std::function<core::MigrationForecast(
+    const core::Wavm3Model&, const core::MigrationScenario&)>;
+
 struct ServiceConfig {
   int threads = 4;                   ///< worker pool size
   std::size_t queue_capacity = 1024; ///< pending async requests before backpressure
@@ -48,6 +59,44 @@ struct ServiceConfig {
   /// direct planner calls.
   double quantization_step = 0.0;
   Fidelity fidelity = Fidelity::kClosedForm;
+
+  // --- graceful degradation ladder ---
+  /// Per-request deadline in seconds, measured from submission. A
+  /// request that is still queued past its deadline fails with
+  /// kDeadlineExceeded instead of occupying a worker (expired work is
+  /// worthless — answering it late just delays live requests).
+  /// 0 disables deadlines. submit() has a per-request override.
+  double default_deadline_s = 0.0;
+  /// Sim-backend retry budget per request; retries back off
+  /// exponentially with deterministic jitter.
+  int backend_max_retries = 2;
+  double backend_backoff_initial_s = 0.002;
+  double backend_backoff_multiplier = 2.0;
+  /// +/- fraction of each backoff delay (0 = none, 1 = full). Jitter
+  /// is drawn from a seeded stream, so runs are reproducible.
+  double backend_backoff_jitter = 0.5;
+  std::uint64_t backend_backoff_seed = 2015;
+  /// When the sim backend fails past its retries — or the breaker is
+  /// open — answer at closed-form fidelity instead of failing the
+  /// request (the bottom rung of the ladder: an approximate answer
+  /// now beats no answer). Degraded answers are never cached.
+  bool degrade_to_closed_form = true;
+  CircuitBreakerConfig breaker = {};
+  /// Null = the real serve::simulate_forecast engine backend.
+  SimulatedBackend simulated_backend = {};
+};
+
+/// Counters of the degradation ladder (all monotonic).
+struct ResilienceStats {
+  std::uint64_t deadline_expired = 0;   ///< failed with kDeadlineExceeded
+  std::uint64_t shed = 0;               ///< try_submit: queue full
+  std::uint64_t rejected_after_shutdown = 0;
+  std::uint64_t backend_failures = 0;   ///< individual sim-backend call failures
+  std::uint64_t backend_retries = 0;    ///< backoff retries taken
+  std::uint64_t degraded_to_closed_form = 0;  ///< kSimulated answered closed-form
+  std::uint64_t breaker_open_transitions = 0;
+  std::uint64_t breaker_rejections = 0;  ///< backend calls skipped while open
+  std::string breaker_state = "closed";
 };
 
 /// Point-in-time operational snapshot.
@@ -56,6 +105,7 @@ struct ServiceStats {
   std::size_t queue_depth = 0;
   int threads = 0;
   std::uint64_t model_version = 0;
+  ResilienceStats resilience;
   std::vector<EndpointReport> endpoints;
 };
 
@@ -76,8 +126,22 @@ class PredictionService {
 
   /// Asynchronous forecast on the worker pool. Blocks only when the
   /// queue is full (backpressure). After shutdown the returned future
-  /// carries std::runtime_error.
+  /// carries PredictError(kShutdown) (a std::runtime_error, as
+  /// before). Uses config().default_deadline_s.
   std::future<core::MigrationForecast> submit(const core::MigrationScenario& scenario);
+
+  /// Same, with an explicit deadline (seconds from now; <= 0 = none).
+  /// A request still queued past its deadline fails with
+  /// PredictError(kDeadlineExceeded).
+  std::future<core::MigrationForecast> submit(const core::MigrationScenario& scenario,
+                                              double deadline_s);
+
+  /// Non-blocking submit: never applies backpressure. Returns nullopt
+  /// when the queue is full (the request is shed and counted in
+  /// ResilienceStats::shed) or the service is shut down. Cache hits
+  /// are still answered inline on the caller's thread.
+  std::optional<std::future<core::MigrationForecast>> try_submit(
+      const core::MigrationScenario& scenario);
 
   /// Fans `scenarios` across the pool, preserving order in the result.
   std::vector<core::MigrationForecast> predict_batch(
@@ -109,12 +173,32 @@ class PredictionService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  struct EvalResult {
+    core::MigrationForecast forecast;
+    bool cacheable = true;  ///< degraded answers are never cached
+  };
+
   /// Cache-then-compute against the current coefficient snapshot.
   core::MigrationForecast evaluate(const core::MigrationScenario& scenario);
 
-  /// The configured backend (planner or engine simulation).
-  core::MigrationForecast compute(const core::Wavm3Model& model,
-                                  const core::MigrationScenario& canonical) const;
+  /// The configured backend (planner, or engine simulation behind the
+  /// retry/breaker/degradation ladder).
+  EvalResult compute(const core::Wavm3Model& model, const core::MigrationScenario& canonical);
+
+  /// Bottom rung: closed-form answer (uncacheable) when degradation is
+  /// enabled, PredictError(kBackendFailure) otherwise.
+  EvalResult degrade_or_throw(const core::Wavm3Model& model,
+                              const core::MigrationScenario& canonical, const char* why);
+
+  /// Backoff delay before retry `attempt` (1-based), jittered from the
+  /// seeded stream.
+  double backoff_delay(int attempt);
+
+  /// Worker-side body of submit/try_submit jobs (deadline check, then
+  /// evaluate into the promise).
+  void run_job(const core::MigrationScenario& scenario, double deadline_s,
+               std::chrono::steady_clock::time_point enqueued,
+               std::promise<core::MigrationForecast>& promise);
 
   ServiceConfig config_;
   CoefficientStore store_;
@@ -124,6 +208,14 @@ class PredictionService {
   int ep_predict_ = -1;
   int ep_submit_ = -1;
   int ep_batch_ = -1;
+  CircuitBreaker breaker_;
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_after_shutdown_{0};
+  std::atomic<std::uint64_t> backend_failures_{0};
+  std::atomic<std::uint64_t> backend_retries_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> backoff_ticket_{0};
   ThreadPool pool_;  ///< last member: workers stop before the rest tears down
 };
 

@@ -41,7 +41,8 @@ cloud::VmPtr make_vm(const std::string& id, double vcpus, double ram_bytes,
 
 }  // namespace
 
-core::MigrationForecast simulate_timings(const core::MigrationScenario& sc) {
+migration::MigrationRecord simulate_record(
+    const core::MigrationScenario& sc, std::shared_ptr<const faults::FaultPlan> faults) {
   WAVM3_REQUIRE(sc.vm_mem_bytes > 0.0, "scenario needs a VM memory size");
   WAVM3_REQUIRE(sc.link_payload_rate > 0.0, "scenario needs a link rate");
   WAVM3_REQUIRE(sc.source_cpu_capacity > 0.0 && sc.target_cpu_capacity > 0.0,
@@ -67,7 +68,8 @@ core::MigrationForecast simulate_timings(const core::MigrationScenario& sc) {
   dc.network().connect("src", "tgt", link);
 
   // The migrating VM, modelled as a page dirtier with the scenario's
-  // resource signature.
+  // resource signature; background load carries the residual after
+  // dom-0's own demand (host loads include the VMM).
   workloads::PageDirtierParams wl;
   wl.allocated_pages =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(sc.vm_mem_bytes / util::kPageSize));
@@ -78,8 +80,6 @@ core::MigrationForecast simulate_timings(const core::MigrationScenario& sc) {
   source.add_vm(make_vm("mv", std::max(1.0, sc.vm_cpu_vcpus), sc.vm_mem_bytes,
                         std::make_shared<workloads::PageDirtierWorkload>(wl)));
 
-  // Background load: the scenario's host loads include the VMM, so the
-  // synthetic load VM carries the residual after dom-0's own demand.
   const double src_residual =
       std::max(0.0, sc.source_cpu_load - source.vmm_demand(0.0));
   const double dst_residual =
@@ -93,10 +93,17 @@ core::MigrationForecast simulate_timings(const core::MigrationScenario& sc) {
 
   migration::MigrationEngine engine(sim, dc, net::BandwidthModel(sc.bandwidth),
                                     sc.migration);
+  if (faults != nullptr) engine.set_fault_plan(std::move(faults));
   engine.migrate("mv", "src", "tgt", sc.type);
   sim.run_to_completion();
-  WAVM3_REQUIRE(!engine.completed().empty(), "simulated migration did not complete");
-  const migration::MigrationRecord& rec = engine.completed().back();
+  WAVM3_REQUIRE(!engine.completed().empty(), "simulated migration did not finish");
+  return engine.completed().back();
+}
+
+core::MigrationForecast simulate_timings(const core::MigrationScenario& sc) {
+  const migration::MigrationRecord rec = simulate_record(sc);
+  WAVM3_REQUIRE(rec.outcome == migration::MigrationOutcome::kCompleted,
+                "simulated migration did not complete");
 
   core::MigrationForecast fc;
   fc.times = rec.times;

@@ -8,8 +8,12 @@
 // core::attach_energy so both fidelities price phases identically.
 #pragma once
 
+#include <memory>
+
 #include "core/planner.hpp"
 #include "core/wavm3_model.hpp"
+#include "faults/fault_plan.hpp"
+#include "migration/engine.hpp"
 
 namespace wavm3::serve {
 
@@ -23,5 +27,14 @@ core::MigrationForecast simulate_forecast(const core::Wavm3Model& model,
 /// Timing/traffic part of simulate_forecast, usable without a fitted
 /// model (mirrors core::forecast_timings).
 core::MigrationForecast simulate_timings(const core::MigrationScenario& scenario);
+
+/// Same engine run as simulate_timings, but with an optional fault
+/// plan injected and the raw engine record returned — rounds, outcome,
+/// failure phase, wasted bytes. This is the backend of the `trace` CLI
+/// subcommand and the fault-resilience bench; unlike simulate_timings
+/// the migration is allowed to fail (the record says how).
+migration::MigrationRecord simulate_record(
+    const core::MigrationScenario& scenario,
+    std::shared_ptr<const faults::FaultPlan> faults = nullptr);
 
 }  // namespace wavm3::serve

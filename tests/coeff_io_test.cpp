@@ -131,6 +131,48 @@ TEST(CoeffIo, UnknownEnumerationsAreRejected) {
   EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
 }
 
+TEST(CoeffIo, NonFiniteCoefficientsAreRejected) {
+  // strtod accepts "nan"/"inf" happily; the loader must not, or every
+  // downstream forecast silently turns non-finite.
+  const std::string header = "type,role,phase,alpha,beta,gamma,delta,c\n";
+  const std::string path = ::testing::TempDir() + "coeffs_nonfinite.csv";
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "1e999"}) {
+    write_file(path, header + "live,source,initiation,1,0," + bad + ",0,210\n");
+    EXPECT_THROW(load_coefficients_csv(path), util::ContractError) << bad;
+  }
+}
+
+TEST(CoeffIo, EmptyCoefficientFieldIsRejected) {
+  const std::string path = ::testing::TempDir() + "coeffs_empty_field.csv";
+  write_file(path,
+             "type,role,phase,alpha,beta,gamma,delta,c\n"
+             "live,source,initiation,1,0,,0,210\n");  // gamma missing
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
+TEST(CoeffIo, DuplicateRowsAreRejected) {
+  const std::string path = ::testing::TempDir() + "coeffs_duplicate.csv";
+  write_file(path,
+             "type,role,phase,alpha,beta,gamma,delta,c\n"
+             "live,source,initiation,1,0,0,0,210\n"
+             "live,source,initiation,2,0,0,0,220\n");  // silently wins? no.
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
+TEST(CoeffIo, IncompleteTableIsRejected) {
+  // A type mentioned at all must come with all six (role, phase) rows;
+  // otherwise the absent phases would be priced as all-zeros.
+  const std::string path = ::testing::TempDir() + "coeffs_incomplete.csv";
+  write_file(path,
+             "type,role,phase,alpha,beta,gamma,delta,c\n"
+             "live,source,initiation,1,0,0,0,210\n"
+             "live,source,transfer,1,0,0,0,210\n"
+             "live,source,activation,1,0,0,0,210\n"
+             "live,target,initiation,1,0,0,0,210\n"
+             "live,target,transfer,1,0,0,0,210\n");  // target activation missing
+  EXPECT_THROW(load_coefficients_csv(path), util::ContractError);
+}
+
 TEST(CoeffIo, WrongHeaderIsRejected) {
   const std::string path = ::testing::TempDir() + "coeffs_bad_header.csv";
   write_file(path, "alpha,beta\n1,2\n");

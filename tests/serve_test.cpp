@@ -634,5 +634,351 @@ TEST(QueryStream, ScenariosAreServable) {
   }
 }
 
+// --------------------------------------------------- circuit breaker
+
+TEST(CircuitBreakerTest, TripsOpenThenProbesAndCloses) {
+  double now = 0.0;
+  CircuitBreaker b(
+      {.failure_threshold = 2, .open_duration_s = 10.0, .half_open_successes = 2},
+      [&now] { return now; });
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow());
+  b.record_failure();
+  EXPECT_TRUE(b.allow());
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.open_transitions(), 1u);
+  EXPECT_FALSE(b.allow());
+  EXPECT_EQ(b.rejections(), 1u);
+
+  now = 9.9;
+  EXPECT_FALSE(b.allow());  // cool-down not over yet
+  now = 10.0;
+  EXPECT_TRUE(b.allow());  // first half-open probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(b.allow());  // only one probe in flight at a time
+  b.record_success();
+  EXPECT_TRUE(b.allow());  // second probe
+  b.record_success();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow());
+  EXPECT_EQ(b.open_transitions(), 1u);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  double now = 0.0;
+  CircuitBreaker b(
+      {.failure_threshold = 1, .open_duration_s = 5.0, .half_open_successes = 1},
+      [&now] { return now; });
+  EXPECT_TRUE(b.allow());
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+
+  now = 5.0;
+  EXPECT_TRUE(b.allow());  // probe
+  b.record_failure();      // probe failed: straight back to open
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(b.open_transitions(), 2u);
+  now = 9.0;               // cool-down restarted at t=5, not expired
+  EXPECT_FALSE(b.allow());
+  now = 10.0;
+  EXPECT_TRUE(b.allow());
+  b.record_success();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker b({.failure_threshold = 3, .open_duration_s = 1.0,
+                    .half_open_successes = 1});
+  b.record_failure();
+  b.record_failure();
+  b.record_success();  // streak broken
+  b.record_failure();
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kClosed);
+  b.record_failure();
+  EXPECT_EQ(b.state(), CircuitBreaker::State::kOpen);
+}
+
+// ----------------------------------------------- degradation ladder
+
+/// A sim backend that fails its first `failures` calls, then answers
+/// with the closed-form planner (so results stay comparable).
+struct FlakyBackend {
+  std::shared_ptr<std::atomic<int>> remaining_failures;
+  std::shared_ptr<std::atomic<int>> calls = std::make_shared<std::atomic<int>>(0);
+
+  explicit FlakyBackend(int failures)
+      : remaining_failures(std::make_shared<std::atomic<int>>(failures)) {}
+
+  core::MigrationForecast operator()(const core::Wavm3Model& model,
+                                     const core::MigrationScenario& sc) const {
+    calls->fetch_add(1);
+    if (remaining_failures->fetch_sub(1) > 0) {
+      throw std::runtime_error("injected backend failure");
+    }
+    return core::MigrationPlanner(model).forecast(sc);
+  }
+};
+
+TEST(PredictionService, SubmitAfterShutdownCarriesTypedError) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(model, ServiceConfig{.threads = 1});
+  service.shutdown();
+  std::future<core::MigrationForecast> f = service.submit(make_scenario(0));
+  try {
+    f.get();
+    FAIL() << "expected PredictError";
+  } catch (const PredictError& e) {
+    EXPECT_EQ(e.code(), PredictErrorCode::kShutdown);
+  }
+  EXPECT_GE(service.stats().resilience.rejected_after_shutdown, 1u);
+  EXPECT_FALSE(service.try_submit(make_scenario(1)).has_value());
+}
+
+TEST(PredictionService, FailingBackendDegradesToClosedForm) {
+  const core::Wavm3Model model = make_model();
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 1;
+  cfg.backend_backoff_initial_s = 0.0;
+  cfg.breaker.failure_threshold = 4;
+  cfg.breaker.open_duration_s = 3600.0;  // stays open for the whole test
+  cfg.simulated_backend = [](const core::Wavm3Model&,
+                             const core::MigrationScenario&) -> core::MigrationForecast {
+    throw std::runtime_error("injected backend failure");
+  };
+  PredictionService service(model, cfg);
+  const core::MigrationPlanner planner(model);
+
+  // Every request is answered — at closed-form fidelity — and none
+  // throws; the breaker trips open along the way.
+  for (int i = 0; i < 20; ++i) {
+    expect_forecast_eq(service.predict(make_scenario(i)),
+                       planner.forecast(make_scenario(i)));
+  }
+  const ResilienceStats r = service.stats().resilience;
+  EXPECT_EQ(r.degraded_to_closed_form, 20u);
+  EXPECT_GE(r.backend_failures, 4u);
+  EXPECT_GE(r.backend_retries, 1u);
+  EXPECT_EQ(r.breaker_open_transitions, 1u);
+  EXPECT_GT(r.breaker_rejections, 0u);  // later requests skipped the backend
+  EXPECT_EQ(r.breaker_state, "open");
+}
+
+TEST(PredictionService, FailingBackendWithoutDegradationThrowsTyped) {
+  const core::Wavm3Model model = make_model();
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 0;
+  cfg.degrade_to_closed_form = false;
+  cfg.simulated_backend = [](const core::Wavm3Model&,
+                             const core::MigrationScenario&) -> core::MigrationForecast {
+    throw std::runtime_error("injected backend failure");
+  };
+  PredictionService service(model, cfg);
+  try {
+    service.predict(make_scenario(0));
+    FAIL() << "expected PredictError";
+  } catch (const PredictError& e) {
+    EXPECT_EQ(e.code(), PredictErrorCode::kBackendFailure);
+  }
+  // The same failure through the async path lands in the future.
+  EXPECT_THROW(service.submit(make_scenario(1)).get(), PredictError);
+}
+
+TEST(PredictionService, BackendRecoversAfterRetries) {
+  const core::Wavm3Model model = make_model();
+  const FlakyBackend backend(2);  // first two calls fail, then healthy
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 2;
+  cfg.backend_backoff_initial_s = 0.0;
+  cfg.simulated_backend = backend;
+  PredictionService service(model, cfg);
+
+  const core::MigrationScenario sc = make_scenario(5);
+  expect_forecast_eq(service.predict(sc),
+                     core::MigrationPlanner(model).forecast(sc));
+  const ResilienceStats r = service.stats().resilience;
+  EXPECT_EQ(r.backend_failures, 2u);
+  EXPECT_EQ(r.backend_retries, 2u);
+  EXPECT_EQ(r.degraded_to_closed_form, 0u);  // the retry succeeded
+  EXPECT_EQ(r.breaker_state, "closed");
+}
+
+TEST(PredictionService, DegradedAnswersAreNotCached) {
+  const core::Wavm3Model model = make_model();
+  const FlakyBackend backend(1);  // exactly one failure, then healthy
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 0;  // no retry: the first call degrades
+  cfg.breaker.failure_threshold = 100;
+  cfg.simulated_backend = backend;
+  PredictionService service(model, cfg);
+
+  const core::MigrationScenario sc = make_scenario(5);
+  service.predict(sc);  // backend fails -> degraded, NOT cached
+  EXPECT_EQ(service.stats().resilience.degraded_to_closed_form, 1u);
+  service.predict(sc);  // must consult the (now healthy) backend again
+  EXPECT_EQ(backend.calls->load(), 2);
+  EXPECT_EQ(service.stats().resilience.degraded_to_closed_form, 1u);
+  service.predict(sc);  // healthy answer was cached
+  EXPECT_EQ(backend.calls->load(), 2);
+}
+
+/// A backend the test can hold shut: calls block until release().
+struct BlockingBackend {
+  struct Shared {
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<int> entered{0};
+  };
+  std::shared_ptr<Shared> s = std::make_shared<Shared>();
+
+  void release() const {
+    const std::lock_guard<std::mutex> lock(s->m);
+    s->open = true;
+    s->cv.notify_all();
+  }
+  void wait_entered(int n) const {
+    while (s->entered.load() < n) std::this_thread::yield();
+  }
+  core::MigrationForecast operator()(const core::Wavm3Model& model,
+                                     const core::MigrationScenario& sc) const {
+    s->entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(s->m);
+    s->cv.wait(lock, [this] { return s->open; });
+    return core::MigrationPlanner(model).forecast(sc);
+  }
+};
+
+TEST(PredictionService, QueuedPastDeadlineFailsTyped) {
+  const core::Wavm3Model model = make_model();
+  const BlockingBackend backend;
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 0;  // keep every request on the worker path
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 0;
+  cfg.simulated_backend = backend;
+  PredictionService service(model, cfg);
+
+  // First request occupies the single worker inside the blocked
+  // backend; the second has a deadline it will spend in the queue.
+  std::future<core::MigrationForecast> a = service.submit(make_scenario(0));
+  backend.wait_entered(1);
+  std::future<core::MigrationForecast> b = service.submit(make_scenario(1), 0.02);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  backend.release();
+
+  EXPECT_NO_THROW(a.get());
+  try {
+    b.get();
+    FAIL() << "expected PredictError";
+  } catch (const PredictError& e) {
+    EXPECT_EQ(e.code(), PredictErrorCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(service.stats().resilience.deadline_expired, 1u);
+}
+
+TEST(PredictionService, TrySubmitShedsWhenQueueIsFull) {
+  const core::Wavm3Model model = make_model();
+  const BlockingBackend backend;
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 1;
+  cfg.cache_capacity = 0;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 0;
+  cfg.simulated_backend = backend;
+  PredictionService service(model, cfg);
+
+  std::future<core::MigrationForecast> a = service.submit(make_scenario(0));
+  backend.wait_entered(1);  // worker busy; the queue itself is empty
+  std::optional<std::future<core::MigrationForecast>> b =
+      service.try_submit(make_scenario(1));  // fills the queue slot
+  ASSERT_TRUE(b.has_value());
+  std::optional<std::future<core::MigrationForecast>> c =
+      service.try_submit(make_scenario(2));  // queue full: shed, not blocked
+  EXPECT_FALSE(c.has_value());
+  EXPECT_EQ(service.stats().resilience.shed, 1u);
+
+  backend.release();
+  EXPECT_NO_THROW(a.get());
+  EXPECT_NO_THROW(b->get());
+}
+
+TEST(PredictionService, DestructorDrainsPendingFutures) {
+  const core::Wavm3Model model = make_model();
+  std::vector<std::future<core::MigrationForecast>> futures;
+  {
+    PredictionService service(model,
+                              ServiceConfig{.threads = 2, .queue_capacity = 64});
+    for (int i = 0; i < 32; ++i) futures.push_back(service.submit(make_scenario(i)));
+    // Service destroyed here with futures still outstanding: the
+    // drain-mode destructor must finish them, not abandon them.
+  }
+  const core::MigrationPlanner planner(model);
+  for (int i = 0; i < 32; ++i) {
+    expect_forecast_eq(futures[static_cast<std::size_t>(i)].get(),
+                       planner.forecast(make_scenario(i)));
+  }
+}
+
+TEST(PredictionService, CacheCapacityZeroDisablesCaching) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(model,
+                            ServiceConfig{.threads = 1, .cache_capacity = 0});
+  const core::MigrationScenario sc = make_scenario(4);
+  const core::MigrationForecast first = service.predict(sc);
+  expect_forecast_eq(service.predict(sc), first);  // recomputed, same answer
+  expect_forecast_eq(service.submit(sc).get(), first);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+  EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(PredictionService, ConcurrentFailingBackendIsSafe) {
+  // TSan coverage of the whole ladder under contention: breaker
+  // transitions, retry/backoff bookkeeping and degradation counters
+  // hammered from many client threads at once.
+  const core::Wavm3Model model = make_model();
+  ServiceConfig cfg;
+  cfg.threads = 4;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 1;
+  cfg.backend_backoff_initial_s = 1e-4;
+  cfg.breaker.failure_threshold = 3;
+  cfg.breaker.open_duration_s = 0.002;  // open and half-open both exercised
+  cfg.simulated_backend = [](const core::Wavm3Model&,
+                             const core::MigrationScenario&) -> core::MigrationForecast {
+    throw std::runtime_error("injected backend failure");
+  };
+  PredictionService service(model, cfg);
+
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&service, &answered, c] {
+      for (int i = 0; i < 50; ++i) {
+        const core::MigrationForecast fc = service.predict(make_scenario(c * 50 + i));
+        if (fc.times.me >= 0.0) answered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(answered.load(), 300);
+  const ResilienceStats r = service.stats().resilience;
+  EXPECT_EQ(r.degraded_to_closed_form, 300u);
+  EXPECT_GE(r.breaker_open_transitions, 1u);
+}
+
 }  // namespace
 }  // namespace wavm3::serve

@@ -13,16 +13,22 @@
 //   wavm3 predict --coeffs coeffs.csv [scenario flags]
 //       Forecast duration, downtime, data and energy of a planned
 //       migration from saved coefficients.
+//   wavm3 trace [scenario flags] [fault flags]
+//       Run one engine-simulated migration round by round, optionally
+//       under injected faults, and print the trajectory and outcome.
 //   wavm3 tables
 //       Reproduce every table of the paper in one run.
 //
 // Run `wavm3 help` or any subcommand with --help for details.
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <cstring>
+#include <future>
+#include <stdexcept>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +42,8 @@
 #include "core/wavm3_model.hpp"
 #include "exp/campaign.hpp"
 #include "exp/tables.hpp"
+#include "faults/fault_plan.hpp"
+#include "migration/engine.hpp"
 #include "models/dataset_io.hpp"
 #include "models/evaluation.hpp"
 #include "models/huang.hpp"
@@ -43,6 +51,7 @@
 #include "models/strunk.hpp"
 #include "serve/query_stream.hpp"
 #include "serve/service.hpp"
+#include "serve/sim_backend.hpp"
 #include "stats/diagnostics.hpp"
 #include "stats/metrics.hpp"
 #include "stats/resampling.hpp"
@@ -257,15 +266,21 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
-int cmd_predict(const Args& args) {
-  core::Wavm3Model model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
-  if (!model.is_fitted()) {
-    std::fprintf(stderr, "could not load coefficients (use `wavm3 fit` first)\n");
-    return 1;
-  }
+/// Scenario flags shared by `predict` and `trace`.
+core::MigrationScenario scenario_from_args(const Args& args) {
   core::MigrationScenario sc;
-  sc.type = args.get("type", "live") == "live" ? migration::MigrationType::kLive
-                                               : migration::MigrationType::kNonLive;
+  const std::string type = args.get("type", "live");
+  if (type == "live") {
+    sc.type = migration::MigrationType::kLive;
+  } else if (type == "nonlive") {
+    sc.type = migration::MigrationType::kNonLive;
+  } else if (type == "postcopy") {
+    sc.type = migration::MigrationType::kPostCopy;
+  } else {
+    std::fprintf(stderr, "unknown --type '%s' (expected live|nonlive|postcopy)\n",
+                 type.c_str());
+    std::exit(2);
+  }
   sc.vm_mem_bytes = util::gib(args.get_double("mem-gb", 4.0));
   sc.vm_cpu_vcpus = args.get_double("vm-cpu", 1.0);
   sc.vm_dirty_pages_per_s = args.get_double("dirty-pages-per-s", 0.0);
@@ -276,6 +291,16 @@ int cmd_predict(const Args& args) {
   sc.source_cpu_capacity = args.get_double("capacity", 32.0);
   sc.target_cpu_capacity = sc.source_cpu_capacity;
   sc.link_payload_rate = args.get_double("link-mbs", 117.5) * 1e6;
+  return sc;
+}
+
+int cmd_predict(const Args& args) {
+  core::Wavm3Model model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+  if (!model.is_fitted()) {
+    std::fprintf(stderr, "could not load coefficients (use `wavm3 fit` first)\n");
+    return 1;
+  }
+  const core::MigrationScenario sc = scenario_from_args(args);
 
   const core::MigrationPlanner planner(model);
   const core::MigrationForecast fc = planner.forecast(sc);
@@ -290,6 +315,133 @@ int cmd_predict(const Args& args) {
   std::printf("  downtime : %.2f s\n", fc.downtime);
   std::printf("  energy   : source %.1f kJ + target %.1f kJ = %.1f kJ\n",
               fc.source_energy / 1e3, fc.target_energy / 1e3, fc.total_energy() / 1e3);
+  return 0;
+}
+
+/// Fault flags shared by `trace` and `serve-bench` (the simulated
+/// datacentre's hosts are named "src" and "tgt"). Returns nullptr when
+/// no fault flag is present.
+std::shared_ptr<const faults::FaultPlan> fault_plan_from_args(const Args& args) {
+  auto plan = std::make_shared<faults::FaultPlan>();
+  bool any = false;
+  if (args.has("fault-random")) {
+    faults::FaultPlanOptions opts;
+    opts.horizon = args.get_double("fault-horizon", 3600.0);
+    opts.overload_hosts = {"src", "tgt"};
+    opts.connection_loss_probability = args.get_double("loss-probability", 0.0);
+    *plan = faults::FaultPlan::random(
+        opts, static_cast<std::uint64_t>(args.get_int("fault-seed", 2015)));
+    any = true;
+  }
+  if (args.has("degrade-at")) {
+    faults::LinkDegradation d;
+    d.start = args.get_double("degrade-at", 0.0);
+    d.end = args.get_double("degrade-until", d.start + 60.0);
+    d.factor = args.get_double("degrade-factor", 0.5);
+    plan->add(d);
+    any = true;
+  }
+  if (args.has("stall-at")) {
+    faults::TransferStall s;
+    s.at = args.get_double("stall-at", 0.0);
+    s.duration = args.get_double("stall-duration", 1.0);
+    plan->add(s);
+    any = true;
+  }
+  if (args.has("flap-at")) {
+    faults::LinkFlap f;
+    f.start = args.get_double("flap-at", 0.0);
+    f.end = args.get_double("flap-until", f.start + 120.0);
+    plan->add(f);
+    any = true;
+  }
+  if (args.has("overload-host")) {
+    faults::HostOverload o;
+    o.host = args.get("overload-host", "src") == "tgt" ? "tgt" : "src";
+    o.start = args.get_double("overload-at", 0.0);
+    o.end = args.get_double("overload-until", o.start + 60.0);
+    o.extra_vcpus = args.get_double("overload-vcpus", 2.0);
+    plan->add(o);
+    any = true;
+  }
+  if (args.has("loss-at")) {
+    plan->add(faults::ConnectionLoss{faults::FaultPhase::kAny,
+                                     args.get_double("loss-at", 0.0)});
+    any = true;
+  }
+  if (args.has("loss-phase")) {
+    const std::string phase = args.get("loss-phase", "transfer");
+    faults::ConnectionLoss l;
+    if (phase == "initiation") l.phase = faults::FaultPhase::kInitiation;
+    else if (phase == "transfer") l.phase = faults::FaultPhase::kTransfer;
+    else {
+      std::fprintf(stderr, "unknown --loss-phase '%s' (expected initiation|transfer)\n",
+                   phase.c_str());
+      std::exit(2);
+    }
+    l.at = args.get_double("loss-offset", 0.0);
+    plan->add(l);
+    any = true;
+  }
+  if (!any) return nullptr;
+  return plan;
+}
+
+int cmd_trace(const Args& args) {
+  // Runs the event-driven engine on the scenario (same flags as
+  // `predict`) and prints the executed trajectory — including failures
+  // when a fault plan is injected. `predict` answers "what would it
+  // cost?"; `trace` answers "what actually happened, round by round?".
+  const core::MigrationScenario sc = scenario_from_args(args);
+  const std::shared_ptr<const faults::FaultPlan> plan = fault_plan_from_args(args);
+
+  const migration::MigrationRecord rec = serve::simulate_record(sc, plan);
+
+  std::printf("%s migration of a %.1f GB VM (%s)\n", migration::to_string(sc.type),
+              sc.vm_mem_bytes / util::gib(1),
+              plan == nullptr ? "no faults injected" : "faults injected");
+  std::printf("  phases   : initiation %.1f s, transfer %.1f s, activation %.1f s\n",
+              rec.times.initiation_duration(), rec.times.transfer_duration(),
+              rec.times.activation_duration());
+  for (const migration::RoundInfo& r : rec.rounds) {
+    std::printf("  round %2d : t=%8.1f s  %8.2f MB at %6.1f MB/s in %7.2f s%s\n", r.index,
+                r.start, r.bytes / 1e6, r.bandwidth / 1e6, r.duration,
+                r.stop_and_copy ? "  (stop-and-copy)" : "");
+  }
+  std::printf("  transfer : %.2f GB total, %d pre-copy rounds%s\n", rec.total_bytes / 1e9,
+              rec.precopy_rounds,
+              rec.degenerated_to_nonlive ? " (degenerated to non-live)" : "");
+  std::printf("  downtime : %.2f s (mean VM performance %.0f%%)\n", rec.downtime,
+              rec.vm_mean_performance * 100.0);
+  std::printf("  outcome  : %s", migration::to_string(rec.outcome));
+  if (rec.outcome != migration::MigrationOutcome::kCompleted) {
+    std::printf(" — %s in %s phase, %.2f GB wasted", rec.failure_reason.c_str(),
+                migration::to_string(rec.failure_phase), rec.wasted_bytes / 1e9);
+  }
+  std::puts("");
+
+  // Price the traffic when coefficients are available: on failure this
+  // is the energy both hosts burned for nothing.
+  if (args.has("coeffs")) {
+    const core::Wavm3Model model =
+        core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+    core::MigrationForecast fc;
+    fc.times = rec.times;
+    fc.total_bytes = rec.total_bytes;
+    fc.precopy_rounds = rec.precopy_rounds;
+    fc.downtime = rec.downtime;
+    fc.degenerated_to_nonlive = rec.degenerated_to_nonlive;
+    fc.bandwidth = rec.total_bytes / std::max(1e-9, rec.times.transfer_duration());
+    core::attach_energy(model, sc, fc);
+    std::printf("  energy   : source %.1f kJ + target %.1f kJ = %.1f kJ%s\n",
+                fc.source_energy / 1e3, fc.target_energy / 1e3, fc.total_energy() / 1e3,
+                rec.outcome == migration::MigrationOutcome::kCompleted ? ""
+                                                                       : " (wasted)");
+  }
   return 0;
 }
 
@@ -464,6 +616,22 @@ int cmd_serve_bench(const Args& args) {
                  fidelity.c_str());
     return 2;
   }
+  // Degradation-ladder knobs. --fail-backend swaps in a sim backend
+  // that always throws: the breaker should trip open and every request
+  // still be answered (closed-form) with zero crashes.
+  cfg.default_deadline_s = args.get_double("deadline-ms", 0.0) / 1e3;
+  cfg.backend_max_retries = static_cast<int>(args.get_int("retries", 2));
+  cfg.degrade_to_closed_form = !args.has("no-degrade");
+  cfg.breaker.failure_threshold =
+      static_cast<int>(args.get_int("breaker-threshold", 5));
+  cfg.breaker.open_duration_s = args.get_double("breaker-open-ms", 5000.0) / 1e3;
+  if (args.has("fail-backend")) {
+    cfg.fidelity = serve::Fidelity::kSimulated;
+    cfg.simulated_backend = [](const core::Wavm3Model&,
+                               const core::MigrationScenario&) -> core::MigrationForecast {
+      throw std::runtime_error("injected backend failure");
+    };
+  }
 
   serve::QueryStreamOptions qopts;
   qopts.repeat_fraction = args.get_double("repeat-fraction", 0.9);
@@ -481,15 +649,35 @@ int cmd_serve_bench(const Args& args) {
               cfg.cache_capacity == 0 ? " (off)" : "", qopts.repeat_fraction * 100,
               cfg.fidelity == serve::Fidelity::kSimulated ? "simulated" : "closed-form");
 
+  // Under injected faults, failed requests must be counted, not
+  // allowed to abort the bench: fan out manually so each future's
+  // exception is caught on its own.
+  const bool count_failures = args.has("fail-backend") || args.has("no-degrade") ||
+                              cfg.default_deadline_s > 0.0;
   const auto t0 = std::chrono::steady_clock::now();
   double energy_checksum = 0.0;
   long done = 0;
+  long crashed = 0;
   long next_reload = reloads > 0 ? total / (reloads + 1) : total + 1;
   while (done < total) {
     const auto scenarios =
         stream.generate(static_cast<std::size_t>(std::min(batch, total - done)));
-    for (const core::MigrationForecast& fc : service.predict_batch(scenarios)) {
-      energy_checksum += fc.total_energy();
+    if (count_failures) {
+      std::vector<std::future<core::MigrationForecast>> futures;
+      futures.reserve(scenarios.size());
+      for (const core::MigrationScenario& sc : scenarios)
+        futures.push_back(service.submit(sc));
+      for (auto& f : futures) {
+        try {
+          energy_checksum += f.get().total_energy();
+        } catch (const std::exception&) {
+          ++crashed;
+        }
+      }
+    } else {
+      for (const core::MigrationForecast& fc : service.predict_batch(scenarios)) {
+        energy_checksum += fc.total_energy();
+      }
     }
     done += static_cast<long>(scenarios.size());
     if (done >= next_reload && next_reload <= total) {
@@ -512,6 +700,10 @@ int cmd_serve_bench(const Args& args) {
   std::printf("\nstream   : %ld requests in %.2f s -> %.0f predictions/s\n", total, elapsed,
               static_cast<double>(total) / std::max(1e-9, elapsed));
   std::printf("checksum : total predicted energy %.3f MJ\n", energy_checksum / 1e6);
+  if (count_failures) {
+    std::printf("failed   : %ld of %ld requests raised (degradation %s)\n", crashed, total,
+                cfg.degrade_to_closed_form ? "on" : "off");
+  }
   return 0;
 }
 
@@ -526,6 +718,14 @@ int cmd_help() {
       "  predict   --coeffs FILE [--type live|nonlive] [--mem-gb G] [--vm-cpu C]\n"
       "            [--dirty-pages-per-s R] [--working-set-fraction F]\n"
       "            [--source-load L] [--target-load L] [--capacity C] [--link-mbs B]\n"
+      "  trace     [scenario flags as predict] [--coeffs FILE]\n"
+      "            [--degrade-at T --degrade-until T --degrade-factor F]\n"
+      "            [--stall-at T --stall-duration D] [--flap-at T --flap-until T]\n"
+      "            [--overload-host src|tgt --overload-at T --overload-until T\n"
+      "             --overload-vcpus N]\n"
+      "            [--loss-at T | --loss-phase initiation|transfer --loss-offset T]\n"
+      "            [--fault-random --fault-seed N --fault-horizon T\n"
+      "             --loss-probability P]\n"
       "  tables    [--fast] [--seed N]\n"
       "  simulate  [--testbed m|o] [--hosts N] [--vms N] [--hours H]\n"
       "            [--horizon SECONDS] [--seed N]\n"
@@ -533,6 +733,8 @@ int cmd_help() {
       "            [--batch N] [--cache-capacity N] [--cache-shards N]\n"
       "            [--quantization F] [--repeat-fraction F] [--queue N]\n"
       "            [--reloads N] [--fidelity closed|sim] [--csv] [--seed N]\n"
+      "            [--fail-backend] [--no-degrade] [--deadline-ms T] [--retries N]\n"
+      "            [--breaker-threshold N] [--breaker-open-ms T]\n"
       "  report    [--out FILE] [--fast] [--seed N]\n"
       "  help\n");
   return 0;
@@ -549,6 +751,7 @@ int main(int argc, char** argv) {
     if (cmd == "fit") return cmd_fit(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "trace") return cmd_trace(args);
     if (cmd == "tables") return cmd_tables(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
