@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -20,6 +22,47 @@ const char* to_string(Strategy s) {
     case Strategy::kCostAware: return "cost-aware";
   }
   return "?";
+}
+
+namespace {
+
+std::uint64_t sim_ns(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
+void emit_fault_instants(const faults::FaultPlan& plan) {
+  obs::Tracer& tr = obs::tracer();
+  if (!tr.enabled()) return;
+  for (const faults::LinkDegradation& d : plan.degradations()) {
+    tr.emit_instant("faults", "link_degradation", sim_ns(d.start),
+                    {{"duration_s", d.end - d.start}, {"factor", d.factor}}, nullptr, nullptr,
+                    obs::kSimPid);
+  }
+  for (const faults::LinkFlap& f : plan.flaps()) {
+    tr.emit_instant("faults", "link_flap", sim_ns(f.start),
+                    {{"duration_s", f.end - f.start},
+                     {"down_factor", f.down_factor},
+                     {"period_s", f.up_duration + f.down_duration}},
+                    nullptr, nullptr, obs::kSimPid);
+  }
+  for (const faults::TransferStall& s : plan.stalls()) {
+    tr.emit_instant("faults", "transfer_stall", sim_ns(s.at), {{"duration_s", s.duration}},
+                    nullptr, nullptr, obs::kSimPid);
+  }
+  for (const faults::HostOverload& o : plan.overloads()) {
+    tr.emit_instant("faults", "host_overload", sim_ns(o.start),
+                    {{"duration_s", o.end - o.start}, {"extra_vcpus", o.extra_vcpus}}, nullptr,
+                    nullptr, obs::kSimPid);
+  }
+  for (const faults::ConnectionLoss& l : plan.connection_losses()) {
+    // Phase-bound losses have no absolute time until a migration runs;
+    // stamp them at 0 with their in-phase offset as an annotation.
+    const bool absolute = l.phase == faults::FaultPhase::kAny;
+    tr.emit_instant("faults", "connection_loss", absolute ? sim_ns(l.at) : 0,
+                    {{"offset_s", l.at}}, "phase", faults::to_string(l.phase), obs::kSimPid);
+  }
 }
 
 /// All mutable simulation state; lives only inside run().
@@ -47,11 +90,18 @@ struct DataCenterSimulation::Runtime {
   std::map<std::string, double> last_power;
   double last_sample_time = 0.0;
   double performance_sum = 0.0;  ///< accumulates vm_mean_performance
+  double last_controller_tick = 0.0;  ///< start of the current control round
 
   DcSimReport report;
 
+  /// Controller rounds by strategy, in the global obs registry.
+  obs::Counter& rounds_counter;
+
   explicit Runtime(const DcSimConfig& config, const core::MigrationPlanner* pl)
-      : cfg(config), planner(pl), power_model(config.power) {}
+      : cfg(config), planner(pl), power_model(config.power),
+        rounds_counter(obs::registry().counter("dcsim_controller_rounds_total",
+                                               "Fleet controller ticks executed",
+                                               {{"strategy", to_string(config.strategy)}})) {}
 
   double host_true_power(const cloud::Host& host) const {
     if (powered_off.count(host.name()) != 0) return cfg.standby_watts;
@@ -195,8 +245,19 @@ struct DataCenterSimulation::Runtime {
 
   void controller_tick() {
     if (cfg.strategy == Strategy::kNoConsolidation) return;
-    if (engine->migration_active() || !pending.empty()) return;
     const double now = sim.now();
+    obs::Tracer& tr = obs::tracer();
+    if (tr.enabled()) {
+      const std::uint64_t start = sim_ns(last_controller_tick);
+      tr.emit_complete("dcsim", "controller_round", start, sim_ns(now) - start,
+                       {{"queued_moves", static_cast<double>(pending.size())},
+                        {"powered_off_hosts", static_cast<double>(powered_off.size())},
+                        {"migration_active", engine->migration_active() ? 1.0 : 0.0}},
+                       "strategy", to_string(cfg.strategy), obs::kSimPid);
+    }
+    last_controller_tick = now;
+    rounds_counter.inc();
+    if (engine->migration_active() || !pending.empty()) return;
     relieve_overload(now);
     if (engine->migration_active()) return;
     try_consolidate(now);
@@ -240,7 +301,10 @@ DcSimReport DataCenterSimulation::run() {
 
   rt.engine = std::make_unique<migration::MigrationEngine>(
       rt.sim, rt.dc, net::BandwidthModel(config_.bandwidth), config_.migration);
-  if (config_.faults != nullptr) rt.engine->set_fault_plan(config_.faults);
+  if (config_.faults != nullptr) {
+    rt.engine->set_fault_plan(config_.faults);
+    emit_fault_instants(*config_.faults);
+  }
   if (planner_ != nullptr) {
     consolidation::HostPowerEstimate estimate;
     estimate.idle_watts = config_.power.idle_watts;
@@ -273,6 +337,14 @@ DcSimReport DataCenterSimulation::run() {
     rt.report.mean_migration_performance =
         rt.performance_sum / rt.report.migrations_executed;
   }
+  obs::registry()
+      .counter("dcsim_runs_total", "Fleet simulations executed",
+               {{"strategy", to_string(config_.strategy)}})
+      .inc();
+  obs::registry()
+      .gauge("dcsim_last_run_energy_joules", "Total fleet energy of the latest run",
+             {{"strategy", to_string(config_.strategy)}})
+      .set(rt.report.total_energy_joules);
   return rt.report;
 }
 

@@ -112,4 +112,11 @@ class DataCenterSimulation {
 /// suitable for strategy comparisons.
 DcSimConfig make_fleet_scenario(int n_hosts, int n_vms, std::uint64_t seed);
 
+/// Projects `plan` onto the tracer's simulated-time track as instant
+/// events (interval faults are stamped at their start with the
+/// duration as an annotation). run() calls this for its own plan;
+/// other fault-plan consumers (e.g. `wavm3 trace`) call it directly.
+/// No-op while the tracer is disabled.
+void emit_fault_instants(const faults::FaultPlan& plan);
+
 }  // namespace wavm3::dcsim

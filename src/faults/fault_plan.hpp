@@ -148,6 +148,10 @@ class FaultPlan final : public net::LinkConditioner {
   std::optional<double> loss_offset_in(FaultPhase phase) const;
 
   const std::vector<ConnectionLoss>& connection_losses() const { return losses_; }
+  const std::vector<LinkDegradation>& degradations() const { return degradations_; }
+  const std::vector<LinkFlap>& flaps() const { return flaps_; }
+  const std::vector<TransferStall>& stalls() const { return stalls_; }
+  const std::vector<HostOverload>& overloads() const { return overloads_; }
 
   bool empty() const;
 

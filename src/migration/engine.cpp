@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -11,6 +13,63 @@ namespace wavm3::migration {
 namespace {
 constexpr double kMinRoundSeconds = 1e-3;   // zero-byte rounds still take an instant
 constexpr double kMinBandwidth = 1e5;       // 100 kB/s floor; keeps durations finite
+
+std::uint64_t sim_ns(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/// One complete trace event per migration phase on the simulated-time
+/// track, each annotated with the paper's regressor values (DR, BW,
+/// CPU), plus the outcome as a string note — the Perfetto view of
+/// Eq. 3's phase decomposition. Emitted once, when the record closes
+/// (the timestamps are only final then). `vcpus` is the migrating VM's
+/// CPU regressor, `dirty_bytes_per_s` the jitter-adjusted DR, `mean_bw`
+/// the achieved transfer bandwidth.
+void emit_phase_spans(const MigrationRecord& r, double vcpus, double dirty_bytes_per_s,
+                      double mean_bw) {
+  obs::Tracer& tr = obs::tracer();
+  if (!tr.enabled()) return;
+  const char* outcome = to_string(r.outcome);
+  const std::initializer_list<obs::TraceArg> args = {
+      {"DR_bytes_per_s", dirty_bytes_per_s},
+      {"BW_bytes_per_s", mean_bw},
+      {"CPU_vcpus", vcpus},
+      {"rounds", static_cast<double>(r.precopy_rounds)}};
+  const std::uint64_t ms = sim_ns(r.times.ms);
+  const std::uint64_t ts = sim_ns(r.times.ts);
+  const std::uint64_t te = sim_ns(r.times.te);
+  const std::uint64_t me = sim_ns(r.times.me);
+  tr.emit_complete("migration", "initiation", ms, ts >= ms ? ts - ms : 0, args, "outcome",
+                   outcome, obs::kSimPid);
+  tr.emit_complete("migration", "transfer", ts, te >= ts ? te - ts : 0, args, "outcome",
+                   outcome, obs::kSimPid);
+  tr.emit_complete("migration", "activation", te, me >= te ? me - te : 0, args, "outcome",
+                   outcome, obs::kSimPid);
+  if (r.outcome != MigrationOutcome::kCompleted) {
+    tr.emit_instant("migration", "migration_failed", me, {}, "reason",
+                    // failure_reason is a std::string; the event stores
+                    // only pointers, so annotate the stable phase name.
+                    to_string(r.failure_phase), obs::kSimPid);
+  }
+}
+
+/// Registers the migration counters in the global registry once and
+/// bumps them per completed record.
+void count_migration(const MigrationRecord& r) {
+  obs::MetricRegistry& reg = obs::registry();
+  reg.counter("migration_total", "Migrations finished, by outcome",
+              {{"outcome", to_string(r.outcome)}})
+      .inc();
+  reg.gauge("migration_bytes_total", "Payload bytes moved by finished migrations")
+      .add(r.total_bytes);
+  reg.gauge("migration_wasted_bytes_total", "Bytes discarded by failed migrations")
+      .add(r.wasted_bytes);
+  reg.gauge("migration_downtime_seconds_total", "Accumulated VM downtime").add(r.downtime);
+  if (r.degenerated_to_nonlive) {
+    reg.counter("migration_degenerated_total", "Live migrations degenerated to non-live")
+        .inc();
+  }
+}
 }  // namespace
 
 const char* to_string(MigrationType t) {
@@ -240,6 +299,13 @@ void MigrationEngine::abort_active(const std::string& reason) {
   clear_migration_demands();
 
   WAVM3_ASSERT(st.record.times.well_formed(), "phase timestamps out of order");
+  {
+    const double transfer_s = st.record.times.te - st.record.times.ts;
+    emit_phase_spans(st.record, static_cast<double>(st.vm->spec().vcpus),
+                     st.dirty_rate_pages * static_cast<double>(util::kPageSize),
+                     transfer_s > 0.0 ? st.record.total_bytes / transfer_s : 0.0);
+    count_migration(st.record);
+  }
   completed_.push_back(st.record);
   CompletionFn cb = std::move(st.on_complete);
   active_.reset();
@@ -568,6 +634,13 @@ void MigrationEngine::on_activation_end() {
   clear_migration_demands();
 
   WAVM3_ASSERT(st.record.times.well_formed(), "phase timestamps out of order");
+  {
+    const double transfer_s = st.record.times.te - st.record.times.ts;
+    emit_phase_spans(st.record, static_cast<double>(st.vm->spec().vcpus),
+                     st.dirty_rate_pages * static_cast<double>(util::kPageSize),
+                     transfer_s > 0.0 ? st.record.total_bytes / transfer_s : 0.0);
+    count_migration(st.record);
+  }
   completed_.push_back(st.record);
   CompletionFn cb = std::move(st.on_complete);
   active_.reset();

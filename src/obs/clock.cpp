@@ -1,0 +1,48 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace wavm3::obs {
+
+namespace {
+
+std::atomic<ClockFn> g_clock{nullptr};
+std::atomic<std::uint64_t> g_manual_ns{0};
+
+std::uint64_t manual_read() { return g_manual_ns.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_clock(ClockFn fn) { g_clock.store(fn, std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  const ClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn == nullptr ? steady_now_ns() : fn();
+}
+
+void ManualClock::install(std::uint64_t start_ns) {
+  g_manual_ns.store(start_ns, std::memory_order_relaxed);
+  set_clock(&manual_read);
+}
+
+void ManualClock::uninstall() { set_clock(nullptr); }
+
+void ManualClock::set(std::uint64_t ns) {
+  g_manual_ns.store(ns, std::memory_order_relaxed);
+}
+
+void ManualClock::advance(std::uint64_t ns) {
+  g_manual_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t ManualClock::read() { return manual_read(); }
+
+}  // namespace wavm3::obs

@@ -1,0 +1,233 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wavm3::obs {
+
+namespace {
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string escape_label_value(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Escapes a JSON string (quotes, backslashes, control characters).
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest-round-trip double rendering; Prometheus and JSON both
+/// accept plain decimal / scientific notation.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // Integral values print as plain integers ("10", not "1e+01") — the
+  // form Prometheus uses for bucket edges and humans expect anywhere.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+std::string render_labels(const Labels& labels, const char* extra_key = nullptr,
+                          const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += escape_json(k);
+    out += "\":\"";
+    out += escape_json(v);
+    out += '"';
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_family;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    // Families arrive in registration order with their labeled members
+    // adjacent, so HELP/TYPE are emitted once per family.
+    if (m.name != last_family) {
+      last_family = m.name;
+      if (!m.help.empty()) out << "# HELP " << m.name << " " << m.help << "\n";
+      out << "# TYPE " << m.name << " " << to_string(m.kind) << "\n";
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << m.name << render_labels(m.labels) << " " << m.counter_value << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << m.name << render_labels(m.labels) << " " << fmt_double(m.gauge_value) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.counts[i];
+          out << m.name << "_bucket" << render_labels(m.labels, "le", fmt_double(h.bounds[i]))
+              << " " << cumulative << "\n";
+        }
+        cumulative += h.counts.empty() ? 0 : h.counts.back();
+        out << m.name << "_bucket" << render_labels(m.labels, "le", "+Inf") << " "
+            << cumulative << "\n";
+        out << m.name << "_sum" << render_labels(m.labels) << " " << fmt_double(h.sum) << "\n";
+        out << m.name << "_count" << render_labels(m.labels) << " " << cumulative << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string prometheus_text(const MetricRegistry& reg) {
+  return prometheus_text(reg.snapshot());
+}
+
+std::string json_snapshot(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escape_json(m.name) << "\",\"kind\":\"" << to_string(m.kind)
+        << "\",\"labels\":" << json_labels(m.labels);
+    switch (m.kind) {
+      case MetricKind::kCounter: out << ",\"value\":" << m.counter_value; break;
+      case MetricKind::kGauge: out << ",\"value\":" << fmt_double(m.gauge_value); break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.histogram;
+        std::uint64_t n = 0;
+        for (const std::uint64_t c : h.counts) n += c;
+        out << ",\"count\":" << n << ",\"sum\":" << fmt_double(h.sum)
+            << ",\"p50\":" << fmt_double(h.quantile(0.50))
+            << ",\"p95\":" << fmt_double(h.quantile(0.95))
+            << ",\"p99\":" << fmt_double(h.quantile(0.99)) << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          if (i != 0) out << ",";
+          const bool overflow = i == h.bounds.size();
+          out << "{\"le\":" << (overflow ? "\"+Inf\"" : fmt_double(h.bounds[i]))
+              << ",\"count\":" << h.counts[i] << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string json_snapshot(const MetricRegistry& reg) { return json_snapshot(reg.snapshot()); }
+
+std::string chrome_trace(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  // Process-name metadata first, so Perfetto labels the two clock
+  // domains even for empty traces.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+      << ",\"args\":{\"name\":\"wall clock\"}}";
+  out << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+      << ",\"args\":{\"name\":\"simulated time\"}}";
+  for (const TraceEvent& e : events) {
+    out << ",{\"name\":\"" << escape_json(e.name != nullptr ? e.name : "?")
+        << "\",\"cat\":\"" << escape_json(e.category != nullptr ? e.category : "wavm3")
+        << "\",\"ph\":\"" << (e.phase == EventPhase::kComplete ? "X" : "i") << "\",\"pid\":"
+        << e.pid << ",\"tid\":" << e.tid << ",\"ts\":"
+        << fmt_double(static_cast<double>(e.ts_ns) / 1000.0);
+    if (e.phase == EventPhase::kComplete) {
+      out << ",\"dur\":" << fmt_double(static_cast<double>(e.dur_ns) / 1000.0);
+    } else {
+      out << ",\"s\":\"t\"";  // instant scoped to its thread
+    }
+    if (e.n_args > 0 || e.str_key != nullptr) {
+      out << ",\"args\":{";
+      bool first = true;
+      for (int i = 0; i < e.n_args; ++i) {
+        if (e.args[i].key == nullptr) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << escape_json(e.args[i].key) << "\":" << fmt_double(e.args[i].value);
+      }
+      if (e.str_key != nullptr) {
+        if (!first) out << ",";
+        out << "\"" << escape_json(e.str_key) << "\":\""
+            << escape_json(e.str_value != nullptr ? e.str_value : "") << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace wavm3::obs

@@ -1,0 +1,42 @@
+// Exporters turning registry snapshots and drained trace events into
+// the three interchange formats the tooling around wavm3 consumes:
+//   * Prometheus text exposition (scrape endpoints, CI format checks);
+//   * a JSON metrics snapshot (bench artifacts, ad-hoc scripting);
+//   * Chrome trace-event JSON (Perfetto / chrome://tracing).
+// All three are pure functions of a snapshot, so they can run while
+// the hot paths keep writing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace wavm3::obs {
+
+/// Prometheus text exposition format (version 0.0.4): one # HELP and
+/// # TYPE line per family, then one series line per labeled metric.
+/// Histograms expand to cumulative _bucket{le=...} series plus _sum
+/// and _count, with the canonical le="+Inf" terminator.
+std::string prometheus_text(const RegistrySnapshot& snapshot);
+
+/// Convenience overload: snapshots `reg` and renders it.
+std::string prometheus_text(const MetricRegistry& reg);
+
+/// JSON object {"metrics": [...]} with one entry per metric carrying
+/// name, kind, labels, and the kind-specific payload (value, or
+/// buckets + count/sum + interpolated p50/p95/p99 for histograms).
+std::string json_snapshot(const RegistrySnapshot& snapshot);
+
+/// Convenience overload: snapshots `reg` and renders it.
+std::string json_snapshot(const MetricRegistry& reg);
+
+/// Chrome trace-event JSON: {"traceEvents": [...]} with "X"
+/// (complete) and "i" (instant) events, timestamps and durations in
+/// microseconds, numeric/string annotations under "args", and "M"
+/// process_name metadata rows naming the wall-clock and
+/// simulated-time tracks.
+std::string chrome_trace(const std::vector<TraceEvent>& events);
+
+}  // namespace wavm3::obs

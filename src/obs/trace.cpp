@@ -1,0 +1,216 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "obs/export.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::obs {
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "rings store events as raw words");
+
+namespace {
+
+constexpr std::size_t kEventWords = (sizeof(TraceEvent) + 7) / 8;
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+}  // namespace
+
+/// Single-writer seqlock ring. The owning thread writes event words
+/// with relaxed atomic stores and publishes with a release store of
+/// seq; drains acquire-load seq, copy the words relaxed, and re-check
+/// seq to detect being lapped. Everything is atomic, so concurrent
+/// emit/drain is race-free (and TSan-clean) by construction.
+struct Tracer::Ring {
+  Ring(std::size_t capacity, std::uint32_t tid_)
+      : cap(capacity), tid(tid_),
+        words(std::make_unique<std::atomic<std::uint64_t>[]>(capacity * kEventWords)) {}
+
+  const std::size_t cap;
+  const std::uint32_t tid;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+  std::atomic<std::uint64_t> seq{0};  ///< events ever pushed
+
+  void push(const TraceEvent& event) {
+    std::uint64_t buf[kEventWords] = {};
+    std::memcpy(buf, &event, sizeof(TraceEvent));
+    const std::uint64_t s = seq.load(std::memory_order_relaxed);
+    std::atomic<std::uint64_t>* slot = &words[(s % cap) * kEventWords];
+    for (std::size_t w = 0; w < kEventWords; ++w) {
+      slot[w].store(buf[w], std::memory_order_relaxed);
+    }
+    seq.store(s + 1, std::memory_order_release);
+  }
+
+  /// Appends the retained events to `out`; events overwritten while
+  /// being copied are skipped.
+  void collect(std::vector<TraceEvent>& out) const {
+    const std::uint64_t end = seq.load(std::memory_order_acquire);
+    const std::uint64_t retained = std::min<std::uint64_t>(end, cap);
+    for (std::uint64_t e = end - retained; e < end; ++e) {
+      std::uint64_t buf[kEventWords];
+      const std::atomic<std::uint64_t>* slot = &words[(e % cap) * kEventWords];
+      for (std::size_t w = 0; w < kEventWords; ++w) {
+        buf[w] = slot[w].load(std::memory_order_relaxed);
+      }
+      // Lapped while copying: the writer has advanced far enough to
+      // rewrite this slot, so the bytes may be torn — discard. The
+      // event counts as dropped via seq arithmetic anyway.
+      if (seq.load(std::memory_order_acquire) > e + cap) continue;
+      TraceEvent event;
+      std::memcpy(&event, buf, sizeof(TraceEvent));
+      out.push_back(event);
+    }
+  }
+};
+
+Tracer::Tracer(TracerConfig config)
+    : config_(config), id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
+  WAVM3_REQUIRE(config_.ring_capacity >= 16, "ring capacity must be at least 16 events");
+}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::local_ring() {
+  struct TlEntry {
+    std::uint64_t tracer_id;
+    std::shared_ptr<Ring> ring;
+  };
+  thread_local std::vector<TlEntry> tl_rings;
+  for (const TlEntry& e : tl_rings) {
+    if (e.tracer_id == id_) return *e.ring;
+  }
+  // First event from this thread: register a ring (the only lock this
+  // thread will ever take on the emit path).
+  auto ring = std::make_shared<Ring>(config_.ring_capacity,
+                                     next_tid_.fetch_add(1, std::memory_order_relaxed));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(ring);
+  }
+  tl_rings.push_back(TlEntry{id_, ring});
+  return *tl_rings.back().ring;
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  Ring& ring = local_ring();
+  TraceEvent e = event;
+  e.tid = ring.tid;
+  ring.push(e);
+}
+
+void Tracer::emit_complete(const char* category, const char* name, std::uint64_t ts_ns,
+                           std::uint64_t dur_ns, std::initializer_list<TraceArg> args,
+                           const char* str_key, const char* str_value, std::uint32_t pid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = EventPhase::kComplete;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.pid = pid;
+  e.str_key = str_key;
+  e.str_value = str_value;
+  for (const TraceArg& a : args) {
+    if (e.n_args >= TraceEvent::kMaxArgs) break;
+    e.args[e.n_args++] = a;
+  }
+  emit(e);
+}
+
+void Tracer::emit_instant(const char* category, const char* name, std::uint64_t ts_ns,
+                          std::initializer_list<TraceArg> args, const char* str_key,
+                          const char* str_value, std::uint32_t pid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.phase = EventPhase::kInstant;
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  e.str_key = str_key;
+  e.str_value = str_value;
+  for (const TraceArg& a : args) {
+    if (e.n_args >= TraceEvent::kMaxArgs) break;
+    e.args[e.n_args++] = a;
+  }
+  emit(e);
+}
+
+std::uint64_t Tracer::Span::clock_now() { return now_ns(); }
+
+Tracer::Span::~Span() {
+  if (tracer_ == nullptr) return;
+  TraceEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.phase = EventPhase::kComplete;
+  e.ts_ns = start_ns_;
+  const std::uint64_t end = clock_now();
+  e.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  e.pid = kWallPid;
+  e.str_key = str_key_;
+  e.str_value = str_value_;
+  e.n_args = static_cast<std::uint8_t>(n_args_);
+  for (int i = 0; i < n_args_; ++i) e.args[i] = args_[i];
+  // The tracer may have been disabled mid-span; emit() itself is
+  // harmless then, but skip the ring write for symmetry with enable().
+  if (tracer_->enabled()) tracer_->emit(e);
+}
+
+std::vector<TraceEvent> Tracer::drain() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) ring->collect(out);
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_ns < b.ts_ns;
+  });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t seq = ring->seq.load(std::memory_order_acquire);
+    if (seq > ring->cap) dropped += seq - ring->cap;
+  }
+  return dropped;
+}
+
+std::uint64_t Tracer::emitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->seq.load(std::memory_order_acquire);
+  return total;
+}
+
+std::string Tracer::chrome_trace_json() const { return chrome_trace(drain()); }
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) ring->seq.store(0, std::memory_order_release);
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace wavm3::obs

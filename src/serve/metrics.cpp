@@ -1,36 +1,15 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace wavm3::serve {
 
-namespace {
-
-int bucket_index(double ns) {
-  if (ns <= LatencyHistogram::kFirstBucketNs) return 0;
-  static const double inv_log_growth = 1.0 / std::log(LatencyHistogram::kGrowth);
-  const int idx = static_cast<int>(std::log(ns / LatencyHistogram::kFirstBucketNs) *
-                                   inv_log_growth) + 1;
-  return std::min(idx, LatencyHistogram::kBuckets - 1);
-}
-
-/// Upper bound (ns) of bucket `idx`.
-double bucket_upper_ns(int idx) {
-  return LatencyHistogram::kFirstBucketNs *
-         std::pow(LatencyHistogram::kGrowth, static_cast<double>(idx));
-}
-
-}  // namespace
-
 void LatencyHistogram::record_ns(double nanoseconds) {
   const double ns = std::max(0.0, nanoseconds);
-  buckets_[static_cast<std::size_t>(bucket_index(ns))].fetch_add(
-      1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  hist_.observe(ns);
   total_ns_.fetch_add(static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
 }
 
@@ -44,52 +23,54 @@ double LatencyHistogram::mean_ns() const {
 }
 
 double LatencyHistogram::quantile_ns(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  const double clamped = std::clamp(q, 0.0, 1.0);
-  const auto rank =
-      static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(n)));
-  std::uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
-    if (seen >= rank) return bucket_upper_ns(i);
-  }
-  return bucket_upper_ns(kBuckets - 1);
+  if (count() == 0) return 0.0;
+  return hist_.snapshot().quantile_upper_bound(q);
 }
 
 void LatencyHistogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
+  hist_.reset();
   total_ns_.store(0, std::memory_order_relaxed);
 }
 
+MetricsRegistry::MetricsRegistry(obs::MetricRegistry* backing) : reg_(backing) {
+  if (reg_ == nullptr) {
+    owned_ = std::make_unique<obs::MetricRegistry>();
+    reg_ = owned_.get();
+  }
+}
+
 int MetricsRegistry::register_endpoint(const std::string& name) {
-  auto ep = std::make_unique<Endpoint>();
-  ep->name = name;
-  endpoints_.push_back(std::move(ep));
+  obs::Histogram& h = reg_->exponential_histogram(
+      "serve_endpoint_latency_ns", "End-to-end request latency per endpoint",
+      LatencyHistogram::kFirstBucketNs, LatencyHistogram::kGrowth, LatencyHistogram::kBuckets,
+      {{"endpoint", name}});
+  endpoints_.push_back(Endpoint{name, &h});
   return static_cast<int>(endpoints_.size()) - 1;
 }
 
 void MetricsRegistry::record(int endpoint, double nanoseconds) {
   WAVM3_ASSERT(endpoint >= 0 && endpoint < static_cast<int>(endpoints_.size()),
                "unregistered metrics endpoint");
-  endpoints_[static_cast<std::size_t>(endpoint)]->histogram.record_ns(nanoseconds);
+  endpoints_[static_cast<std::size_t>(endpoint)].histogram->observe(
+      std::max(0.0, nanoseconds));
 }
 
 std::vector<EndpointReport> MetricsRegistry::reports() const {
+  const std::uint64_t now = obs::now_ns();
   const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+      now > epoch_ns_ ? static_cast<double>(now - epoch_ns_) / 1e9 : 0.0;
   std::vector<EndpointReport> out;
   out.reserve(endpoints_.size());
-  for (const auto& ep : endpoints_) {
+  for (const Endpoint& ep : endpoints_) {
+    const obs::HistogramSnapshot snap = ep.histogram->snapshot();
     EndpointReport r;
-    r.name = ep->name;
-    r.requests = ep->histogram.count();
+    r.name = ep.name;
+    r.requests = snap.count;
     r.qps = elapsed_s > 0.0 ? static_cast<double>(r.requests) / elapsed_s : 0.0;
-    r.mean_us = ep->histogram.mean_ns() / 1e3;
-    r.p50_us = ep->histogram.quantile_ns(0.50) / 1e3;
-    r.p95_us = ep->histogram.quantile_ns(0.95) / 1e3;
-    r.p99_us = ep->histogram.quantile_ns(0.99) / 1e3;
+    r.mean_us = r.requests == 0 ? 0.0 : snap.sum / static_cast<double>(r.requests) / 1e3;
+    r.p50_us = r.requests == 0 ? 0.0 : snap.quantile_upper_bound(0.50) / 1e3;
+    r.p95_us = r.requests == 0 ? 0.0 : snap.quantile_upper_bound(0.95) / 1e3;
+    r.p99_us = r.requests == 0 ? 0.0 : snap.quantile_upper_bound(0.99) / 1e3;
     out.push_back(r);
   }
   return out;
@@ -118,8 +99,8 @@ std::string MetricsRegistry::render_csv() const {
 }
 
 void MetricsRegistry::reset() {
-  for (auto& ep : endpoints_) ep->histogram.reset();
-  epoch_ = std::chrono::steady_clock::now();
+  for (const Endpoint& ep : endpoints_) ep.histogram->reset();
+  epoch_ns_ = obs::now_ns();
 }
 
 }  // namespace wavm3::serve

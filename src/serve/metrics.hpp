@@ -1,18 +1,25 @@
-// Service metrics: lock-free latency histograms with quantile
-// estimation, per-endpoint counters, and renderers for a text table and
-// CSV. Recording must be cheap enough to sit on the prediction hot
-// path, so a histogram is a fixed array of atomic bucket counters on a
-// logarithmic grid (~4.6% relative resolution) — no locks, no
-// allocation, bounded error on the reported quantiles.
+// Service metrics, bridged onto obs::MetricRegistry. The public
+// surface (LatencyHistogram, MetricsRegistry, LatencyTimer, the table
+// and CSV renderers) is unchanged from the original bespoke
+// implementation — callers and tests compile as-is and the rendered
+// CSV stays byte-identical — but the storage underneath is now the
+// shared obs metric registry, so the same endpoint histograms are
+// visible to the Prometheus and JSON exporters for free.
+//
+// The latency grid is the one serve/ has always used: 400 buckets
+// growing geometrically by 1.046 from 1 us (~4.6% relative
+// resolution). obs::Histogram's exponential mode reproduces the exact
+// bucket-index arithmetic, so quantiles come out bit-identical.
 #pragma once
 
-#include <array>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 
 namespace wavm3::serve {
 
@@ -24,9 +31,11 @@ class LatencyHistogram {
   static constexpr double kGrowth = 1.046;
   static constexpr double kFirstBucketNs = 1000.0;  // 1 us
 
+  LatencyHistogram() : hist_(kFirstBucketNs, kGrowth, kBuckets) {}
+
   void record_ns(double nanoseconds);
 
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const { return hist_.count(); }
   double total_ns() const;
   double mean_ns() const;
 
@@ -38,8 +47,10 @@ class LatencyHistogram {
   void reset();
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
+  obs::Histogram hist_;
+  /// Historical accumulation truncated observation-by-observation;
+  /// kept so mean_ns() matches the original to the last bit even for
+  /// fractional-nanosecond recordings.
   std::atomic<std::uint64_t> total_ns_{0};
 };
 
@@ -54,11 +65,17 @@ struct EndpointReport {
   double p99_us = 0.0;
 };
 
-/// Registry of per-endpoint histograms. Endpoints are registered up
+/// Registry of per-endpoint latency histograms, backed by an
+/// obs::MetricRegistry: each endpoint is one labeled member of the
+/// `serve_endpoint_latency_ns` family. Endpoints are registered up
 /// front (the service knows its API surface), so the hot path is an
 /// index into a fixed vector — no map lookups, no locks.
 class MetricsRegistry {
  public:
+  /// Records into `backing` when given, else into a private registry.
+  /// `backing` must outlive this object.
+  explicit MetricsRegistry(obs::MetricRegistry* backing = nullptr);
+
   /// Returns the endpoint's handle; call once per endpoint at setup.
   int register_endpoint(const std::string& name);
 
@@ -66,7 +83,8 @@ class MetricsRegistry {
   void record(int endpoint, double nanoseconds);
 
   /// Summaries in registration order; QPS is measured against the time
-  /// since construction (or the last reset()).
+  /// since construction (or the last reset()), read through the obs
+  /// clock so tests can freeze it.
   std::vector<EndpointReport> reports() const;
 
   /// Fixed-width text table of every endpoint.
@@ -77,25 +95,32 @@ class MetricsRegistry {
 
   void reset();
 
+  /// The registry the endpoint histograms live in (the backing one
+  /// when constructed with it, else the private one).
+  obs::MetricRegistry& obs_registry() { return *reg_; }
+  const obs::MetricRegistry& obs_registry() const { return *reg_; }
+
  private:
   struct Endpoint {
     std::string name;
-    LatencyHistogram histogram;
+    obs::Histogram* histogram;
   };
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+
+  std::unique_ptr<obs::MetricRegistry> owned_;
+  obs::MetricRegistry* reg_;
+  std::vector<Endpoint> endpoints_;
+  std::uint64_t epoch_ns_ = obs::now_ns();
 };
 
 /// Scoped stopwatch recording into a registry endpoint on destruction.
 class LatencyTimer {
  public:
   LatencyTimer(MetricsRegistry& registry, int endpoint)
-      : registry_(&registry), endpoint_(endpoint),
-        start_(std::chrono::steady_clock::now()) {}
+      : registry_(&registry), endpoint_(endpoint), start_ns_(obs::now_ns()) {}
   ~LatencyTimer() {
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-        std::chrono::steady_clock::now() - start_);
-    registry_->record(endpoint_, static_cast<double>(ns.count()));
+    const std::uint64_t end_ns = obs::now_ns();
+    registry_->record(endpoint_,
+                      static_cast<double>(end_ns > start_ns_ ? end_ns - start_ns_ : 0));
   }
   LatencyTimer(const LatencyTimer&) = delete;
   LatencyTimer& operator=(const LatencyTimer&) = delete;
@@ -103,7 +128,7 @@ class LatencyTimer {
  private:
   MetricsRegistry* registry_;
   int endpoint_;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace wavm3::serve

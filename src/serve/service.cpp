@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "serve/sim_backend.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -21,7 +23,36 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
                                      ServiceConfig config)
     : config_(config),
       store_(std::move(model)),
+      metrics_(&obs_metrics_),
       breaker_(config.breaker),
+      deadline_expired_(obs_metrics_.counter("serve_deadline_expired_total",
+                                             "Requests that spent their deadline queued")),
+      shed_(obs_metrics_.counter("serve_shed_total",
+                                 "try_submit requests shed because the queue was full")),
+      rejected_after_shutdown_(obs_metrics_.counter(
+          "serve_rejected_after_shutdown_total", "Requests rejected after shutdown")),
+      backend_failures_(obs_metrics_.counter("serve_backend_failures_total",
+                                             "Individual sim-backend call failures")),
+      backend_retries_(obs_metrics_.counter("serve_backend_retries_total",
+                                            "Backend backoff retries taken")),
+      degraded_(obs_metrics_.counter("serve_degraded_to_closed_form_total",
+                                     "Simulated requests answered at closed-form fidelity")),
+      g_cache_hits_(obs_metrics_.gauge("serve_cache_hits", "Result cache hits")),
+      g_cache_misses_(obs_metrics_.gauge("serve_cache_misses", "Result cache misses")),
+      g_cache_insertions_(
+          obs_metrics_.gauge("serve_cache_insertions", "Result cache insertions")),
+      g_cache_evictions_(
+          obs_metrics_.gauge("serve_cache_evictions", "Result cache LRU evictions")),
+      g_queue_depth_(obs_metrics_.gauge("serve_queue_depth", "Pending async requests")),
+      g_threads_(obs_metrics_.gauge("serve_threads", "Worker pool size")),
+      g_coeff_version_(
+          obs_metrics_.gauge("serve_coefficient_version", "Live coefficient version")),
+      g_breaker_open_transitions_(obs_metrics_.gauge("serve_breaker_open_transitions",
+                                                     "Circuit breaker closed->open trips")),
+      g_breaker_rejections_(obs_metrics_.gauge("serve_breaker_rejections",
+                                               "Backend calls skipped while open")),
+      g_breaker_state_(obs_metrics_.gauge("serve_breaker_state",
+                                          "Breaker state (0 closed, 1 open, 2 half-open)")),
       pool_(ThreadPoolConfig{config.threads, config.queue_capacity}) {
   WAVM3_REQUIRE(config_.backend_max_retries >= 0, "retry budget must be non-negative");
   WAVM3_REQUIRE(config_.backend_backoff_initial_s >= 0.0 &&
@@ -43,7 +74,8 @@ PredictionService::EvalResult PredictionService::degrade_or_throw(
     const core::Wavm3Model& model, const core::MigrationScenario& canonical,
     const char* why) {
   if (config_.degrade_to_closed_form) {
-    degraded_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.inc();
+    WAVM3_OBS_INSTANT("serve", "degraded_to_closed_form");
     // Degraded answers are served but never cached: once the backend
     // recovers, the service should answer simulated again instead of
     // replaying closed-form leftovers until the cache turns over.
@@ -88,11 +120,11 @@ PredictionService::EvalResult PredictionService::compute(
       breaker_.record_success();
       return EvalResult{std::move(fc), true};
     } catch (...) {
-      backend_failures_.fetch_add(1, std::memory_order_relaxed);
+      backend_failures_.inc();
       breaker_.record_failure();
       if (attempt >= config_.backend_max_retries) break;
       ++attempt;
-      backend_retries_.fetch_add(1, std::memory_order_relaxed);
+      backend_retries_.inc();
       const double delay = backoff_delay(attempt);
       if (delay > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
@@ -104,27 +136,48 @@ PredictionService::EvalResult PredictionService::compute(
 }
 
 core::MigrationForecast PredictionService::evaluate(const core::MigrationScenario& sc) {
+  WAVM3_OBS_SPAN(span, "serve", "evaluate");
   const core::MigrationScenario canonical = canonicalize(sc, config_.quantization_step);
   const CoefficientStore::Snapshot snap = store_.snapshot();
+  const char* computed_source =
+      config_.fidelity == Fidelity::kSimulated ? "backend" : "planner";
   if (cache_ != nullptr) {
     const ScenarioKey key(snap.version, canonical);
-    if (std::optional<core::MigrationForecast> hit = cache_->get(key)) return *hit;
+    if (std::optional<core::MigrationForecast> hit = cache_->get(key)) {
+      span.note("source", "cache");
+      return *hit;
+    }
     EvalResult result = compute(*snap.model, canonical);
+    span.note("source", result.cacheable ? computed_source : "fallback");
     if (result.cacheable) cache_->put(key, result.forecast);
     return result.forecast;
   }
-  return compute(*snap.model, canonical).forecast;
+  EvalResult result = compute(*snap.model, canonical);
+  span.note("source", result.cacheable ? computed_source : "fallback");
+  return result.forecast;
 }
 
 core::MigrationForecast PredictionService::predict(const core::MigrationScenario& sc) {
+  // No span of its own: "evaluate" covers the whole call and carries
+  // the source annotation, so a second span would only double the
+  // hot-path tracing cost.
   const LatencyTimer timer(metrics_, ep_predict_);
   return evaluate(sc);
 }
 
 void PredictionService::run_job(const core::MigrationScenario& scenario, double deadline_s,
                                 std::chrono::steady_clock::time_point enqueued,
+                                std::uint64_t enqueued_ns,
                                 std::promise<core::MigrationForecast>& promise) {
   const LatencyTimer timer(metrics_, ep_submit_);
+  {
+    obs::Tracer& tr = obs::tracer();
+    if (tr.enabled()) {
+      const std::uint64_t now = obs::now_ns();
+      tr.emit_complete("serve", "queue_wait", enqueued_ns,
+                       now > enqueued_ns ? now - enqueued_ns : 0);
+    }
+  }
   try {
     if (deadline_s > 0.0) {
       const double waited =
@@ -133,7 +186,8 @@ void PredictionService::run_job(const core::MigrationScenario& scenario, double 
       if (waited > deadline_s) {
         // The request spent its whole budget queued; answering it now
         // would only delay live requests behind it.
-        deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+        deadline_expired_.inc();
+        WAVM3_OBS_INSTANT("serve", "deadline_expired");
         throw PredictError(
             PredictErrorCode::kDeadlineExceeded,
             util::format("queued %.1f ms past a %.1f ms deadline", waited * 1e3,
@@ -157,7 +211,10 @@ std::future<core::MigrationForecast> PredictionService::submit(
   // skipping the queue round trip entirely (hits also dodge
   // backpressure, which is the point — only real work queues). A
   // shut-down service must reject even hits, so the pool is consulted
-  // first.
+  // first. Hits are deliberately not traced per-event: a hit is
+  // sub-µs, so one instant would roughly double its cost; hits show
+  // up in the cache gauges instead. The "submit" instant marks queue
+  // entry.
   if (cache_ != nullptr && pool_.accepting()) {
     const core::MigrationScenario canonical = canonicalize(sc, config_.quantization_step);
     const CoefficientStore::Snapshot snap = store_.snapshot();
@@ -169,16 +226,18 @@ std::future<core::MigrationForecast> PredictionService::submit(
       return ready.get_future();
     }
   }
+  WAVM3_OBS_INSTANT("serve", "submit");
   const std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+  const std::uint64_t enqueued_ns = obs::now_ns();
   std::promise<core::MigrationForecast> promise;
   std::future<core::MigrationForecast> future = promise.get_future();
   const bool queued = pool_.submit(
-      [this, sc, deadline_s, enqueued, promise = std::move(promise)]() mutable {
-        run_job(sc, deadline_s, enqueued, promise);
+      [this, sc, deadline_s, enqueued, enqueued_ns, promise = std::move(promise)]() mutable {
+        run_job(sc, deadline_s, enqueued, enqueued_ns, promise);
       });
   if (!queued) {
     // Pool already shut down: fail the request instead of hanging.
-    rejected_after_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    rejected_after_shutdown_.inc();
     std::promise<core::MigrationForecast> failed;
     failed.set_exception(std::make_exception_ptr(PredictError(
         PredictErrorCode::kShutdown, "prediction service is shut down")));
@@ -200,19 +259,22 @@ std::optional<std::future<core::MigrationForecast>> PredictionService::try_submi
       return ready.get_future();
     }
   }
+  WAVM3_OBS_INSTANT("serve", "submit");
   const std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+  const std::uint64_t enqueued_ns = obs::now_ns();
   const double deadline_s = config_.default_deadline_s;
   std::promise<core::MigrationForecast> promise;
   std::future<core::MigrationForecast> future = promise.get_future();
   const bool queued = pool_.try_submit(
-      [this, sc, deadline_s, enqueued, promise = std::move(promise)]() mutable {
-        run_job(sc, deadline_s, enqueued, promise);
+      [this, sc, deadline_s, enqueued, enqueued_ns, promise = std::move(promise)]() mutable {
+        run_job(sc, deadline_s, enqueued, enqueued_ns, promise);
       });
   if (!queued) {
     if (pool_.accepting()) {
-      shed_.fetch_add(1, std::memory_order_relaxed);  // queue full: load shed
+      shed_.inc();  // queue full: load shed
+      WAVM3_OBS_INSTANT("serve", "shed");
     } else {
-      rejected_after_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      rejected_after_shutdown_.inc();
     }
     return std::nullopt;
   }
@@ -246,13 +308,12 @@ ServiceStats PredictionService::stats() const {
   s.queue_depth = pool_.queue_depth();
   s.threads = pool_.threads();
   s.model_version = store_.version();
-  s.resilience.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
-  s.resilience.shed = shed_.load(std::memory_order_relaxed);
-  s.resilience.rejected_after_shutdown =
-      rejected_after_shutdown_.load(std::memory_order_relaxed);
-  s.resilience.backend_failures = backend_failures_.load(std::memory_order_relaxed);
-  s.resilience.backend_retries = backend_retries_.load(std::memory_order_relaxed);
-  s.resilience.degraded_to_closed_form = degraded_.load(std::memory_order_relaxed);
+  s.resilience.deadline_expired = deadline_expired_.value();
+  s.resilience.shed = shed_.value();
+  s.resilience.rejected_after_shutdown = rejected_after_shutdown_.value();
+  s.resilience.backend_failures = backend_failures_.value();
+  s.resilience.backend_retries = backend_retries_.value();
+  s.resilience.degraded_to_closed_form = degraded_.value();
   s.resilience.breaker_open_transitions = breaker_.open_transitions();
   s.resilience.breaker_rejections = breaker_.rejections();
   s.resilience.breaker_state = to_string(breaker_.state());
@@ -322,6 +383,31 @@ std::string PredictionService::metrics_csv() const {
                       static_cast<unsigned long long>(r.breaker_rejections));
   out += std::string("breaker_state,") + r.breaker_state + "\n";
   return out;
+}
+
+void PredictionService::refresh_gauges() const {
+  CacheStats cs;
+  if (cache_ != nullptr) cs = cache_->stats();
+  g_cache_hits_.set(static_cast<double>(cs.hits));
+  g_cache_misses_.set(static_cast<double>(cs.misses));
+  g_cache_insertions_.set(static_cast<double>(cs.insertions));
+  g_cache_evictions_.set(static_cast<double>(cs.evictions));
+  g_queue_depth_.set(static_cast<double>(pool_.queue_depth()));
+  g_threads_.set(static_cast<double>(pool_.threads()));
+  g_coeff_version_.set(static_cast<double>(store_.version()));
+  g_breaker_open_transitions_.set(static_cast<double>(breaker_.open_transitions()));
+  g_breaker_rejections_.set(static_cast<double>(breaker_.rejections()));
+  g_breaker_state_.set(static_cast<double>(static_cast<int>(breaker_.state())));
+}
+
+std::string PredictionService::metrics_prometheus() const {
+  refresh_gauges();
+  return obs::prometheus_text(obs_metrics_);
+}
+
+std::string PredictionService::metrics_json() const {
+  refresh_gauges();
+  return obs::json_snapshot(obs_metrics_);
 }
 
 void PredictionService::shutdown(DrainMode mode) { pool_.shutdown(mode); }

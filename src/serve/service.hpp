@@ -26,6 +26,7 @@
 
 #include "core/planner.hpp"
 #include "core/wavm3_model.hpp"
+#include "obs/metrics.hpp"
 #include "serve/breaker.hpp"
 #include "serve/coeff_store.hpp"
 #include "serve/errors.hpp"
@@ -166,6 +167,19 @@ class PredictionService {
   /// Machine-readable CSV of the same report.
   std::string metrics_csv() const;
 
+  /// Prometheus text exposition of the service's metric registry
+  /// (endpoint latency histograms, resilience counters, cache/queue
+  /// gauges).
+  std::string metrics_prometheus() const;
+
+  /// JSON snapshot of the same registry.
+  std::string metrics_json() const;
+
+  /// The obs registry every service metric lives in. Service-owned
+  /// (not the process-global one), so concurrent services in one
+  /// process never mix their numbers.
+  obs::MetricRegistry& obs_registry() { return obs_metrics_; }
+
   /// Idempotent. kDrain finishes queued requests; kDiscard abandons
   /// them (their futures see broken_promise).
   void shutdown(DrainMode mode = DrainMode::kDrain);
@@ -195,26 +209,45 @@ class PredictionService {
   double backoff_delay(int attempt);
 
   /// Worker-side body of submit/try_submit jobs (deadline check, then
-  /// evaluate into the promise).
+  /// evaluate into the promise). `enqueued_ns` is the obs-clock
+  /// submission timestamp used for the queue-wait trace span.
   void run_job(const core::MigrationScenario& scenario, double deadline_s,
-               std::chrono::steady_clock::time_point enqueued,
+               std::chrono::steady_clock::time_point enqueued, std::uint64_t enqueued_ns,
                std::promise<core::MigrationForecast>& promise);
+
+  /// Copies cache/queue/breaker state into the registered gauges so an
+  /// export reflects the moment it was taken.
+  void refresh_gauges() const;
 
   ServiceConfig config_;
   CoefficientStore store_;
   std::unique_ptr<ShardedLruCache<ScenarioKey, core::MigrationForecast, ScenarioKeyHash>>
       cache_;  ///< null when cache_capacity == 0
+  obs::MetricRegistry obs_metrics_;  ///< backs metrics_ and the counters below
   MetricsRegistry metrics_;
   int ep_predict_ = -1;
   int ep_submit_ = -1;
   int ep_batch_ = -1;
   CircuitBreaker breaker_;
-  std::atomic<std::uint64_t> deadline_expired_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> rejected_after_shutdown_{0};
-  std::atomic<std::uint64_t> backend_failures_{0};
-  std::atomic<std::uint64_t> backend_retries_{0};
-  std::atomic<std::uint64_t> degraded_{0};
+  // Resilience counters, registered in obs_metrics_ so they show up in
+  // the Prometheus/JSON exports; stats()/metrics_csv() read the same
+  // storage, keeping the legacy schema.
+  obs::Counter& deadline_expired_;
+  obs::Counter& shed_;
+  obs::Counter& rejected_after_shutdown_;
+  obs::Counter& backend_failures_;
+  obs::Counter& backend_retries_;
+  obs::Counter& degraded_;
+  obs::Gauge& g_cache_hits_;
+  obs::Gauge& g_cache_misses_;
+  obs::Gauge& g_cache_insertions_;
+  obs::Gauge& g_cache_evictions_;
+  obs::Gauge& g_queue_depth_;
+  obs::Gauge& g_threads_;
+  obs::Gauge& g_coeff_version_;
+  obs::Gauge& g_breaker_open_transitions_;
+  obs::Gauge& g_breaker_rejections_;
+  obs::Gauge& g_breaker_state_;  ///< CircuitBreaker::State as 0/1/2
   std::atomic<std::uint64_t> backoff_ticket_{0};
   ThreadPool pool_;  ///< last member: workers stop before the rest tears down
 };

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <future>
 #include <mutex>
@@ -16,6 +17,7 @@
 
 #include "core/coeff_io.hpp"
 #include "core/planner.hpp"
+#include "obs/clock.hpp"
 #include "serve/coeff_store.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/metrics.hpp"
@@ -26,6 +28,7 @@
 #include "serve/sim_backend.hpp"
 #include "serve/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace wavm3::serve {
@@ -339,6 +342,86 @@ TEST(Metrics, RegistryRendersTableAndCsv) {
   EXPECT_NE(csv.find("endpoint,requests,qps,mean_us,p50_us,p95_us,p99_us"),
             std::string::npos);
   EXPECT_NE(csv.find("predict,2,"), std::string::npos);
+}
+
+// Byte-compatibility regression: metrics_csv() must render exactly
+// what the pre-obs MetricsRegistry rendered. The reference below is a
+// literal reimplementation of the retired algorithm (log-indexed
+// 400-bucket grid, truncating ns total, ceil-rank upper-edge
+// quantiles, epoch-based qps); the registry now computes the same
+// numbers through obs::Histogram, and ManualClock pins the qps
+// denominator so the comparison is exact.
+TEST(Metrics, CsvByteIdenticalToLegacyAlgorithm) {
+  struct LegacyReference {
+    std::uint64_t counts[LatencyHistogram::kBuckets] = {};
+    std::uint64_t n = 0;
+    std::uint64_t total_ns = 0;
+
+    static int bucket_index(double ns) {
+      if (ns <= LatencyHistogram::kFirstBucketNs) return 0;
+      static const double inv_log_growth = 1.0 / std::log(LatencyHistogram::kGrowth);
+      const int idx = static_cast<int>(std::log(ns / LatencyHistogram::kFirstBucketNs) *
+                                       inv_log_growth) + 1;
+      return std::min(idx, LatencyHistogram::kBuckets - 1);
+    }
+    static double bucket_upper_ns(int idx) {
+      return LatencyHistogram::kFirstBucketNs *
+             std::pow(LatencyHistogram::kGrowth, static_cast<double>(idx));
+    }
+    void record(double ns) {
+      ++counts[bucket_index(ns)];
+      ++n;
+      total_ns += static_cast<std::uint64_t>(ns);
+    }
+    double quantile_ns(double q) const {
+      if (n == 0) return 0.0;
+      const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+      std::uint64_t seen = 0;
+      for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= rank) return bucket_upper_ns(i);
+      }
+      return bucket_upper_ns(LatencyHistogram::kBuckets - 1);
+    }
+  };
+
+  obs::ManualClock::install(7'000'000);
+  MetricsRegistry registry;
+  const int ep_predict = registry.register_endpoint("predict");
+  const int ep_submit = registry.register_endpoint("submit");
+
+  LegacyReference ref_predict;
+  LegacyReference ref_submit;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // seeded latency stream
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    // Integral ns like real timers produce; span five decades so every
+    // part of the grid including bucket 0 and deep buckets is hit.
+    const double ns = static_cast<double>(x % 100'000'000ull);
+    registry.record(ep_predict, ns);
+    ref_predict.record(ns);
+    if (i % 3 == 0) {
+      registry.record(ep_submit, std::floor(ns / 2.0));
+      ref_submit.record(std::floor(ns / 2.0));
+    }
+  }
+  obs::ManualClock::advance(2'500'000'000);  // 2.5 s on the books
+
+  std::string expected = "endpoint,requests,qps,mean_us,p50_us,p95_us,p99_us\n";
+  for (const auto& [name, ref] : {std::pair<const char*, const LegacyReference&>{
+                                      "predict", ref_predict},
+                                  {"submit", ref_submit}}) {
+    const double qps = static_cast<double>(ref.n) / 2.5;
+    const double mean_us =
+        static_cast<double>(ref.total_ns) / static_cast<double>(ref.n) / 1e3;
+    expected += util::format("%s,%llu,%.3f,%.3f,%.3f,%.3f,%.3f\n", name,
+                             static_cast<unsigned long long>(ref.n), qps, mean_us,
+                             ref.quantile_ns(0.50) / 1e3, ref.quantile_ns(0.95) / 1e3,
+                             ref.quantile_ns(0.99) / 1e3);
+  }
+  const std::string csv = registry.render_csv();
+  obs::ManualClock::uninstall();
+  EXPECT_EQ(csv, expected);
 }
 
 // -------------------------------------------------------------- service

@@ -49,6 +49,9 @@
 #include "models/huang.hpp"
 #include "models/liu.hpp"
 #include "models/strunk.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/query_stream.hpp"
 #include "serve/service.hpp"
 #include "serve/sim_backend.hpp"
@@ -387,13 +390,60 @@ std::shared_ptr<const faults::FaultPlan> fault_plan_from_args(const Args& args) 
   return plan;
 }
 
+// --trace-out FILE (alias --chrome-trace FILE): the Chrome-trace
+// destination for subcommands that can record spans. Empty = tracing
+// stays off.
+std::string trace_out_path(const Args& args) {
+  std::string path = args.get("trace-out", "");
+  if (path.empty()) path = args.get("chrome-trace", "");
+  return path;
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (out) out << body;
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Dumps the process-wide tracer as Chrome trace-event JSON. Reported
+/// on stderr: stdout stays human-readable output only.
+bool dump_chrome_trace(const std::string& path) {
+  obs::Tracer& tr = obs::tracer();
+  if (!tr.write_chrome_trace(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s (%llu events, %llu dropped)\n", path.c_str(),
+               static_cast<unsigned long long>(tr.emitted() - tr.dropped()),
+               static_cast<unsigned long long>(tr.dropped()));
+  return true;
+}
+
+/// Dumps the process-wide metric registry, dispatching on the file
+/// extension: .json -> JSON snapshot, anything else -> Prometheus text.
+bool dump_global_metrics(const std::string& path) {
+  const std::string body = path.ends_with(".json")
+                               ? obs::json_snapshot(obs::registry())
+                               : obs::prometheus_text(obs::registry());
+  if (!write_text_file(path, body)) return false;
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
 int cmd_trace(const Args& args) {
   // Runs the event-driven engine on the scenario (same flags as
   // `predict`) and prints the executed trajectory — including failures
   // when a fault plan is injected. `predict` answers "what would it
   // cost?"; `trace` answers "what actually happened, round by round?".
+  const std::string trace_path = trace_out_path(args);
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
   const core::MigrationScenario sc = scenario_from_args(args);
   const std::shared_ptr<const faults::FaultPlan> plan = fault_plan_from_args(args);
+  if (plan != nullptr) dcsim::emit_fault_instants(*plan);
 
   const migration::MigrationRecord rec = serve::simulate_record(sc, plan);
 
@@ -419,6 +469,10 @@ int cmd_trace(const Args& args) {
                 migration::to_string(rec.failure_phase), rec.wasted_bytes / 1e9);
   }
   std::puts("");
+
+  if (!trace_path.empty() && !dump_chrome_trace(trace_path)) return 1;
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !dump_global_metrics(metrics_path)) return 1;
 
   // Price the traffic when coefficients are available: on failure this
   // is the energy both hosts burned for nothing.
@@ -552,6 +606,8 @@ int cmd_report(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   // Closed-loop fleet simulation comparing consolidation strategies.
+  const std::string trace_path = trace_out_path(args);
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
   const int hosts = static_cast<int>(args.get_int("hosts", 6));
   const int vms = static_cast<int>(args.get_int("vms", 16));
   const double hours = args.get_double("hours", 12.0);
@@ -580,12 +636,17 @@ int cmd_simulate(const Args& args) {
                 r.total_energy_joules / 3.6e6, r.migrations_executed, r.power_off_events,
                 r.plans_rejected_by_cost, r.total_migration_downtime);
   }
+  if (!trace_path.empty() && !dump_chrome_trace(trace_path)) return 1;
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !dump_global_metrics(metrics_path)) return 1;
   return 0;
 }
 
 int cmd_serve_bench(const Args& args) {
   // Load-tests the in-process prediction service (src/serve/) with a
   // synthetic consolidation-round query stream and prints its metrics.
+  const std::string trace_path = trace_out_path(args);
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
   core::Wavm3Model model;
   if (args.has("coeffs")) {
     model = core::load_coefficients_csv(args.get("coeffs", ""));
@@ -693,6 +754,8 @@ int cmd_serve_bench(const Args& args) {
 
   std::puts("");
   if (args.has("csv")) {
+    // Deprecated: interleaves machine-readable rows with the human
+    // report on stdout. Prefer --metrics-out FILE.
     std::fputs(service.metrics_csv().c_str(), stdout);
   } else {
     std::fputs(service.metrics_table().c_str(), stdout);
@@ -704,6 +767,23 @@ int cmd_serve_bench(const Args& args) {
     std::printf("failed   : %ld of %ld requests raised (degradation %s)\n", crashed, total,
                 cfg.degrade_to_closed_form ? "on" : "off");
   }
+  // Machine-readable output goes to files so stdout stays human-only.
+  // Format follows the extension: .json -> JSON snapshot, .csv -> the
+  // legacy per-endpoint CSV, anything else -> Prometheus text.
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::string body;
+    if (metrics_path.ends_with(".json")) {
+      body = service.metrics_json();
+    } else if (metrics_path.ends_with(".csv")) {
+      body = service.metrics_csv();
+    } else {
+      body = service.metrics_prometheus();
+    }
+    if (!write_text_file(metrics_path, body)) return 1;
+    std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty() && !dump_chrome_trace(trace_path)) return 1;
   return 0;
 }
 
@@ -726,15 +806,18 @@ int cmd_help() {
       "            [--loss-at T | --loss-phase initiation|transfer --loss-offset T]\n"
       "            [--fault-random --fault-seed N --fault-horizon T\n"
       "             --loss-probability P]\n"
+      "            [--chrome-trace FILE | --trace-out FILE] [--metrics-out FILE]\n"
       "  tables    [--fast] [--seed N]\n"
       "  simulate  [--testbed m|o] [--hosts N] [--vms N] [--hours H]\n"
       "            [--horizon SECONDS] [--seed N]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
       "  serve-bench [--coeffs FILE | --testbed m|o] [--threads N] [--requests N]\n"
       "            [--batch N] [--cache-capacity N] [--cache-shards N]\n"
       "            [--quantization F] [--repeat-fraction F] [--queue N]\n"
       "            [--reloads N] [--fidelity closed|sim] [--csv] [--seed N]\n"
       "            [--fail-backend] [--no-degrade] [--deadline-ms T] [--retries N]\n"
       "            [--breaker-threshold N] [--breaker-open-ms T]\n"
+      "            [--trace-out FILE] [--metrics-out FILE (.json|.csv|.prom)]\n"
       "  report    [--out FILE] [--fast] [--seed N]\n"
       "  help\n");
   return 0;
