@@ -6,11 +6,12 @@
 namespace wavm3::core {
 
 double dataset_idle_power(const models::Dataset& dataset) {
-  WAVM3_REQUIRE(!dataset.observations.empty(), "empty dataset");
-  std::vector<double> idles;
-  idles.reserve(dataset.observations.size());
-  for (const auto& obs : dataset.observations) idles.push_back(obs.idle_power_watts);
-  return stats::mean(idles);
+  return dataset_idle_power(models::FeatureBatch(dataset));
+}
+
+double dataset_idle_power(const models::FeatureBatch& batch) {
+  WAVM3_REQUIRE(!batch.empty(), "empty dataset");
+  return stats::mean(batch.idle_power());
 }
 
 double idle_bias_delta(const models::Dataset& train, const models::Dataset& target) {

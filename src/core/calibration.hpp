@@ -13,6 +13,9 @@ namespace wavm3::core {
 /// observations' recorded testbed idle draw.
 double dataset_idle_power(const models::Dataset& dataset);
 
+/// Columnar form: the mean of a feature batch's idle-power column.
+double dataset_idle_power(const models::FeatureBatch& batch);
+
 /// Idle-power delta (train minus target) between two datasets.
 double idle_bias_delta(const models::Dataset& train, const models::Dataset& target);
 

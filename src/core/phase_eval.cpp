@@ -9,28 +9,42 @@ std::vector<PhaseEvaluationRow> evaluate_phase_energies(const Wavm3Model& model,
   WAVM3_REQUIRE(model.is_fitted(), "evaluate_phase_energies: model is not fitted");
   using migration::MigrationPhase;
   using migration::MigrationType;
+  using models::FeatureBatch;
   using models::HostRole;
+
+  // One batch over the test set; per phase, one predict_phase_batch
+  // call, with the observed side read straight off the batch's strict
+  // (phase-pure) power-integral column.
+  const FeatureBatch batch(test);
+  constexpr MigrationPhase kPhases[] = {MigrationPhase::kInitiation, MigrationPhase::kTransfer,
+                                        MigrationPhase::kActivation};
+  std::vector<std::vector<double>> predicted_all(3, std::vector<double>(batch.size()));
+  if (!batch.empty()) {
+    for (std::size_t p = 0; p < 3; ++p) model.predict_phase_batch(batch, kPhases[p],
+                                                                  predicted_all[p]);
+  }
 
   std::vector<PhaseEvaluationRow> rows;
   for (const auto type : {MigrationType::kNonLive, MigrationType::kLive}) {
     for (const auto role : {HostRole::kSource, HostRole::kTarget}) {
-      const auto slice = test.select(type, role);
+      const std::span<const std::size_t> slice = batch.slice(type, role);
       if (slice.empty()) continue;
-      for (const auto phase : {MigrationPhase::kInitiation, MigrationPhase::kTransfer,
-                               MigrationPhase::kActivation}) {
+      for (std::size_t p = 0; p < 3; ++p) {
+        const std::span<const double> observed_col = batch.integral(
+            FeatureBatch::Column::kPower, kPhases[p], FeatureBatch::Weighting::kPhasePure);
         std::vector<double> predicted;
         std::vector<double> observed;
-        for (const auto* obs : slice) {
-          const double o = obs->observed_phase_energy(phase);
+        for (const std::size_t r : slice) {
+          const double o = observed_col[r];
           if (o <= 0.0) continue;  // phase missing from this observation's samples
           observed.push_back(o);
-          predicted.push_back(model.predict_phase_energy(*obs, phase));
+          predicted.push_back(predicted_all[p][r]);
         }
         if (observed.size() < 3) continue;
         PhaseEvaluationRow row;
         row.type = type;
         row.role = role;
-        row.phase = phase;
+        row.phase = kPhases[p];
         row.n_migrations = observed.size();
         row.metrics = stats::compute_error_metrics(predicted, observed);
         rows.push_back(std::move(row));

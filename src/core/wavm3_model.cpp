@@ -1,10 +1,12 @@
 #include "core/wavm3_model.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "stats/descriptive.hpp"
 #include "stats/linreg.hpp"
 #include "stats/lm.hpp"
+#include "stats/matrix.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::core {
@@ -13,28 +15,28 @@ namespace {
 
 using migration::MigrationPhase;
 using migration::MigrationType;
+using models::FeatureBatch;
 using models::HostRole;
 using models::MigrationSample;
 
+using Column = FeatureBatch::Column;
+
 /// Which regressors Eq. 5-7 use in each phase. Order fixed:
 /// transfer -> {cpu_host, bw, dr, cpu_vm}; others -> {cpu_host, cpu_vm}.
-std::vector<double> raw_features(MigrationPhase phase, const MigrationSample& s) {
+std::vector<Column> phase_columns(MigrationPhase phase) {
   if (phase == MigrationPhase::kTransfer) {
-    return {s.cpu_host, s.bandwidth, s.dirty_ratio, s.cpu_vm};
+    return {Column::kCpuHost, Column::kBandwidth, Column::kDirtyRatio, Column::kCpuVm};
   }
-  return {s.cpu_host, s.cpu_vm};
+  return {Column::kCpuHost, Column::kCpuVm};
 }
 
-/// Applies the ablation mask to a transfer-phase feature vector.
-void apply_ablation(MigrationPhase phase, const Wavm3Model::Ablation& ab,
-                    std::vector<double>& f) {
+/// Whether the ablation mask drops feature column `j` of `phase`.
+bool ablated(MigrationPhase phase, const Wavm3Model::Ablation& ab, std::size_t j) {
   if (phase == MigrationPhase::kTransfer) {
-    if (ab.drop_bandwidth) f[1] = 0.0;
-    if (ab.drop_dirty_ratio) f[2] = 0.0;
-    if (ab.drop_vm_cpu) f[3] = 0.0;
-  } else {
-    if (ab.drop_vm_cpu) f[1] = 0.0;
+    return (j == 1 && ab.drop_bandwidth) || (j == 2 && ab.drop_dirty_ratio) ||
+           (j == 3 && ab.drop_vm_cpu);
   }
+  return j == 1 && ab.drop_vm_cpu;
 }
 
 PhaseCoefficients pack(MigrationPhase phase, const std::vector<double>& coeffs) {
@@ -73,64 +75,103 @@ const PhaseCoefficients& phase_coeffs(const RoleCoefficients& rc, MigrationPhase
   return rc.initiation;
 }
 
+/// The per-phase coefficient vectors laid out against the batch's
+/// integral columns: {alpha..., bias} against {features..., kOne}.
+void append_phase_terms(MigrationPhase phase, const PhaseCoefficients& k,
+                        std::vector<Column>& cols, std::vector<MigrationPhase>& phases,
+                        std::vector<double>& coeffs) {
+  if (phase == MigrationPhase::kTransfer) {
+    for (const Column c : {Column::kCpuHost, Column::kBandwidth, Column::kDirtyRatio,
+                           Column::kCpuVm, Column::kOne}) {
+      cols.push_back(c);
+      phases.push_back(phase);
+    }
+    coeffs.insert(coeffs.end(), {k.alpha, k.beta, k.gamma, k.delta, k.c});
+  } else {
+    for (const Column c : {Column::kCpuHost, Column::kCpuVm, Column::kOne}) {
+      cols.push_back(c);
+      phases.push_back(phase);
+    }
+    coeffs.insert(coeffs.end(), {k.alpha, k.beta, k.c});
+  }
+}
+
+/// One (type, role) slice's prediction: gather the named integral
+/// columns at the slice rows, multiply by the coefficient vector, and
+/// scatter into `out`.
+void predict_slice(const FeatureBatch& batch, std::span<const std::size_t> rows,
+                   const std::vector<Column>& cols, const std::vector<MigrationPhase>& phases,
+                   const std::vector<double>& coeffs, FeatureBatch::Weighting weighting,
+                   std::span<double> out) {
+  std::vector<double> storage(cols.size() * rows.size());
+  std::vector<std::span<const double>> column_views(cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    const std::span<double> dst(storage.data() + j * rows.size(), rows.size());
+    FeatureBatch::gather(batch.integral(cols[j], phases[j], weighting), rows, dst);
+    column_views[j] = dst;
+  }
+  const stats::Matrix x = stats::Matrix::from_columns(column_views);
+  std::vector<double> predicted(rows.size());
+  x.times(coeffs, predicted);
+  for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i];
+}
+
 }  // namespace
 
 Wavm3Model::Wavm3Model(Options options) : options_(options) {}
 
-PhaseCoefficients Wavm3Model::fit_phase(const models::Dataset& train, MigrationType type,
+PhaseCoefficients Wavm3Model::fit_phase(const FeatureBatch& batch, MigrationType type,
                                         HostRole role, MigrationPhase phase) const {
-  std::vector<std::vector<double>> features;
-  std::vector<double> power;
-  for (const auto& obs : train.observations) {
-    if (obs.type != type || obs.role != role) continue;
-    for (const auto& s : obs.samples) {
-      if (s.phase != phase) continue;
-      std::vector<double> f = raw_features(phase, s);
-      apply_ablation(phase, options_.ablation, f);
-      features.push_back(std::move(f));
-      power.push_back(s.power_watts);
-    }
-  }
-  const std::size_t n_features = phase == MigrationPhase::kTransfer ? 4 : 2;
-  WAVM3_REQUIRE(features.size() >= n_features + 1,
+  const std::span<const std::size_t> samples = batch.sample_slice(type, role, phase);
+  const std::vector<Column> feature_cols = phase_columns(phase);
+  const std::size_t n_features = feature_cols.size();
+  WAVM3_REQUIRE(samples.size() >= n_features + 1,
                 "WAVM3: too few samples to fit a phase model");
+
+  // Gather the phase's regressor columns (ablated columns become 0,
+  // mirroring the paper's term-removal studies) and the power target.
+  std::vector<std::vector<double>> columns(n_features, std::vector<double>(samples.size()));
+  for (std::size_t j = 0; j < n_features; ++j) {
+    if (ablated(phase, options_.ablation, j)) continue;  // stays all-zero
+    FeatureBatch::gather(batch.sample_column(feature_cols[j]), samples, columns[j]);
+  }
+  std::vector<double> power(samples.size());
+  FeatureBatch::gather(batch.sample_column(Column::kPower), samples, power);
 
   // Prune zero-variance columns (e.g. CPU(v,t)==0 on the target during
   // transfer, SIV-C.2): they are collinear with the intercept, and the
   // paper's tables report exactly 0 for them.
-  std::vector<bool> keep(n_features, false);
-  for (std::size_t j = 0; j < n_features; ++j) {
-    std::vector<double> col(features.size());
-    for (std::size_t i = 0; i < features.size(); ++i) col[i] = features[i][j];
-    const auto summary = stats::summarize(col);
-    keep[j] = summary.stddev > 1e-9 * (1.0 + std::abs(summary.mean));
-  }
-
   std::vector<std::size_t> kept_idx;
-  for (std::size_t j = 0; j < n_features; ++j)
-    if (keep[j]) kept_idx.push_back(j);
+  for (std::size_t j = 0; j < n_features; ++j) {
+    const auto summary = stats::summarize(std::span<const double>(columns[j]));
+    if (summary.stddev > 1e-9 * (1.0 + std::abs(summary.mean))) kept_idx.push_back(j);
+  }
 
   std::vector<double> full(n_features + 1, 0.0);  // +1: intercept last
   if (kept_idx.empty()) {
     // Degenerate phase (all features constant): bias-only model.
-    full[n_features] = stats::mean(power);
+    full[n_features] = stats::mean(std::span<const double>(power));
     return pack(phase, full);
   }
 
-  std::vector<std::vector<double>> reduced(features.size());
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    reduced[i].reserve(kept_idx.size());
-    for (const std::size_t j : kept_idx) reduced[i].push_back(features[i][j]);
-  }
+  std::vector<std::span<const double>> kept_cols;
+  kept_cols.reserve(kept_idx.size());
+  for (const std::size_t j : kept_idx) kept_cols.emplace_back(columns[j]);
 
   std::vector<double> solution;
   stats::LinregOptions linreg;
   linreg.nonnegative = options_.nonnegative_coefficients;
-  const stats::LinearFit ols = stats::fit_linear(reduced, power, linreg);
+  const stats::LinearFit ols = stats::fit_linear(kept_cols, power, linreg);
   if (options_.use_levenberg_marquardt) {
     // SVI-F fits with non-linear least squares; for this linear model
     // LM converges to the same optimum. Seed at zero to make the
-    // equivalence a meaningful check rather than a tautology.
+    // equivalence a meaningful check rather than a tautology. The LM
+    // residual machinery is row-wise, so transpose the kept columns.
+    std::vector<std::vector<double>> reduced(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      reduced[i].reserve(kept_idx.size());
+      for (const std::size_t j : kept_idx) reduced[i].push_back(columns[j][i]);
+    }
     const auto model_fn = [](const std::vector<double>& params,
                              const std::vector<double>& f) {
       double y = params.back();
@@ -152,18 +193,20 @@ PhaseCoefficients Wavm3Model::fit_phase(const models::Dataset& train, MigrationT
 
 void Wavm3Model::fit(const models::Dataset& train) {
   fits_.clear();
+  FeatureBatch::BuildOptions build;
+  build.with_samples = true;
+  const FeatureBatch batch(train, build);
   for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
-    bool any = false;
-    for (const auto& obs : train.observations)
-      if (obs.type == type) any = true;
+    const bool any = !batch.slice(type, HostRole::kSource).empty() ||
+                     !batch.slice(type, HostRole::kTarget).empty();
     if (!any) continue;
 
     Wavm3Coefficients table;
     for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
       RoleCoefficients rc;
-      rc.initiation = fit_phase(train, type, role, MigrationPhase::kInitiation);
-      rc.transfer = fit_phase(train, type, role, MigrationPhase::kTransfer);
-      rc.activation = fit_phase(train, type, role, MigrationPhase::kActivation);
+      rc.initiation = fit_phase(batch, type, role, MigrationPhase::kInitiation);
+      rc.transfer = fit_phase(batch, type, role, MigrationPhase::kTransfer);
+      rc.activation = fit_phase(batch, type, role, MigrationPhase::kActivation);
       (role == HostRole::kSource ? table.source : table.target) = rc;
     }
     fits_[type] = table;
@@ -190,23 +233,52 @@ double Wavm3Model::predict_power(MigrationType type, HostRole role,
                   phase_coeffs(rc, sample.phase), sample);
 }
 
-double Wavm3Model::predict_energy(const models::MigrationObservation& obs) const {
-  return models::integrate_predicted_power(obs, [this, &obs](const MigrationSample& s) {
-    return predict_power(obs.type, obs.role, s);
-  });
+void Wavm3Model::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
+  WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+      const std::span<const std::size_t> rows = batch.slice(type, role);
+      if (rows.empty()) continue;
+      const Wavm3Coefficients& table = coefficients(type);
+      const RoleCoefficients& rc = role == HostRole::kSource ? table.source : table.target;
+      // Eq. 4 as one matrix-vector product: 11 concatenated per-phase
+      // integral columns against the role's coefficient table.
+      std::vector<Column> cols;
+      std::vector<MigrationPhase> phases;
+      std::vector<double> coeffs;
+      append_phase_terms(MigrationPhase::kInitiation, rc.initiation, cols, phases, coeffs);
+      append_phase_terms(MigrationPhase::kTransfer, rc.transfer, cols, phases, coeffs);
+      append_phase_terms(MigrationPhase::kActivation, rc.activation, cols, phases, coeffs);
+      predict_slice(batch, rows, cols, phases, coeffs, FeatureBatch::Weighting::kTotal, out);
+    }
+  }
+}
+
+void Wavm3Model::predict_phase_batch(const FeatureBatch& batch, MigrationPhase phase,
+                                     std::span<double> out) const {
+  WAVM3_REQUIRE(out.size() == batch.size(), "predict_phase_batch: output size mismatch");
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+      const std::span<const std::size_t> rows = batch.slice(type, role);
+      if (rows.empty()) continue;
+      const Wavm3Coefficients& table = coefficients(type);
+      const RoleCoefficients& rc = role == HostRole::kSource ? table.source : table.target;
+      std::vector<Column> cols;
+      std::vector<MigrationPhase> phases;
+      std::vector<double> coeffs;
+      append_phase_terms(phase, phase_coeffs(rc, phase), cols, phases, coeffs);
+      predict_slice(batch, rows, cols, phases, coeffs, FeatureBatch::Weighting::kPhasePure,
+                    out);
+    }
+  }
 }
 
 double Wavm3Model::predict_phase_energy(const models::MigrationObservation& obs,
                                         MigrationPhase phase) const {
-  double energy = 0.0;
-  const auto& s = obs.samples;
-  for (std::size_t i = 1; i < s.size(); ++i) {
-    if (s[i - 1].phase != phase || s[i].phase != phase) continue;
-    const double pa = predict_power(obs.type, obs.role, s[i - 1]);
-    const double pb = predict_power(obs.type, obs.role, s[i]);
-    energy += 0.5 * (pa + pb) * (s[i].time - s[i - 1].time);
-  }
-  return energy;
+  const FeatureBatch batch = FeatureBatch::of(obs);
+  double out = 0.0;
+  predict_phase_batch(batch, phase, std::span<double>(&out, 1));
+  return out;
 }
 
 void Wavm3Model::apply_idle_bias_correction(double idle_delta_watts) {

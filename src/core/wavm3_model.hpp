@@ -74,7 +74,10 @@ class Wavm3Model final : public models::EnergyModel {
 
   std::string name() const override { return "WAVM3"; }
   void fit(const models::Dataset& train) override;
-  double predict_energy(const models::MigrationObservation& obs) const override;
+  /// Closed-form batched prediction: for each (type, role) slice of the
+  /// batch, one Matrix x coefficient-vector product over the 11
+  /// concatenated per-phase integral columns (Eq. 4 as a dot product).
+  void predict_batch(const models::FeatureBatch& batch, std::span<double> out) const override;
   void apply_idle_bias_correction(double idle_delta_watts) override;
   bool is_fitted() const override { return !fits_.empty(); }
 
@@ -82,7 +85,15 @@ class Wavm3Model final : public models::EnergyModel {
   double predict_power(migration::MigrationType type, models::HostRole role,
                        const models::MigrationSample& sample) const;
 
-  /// Predicted energy of one phase of an observation (Eq. 3 split).
+  /// Predicted energy of one phase for every batch row, from the
+  /// strict (phase-pure) integral columns — the batched form of the
+  /// Eq. 3 split. Rows whose (type, role) slice is absent from the fit
+  /// throw, like predict_batch.
+  void predict_phase_batch(const models::FeatureBatch& batch, migration::MigrationPhase phase,
+                           std::span<double> out) const;
+
+  /// Predicted energy of one phase of an observation (Eq. 3 split) — a
+  /// batch-of-one wrapper over predict_phase_batch.
   double predict_phase_energy(const models::MigrationObservation& obs,
                               migration::MigrationPhase phase) const;
 
@@ -97,7 +108,7 @@ class Wavm3Model final : public models::EnergyModel {
   const Options& options() const { return options_; }
 
  private:
-  PhaseCoefficients fit_phase(const models::Dataset& train, migration::MigrationType type,
+  PhaseCoefficients fit_phase(const models::FeatureBatch& batch, migration::MigrationType type,
                               models::HostRole role, migration::MigrationPhase phase) const;
 
   Options options_;

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "stats/integrate.hpp"
 #include "stats/split.hpp"
 #include "util/error.hpp"
 
@@ -17,33 +18,35 @@ const char* to_string(HostRole r) {
 
 namespace {
 
-/// Trapezoidal integral of `value(sample)` over the observation's
-/// sample times, restricted to samples whose phase matches `phase`
-/// (or all in-migration samples when phase == kNormal is passed as the
-/// "no filter" convention used internally).
+/// Unfiltered trapezoidal integral of `value(sample)` over the
+/// observation's sample times, via the shared stats::trapezoid kernel.
 double integrate(const MigrationObservation& obs,
-                 const std::function<double(const MigrationSample&)>& value,
-                 bool filter_phase, migration::MigrationPhase phase) {
-  double energy = 0.0;
-  const auto& s = obs.samples;
-  for (std::size_t i = 1; i < s.size(); ++i) {
-    const auto& a = s[i - 1];
-    const auto& b = s[i];
-    if (filter_phase && (a.phase != phase || b.phase != phase)) continue;
-    energy += 0.5 * (value(a) + value(b)) * (b.time - a.time);
+                 const std::function<double(const MigrationSample&)>& value) {
+  std::vector<double> t(obs.samples.size());
+  std::vector<double> y(obs.samples.size());
+  for (std::size_t i = 0; i < obs.samples.size(); ++i) {
+    t[i] = obs.samples[i].time;
+    y[i] = value(obs.samples[i]);
   }
-  return energy;
+  return stats::trapezoid(t, y);
 }
 
 }  // namespace
 
 double MigrationObservation::observed_energy() const {
-  return integrate(*this, [](const MigrationSample& s) { return s.power_watts; }, false,
-                   migration::MigrationPhase::kNormal);
+  return integrate(*this, [](const MigrationSample& s) { return s.power_watts; });
 }
 
 double MigrationObservation::observed_phase_energy(migration::MigrationPhase phase) const {
-  return integrate(*this, [](const MigrationSample& s) { return s.power_watts; }, true, phase);
+  // Strict per-phase integral: only sample pairs fully inside `phase`
+  // contribute (boundary-straddling segments are dropped).
+  double energy = 0.0;
+  const auto& s = samples;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1].phase != phase || s[i].phase != phase) continue;
+    energy += 0.5 * (s[i - 1].power_watts + s[i].power_watts) * (s[i].time - s[i - 1].time);
+  }
+  return energy;
 }
 
 std::vector<const MigrationObservation*> Dataset::select(migration::MigrationType type,
@@ -102,7 +105,7 @@ std::pair<Dataset, Dataset> Dataset::split_stratified(double train_fraction,
 
 double integrate_predicted_power(const MigrationObservation& obs,
                                  const std::function<double(const MigrationSample&)>& predictor) {
-  return integrate(obs, predictor, false, migration::MigrationPhase::kNormal);
+  return integrate(obs, predictor);
 }
 
 }  // namespace wavm3::models

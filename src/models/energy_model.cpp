@@ -1,3 +1,12 @@
 #include "models/energy_model.hpp"
 
-// Interface-only translation unit: anchors the vtable.
+namespace wavm3::models {
+
+double EnergyModel::predict_energy(const MigrationObservation& obs) const {
+  const FeatureBatch batch = FeatureBatch::of(obs);
+  double out = 0.0;
+  predict_batch(batch, std::span<double>(&out, 1));
+  return out;
+}
+
+}  // namespace wavm3::models

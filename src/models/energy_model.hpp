@@ -5,10 +5,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "models/dataset.hpp"
+#include "models/feature_batch.hpp"
 
 namespace wavm3::models {
 
@@ -26,8 +28,16 @@ class EnergyModel {
   virtual void fit(const Dataset& train) = 0;
 
   /// Predicts the total migration energy (joules, full AC draw over
-  /// [ms, me]) for one observation's features.
-  virtual double predict_energy(const MigrationObservation& obs) const = 0;
+  /// [ms, me]) for every row of a feature batch, writing row i's
+  /// prediction to out[i] (out.size() must equal batch.size()). This is
+  /// the primary prediction entry point: implementations work directly
+  /// on the batch's columnar aggregates via stats::Matrix kernels.
+  virtual void predict_batch(const FeatureBatch& batch, std::span<double> out) const = 0;
+
+  /// Predicts the total migration energy for one observation — a
+  /// batch-of-one wrapper over predict_batch, so the scalar and batched
+  /// paths share one code path and agree bit-for-bit.
+  virtual double predict_energy(const MigrationObservation& obs) const;
 
   /// Bias transfer across testbeds (SVI-F): the fitted constants embed
   /// the training machines' idle power; predicting for a machine set

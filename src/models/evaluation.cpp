@@ -11,19 +11,24 @@ namespace wavm3::models {
 
 std::vector<EvaluationRow> evaluate_model(const EnergyModel& model, const Dataset& test) {
   WAVM3_REQUIRE(model.is_fitted(), "evaluate_model: model is not fitted");
+  // One columnar batch over the whole test set, one predict_batch call;
+  // the per-(type, role) table rows are then gathers over contiguous
+  // columns.
+  const FeatureBatch batch(test);
+  std::vector<double> predicted_all(batch.size());
+  if (!batch.empty()) model.predict_batch(batch, predicted_all);
+
   std::vector<EvaluationRow> rows;
+  std::vector<double> predicted;
+  std::vector<double> observed;
   for (const auto type : {migration::MigrationType::kNonLive, migration::MigrationType::kLive}) {
     for (const auto role : {HostRole::kSource, HostRole::kTarget}) {
-      const auto slice = test.select(type, role);
+      const std::span<const std::size_t> slice = batch.slice(type, role);
       if (slice.empty()) continue;
-      std::vector<double> predicted;
-      std::vector<double> observed;
-      predicted.reserve(slice.size());
-      observed.reserve(slice.size());
-      for (const MigrationObservation* obs : slice) {
-        predicted.push_back(model.predict_energy(*obs));
-        observed.push_back(obs->observed_energy());
-      }
+      predicted.resize(slice.size());
+      observed.resize(slice.size());
+      FeatureBatch::gather(predicted_all, slice, predicted);
+      FeatureBatch::gather(batch.observed_energy(), slice, observed);
       EvaluationRow row;
       row.model = model.name();
       row.type = type;

@@ -1,0 +1,206 @@
+#include "models/feature_batch.hpp"
+
+#include "stats/integrate.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::models {
+
+namespace {
+
+using migration::MigrationPhase;
+using migration::MigrationType;
+
+/// Dense phase index: initiation 0, transfer 1, activation 2.
+std::size_t phase_index(MigrationPhase p) {
+  switch (p) {
+    case MigrationPhase::kInitiation: return 0;
+    case MigrationPhase::kTransfer: return 1;
+    case MigrationPhase::kActivation: return 2;
+    case MigrationPhase::kNormal: break;
+  }
+  WAVM3_REQUIRE(false, "FeatureBatch: kNormal is not an aggregation phase");
+  return 0;
+}
+
+/// Phase bucket a sample's contribution lands in under kTotal: boundary
+/// samples carrying kNormal fall back to initiation, exactly as the
+/// WAVM3 predict path does.
+std::size_t effective_phase_index(MigrationPhase p) {
+  return p == MigrationPhase::kNormal ? 0 : phase_index(p);
+}
+
+std::size_t type_index(MigrationType t) { return t == MigrationType::kNonLive ? 0 : 1; }
+std::size_t role_index(HostRole r) { return r == HostRole::kSource ? 0 : 1; }
+
+double column_value(FeatureBatch::Column col, const MigrationSample& s) {
+  switch (col) {
+    case FeatureBatch::Column::kCpuHost: return s.cpu_host;
+    case FeatureBatch::Column::kCpuVm: return s.cpu_vm;
+    case FeatureBatch::Column::kDirtyRatio: return s.dirty_ratio;
+    case FeatureBatch::Column::kBandwidth: return s.bandwidth;
+    case FeatureBatch::Column::kPower: return s.power_watts;
+    case FeatureBatch::Column::kOne: return 1.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+FeatureBatch::FeatureBatch(const Dataset& dataset, BuildOptions options) {
+  std::vector<const MigrationObservation*> ptrs;
+  ptrs.reserve(dataset.observations.size());
+  for (const auto& obs : dataset.observations) ptrs.push_back(&obs);
+  build(ptrs, options);
+}
+
+FeatureBatch::FeatureBatch(std::span<const MigrationObservation* const> observations,
+                           BuildOptions options) {
+  build(observations, options);
+}
+
+FeatureBatch FeatureBatch::of(const MigrationObservation& obs) {
+  const MigrationObservation* ptr = &obs;
+  return FeatureBatch(std::span<const MigrationObservation* const>(&ptr, 1));
+}
+
+void FeatureBatch::build(std::span<const MigrationObservation* const> observations,
+                         BuildOptions options) {
+  n_ = observations.size();
+  has_samples_ = options.with_samples;
+  mig_.assign(kMigColumns * n_, 0.0);
+  agg_.assign(kWeightings * kColumns * kPhases * n_, 0.0);
+  types_.resize(n_);
+  roles_.resize(n_);
+
+  n_samples_ = 0;
+  if (has_samples_) {
+    for (const MigrationObservation* obs : observations) {
+      WAVM3_REQUIRE(obs != nullptr, "FeatureBatch: null observation");
+      n_samples_ += obs->samples.size();
+    }
+    samp_.assign((kColumns - 1) * n_samples_, 0.0);
+  }
+
+  std::vector<double> scratch_t;
+  std::vector<double> scratch_p;
+  std::size_t sample_base = 0;
+  for (std::size_t r = 0; r < n_; ++r) {
+    const MigrationObservation* obs = observations[r];
+    WAVM3_REQUIRE(obs != nullptr, "FeatureBatch: null observation");
+    types_[r] = obs->type;
+    roles_[r] = obs->role;
+    slices_[type_index(obs->type)][role_index(obs->role)].push_back(r);
+    role_slices_[role_index(obs->role)].push_back(r);
+
+    mig_[0 * n_ + r] = obs->mem_bytes;
+    mig_[1 * n_ + r] = obs->data_bytes;
+    mig_[2 * n_ + r] = obs->avg_bandwidth;
+    mig_[3 * n_ + r] = obs->idle_power_watts;
+
+    const auto& s = obs->samples;
+    // Observed energy: the unfiltered trapezoid over the samples,
+    // arithmetically identical to MigrationObservation::observed_energy().
+    scratch_t.resize(s.size());
+    scratch_p.resize(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      scratch_t[i] = s[i].time;
+      scratch_p[i] = s[i].power_watts;
+    }
+    mig_[4 * n_ + r] = stats::trapezoid(scratch_t, scratch_p);
+
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      const MigrationSample& a = s[i - 1];
+      const MigrationSample& b = s[i];
+      const double half = 0.5 * (b.time - a.time);
+      const std::size_t pa = effective_phase_index(a.phase);
+      const std::size_t pb = effective_phase_index(b.phase);
+      for (std::size_t col = 0; col < kColumns; ++col) {
+        const Column c = static_cast<Column>(col);
+        const double va = column_value(c, a);
+        const double vb = column_value(c, b);
+        // kTotal: each endpoint's half-trapezoid lands in its own
+        // effective phase; summed over phases this is the plain
+        // unfiltered trapezoid.
+        const std::size_t base = (0 * kColumns + col) * kPhases;
+        agg_[(base + pa) * n_ + r] += half * va;
+        agg_[(base + pb) * n_ + r] += half * vb;
+        // kPhasePure: only pairs fully inside one phase, the strict
+        // integral observed_phase_energy() computes. half*(va+vb) is
+        // bit-identical to 0.5*(va+vb)*dt because scaling by 0.5 is
+        // exact.
+        if (a.phase == b.phase && a.phase != MigrationPhase::kNormal) {
+          const std::size_t strict = (1 * kColumns + col) * kPhases + phase_index(a.phase);
+          agg_[strict * n_ + r] += half * (va + vb);
+        }
+      }
+    }
+
+    if (has_samples_) {
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        const std::size_t g = sample_base + i;
+        samp_[0 * n_samples_ + g] = s[i].cpu_host;
+        samp_[1 * n_samples_ + g] = s[i].cpu_vm;
+        samp_[2 * n_samples_ + g] = s[i].dirty_ratio;
+        samp_[3 * n_samples_ + g] = s[i].bandwidth;
+        samp_[4 * n_samples_ + g] = s[i].power_watts;
+        role_sample_slices_[role_index(obs->role)].push_back(g);
+        if (s[i].phase != MigrationPhase::kNormal) {
+          sample_slices_[type_index(obs->type)][role_index(obs->role)]
+                        [phase_index(s[i].phase)].push_back(g);
+        }
+      }
+      sample_base += s.size();
+    }
+  }
+}
+
+std::span<const double> FeatureBatch::mig_column(std::size_t c) const {
+  return std::span<const double>(mig_).subspan(c * n_, n_);
+}
+
+std::span<const double> FeatureBatch::integral(Column col, migration::MigrationPhase phase,
+                                               Weighting w) const {
+  const std::size_t idx =
+      (static_cast<std::size_t>(w) * kColumns + static_cast<std::size_t>(col)) * kPhases +
+      phase_index(phase);
+  return std::span<const double>(agg_).subspan(idx * n_, n_);
+}
+
+std::span<const std::size_t> FeatureBatch::slice(migration::MigrationType type,
+                                                 HostRole role) const {
+  return slices_[type_index(type)][role_index(role)];
+}
+
+std::span<const std::size_t> FeatureBatch::slice(HostRole role) const {
+  return role_slices_[role_index(role)];
+}
+
+std::span<const double> FeatureBatch::sample_column(Column col) const {
+  WAVM3_REQUIRE(has_samples_, "FeatureBatch: built without BuildOptions::with_samples");
+  WAVM3_REQUIRE(col != Column::kOne, "FeatureBatch: kOne has no sample-level column");
+  return std::span<const double>(samp_).subspan(static_cast<std::size_t>(col) * n_samples_,
+                                                n_samples_);
+}
+
+std::span<const std::size_t> FeatureBatch::sample_slice(migration::MigrationType type,
+                                                        HostRole role,
+                                                        migration::MigrationPhase phase) const {
+  WAVM3_REQUIRE(has_samples_, "FeatureBatch: built without BuildOptions::with_samples");
+  return sample_slices_[type_index(type)][role_index(role)][phase_index(phase)];
+}
+
+std::span<const std::size_t> FeatureBatch::sample_slice(HostRole role) const {
+  WAVM3_REQUIRE(has_samples_, "FeatureBatch: built without BuildOptions::with_samples");
+  return role_sample_slices_[role_index(role)];
+}
+
+void FeatureBatch::gather(std::span<const double> column, std::span<const std::size_t> rows,
+                          std::span<double> out) {
+  WAVM3_REQUIRE(rows.size() == out.size(), "gather: rows/out size mismatch");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    WAVM3_ASSERT(rows[i] < column.size(), "gather: row index out of range");
+    out[i] = column[rows[i]];
+  }
+}
+
+}  // namespace wavm3::models

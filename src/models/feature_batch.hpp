@@ -1,0 +1,151 @@
+// FeatureBatch: the columnar (SoA) feature layout the batched
+// prediction path runs on.
+//
+// Every energy model in this repo is linear in features that are
+// either migration-level scalars (MEM(v), DATA, avg BW) or
+// time-integrals of sampled signals (CPU(h,t), CPU(v,t), DR(v,t),
+// BW(S,T,t)) — so a migration's predicted energy is a dot product
+// against per-phase aggregated columns, and a batch of migrations is
+// a matrix–vector product over stats::Matrix. FeatureBatch owns those
+// columns, pre-aggregated once per batch:
+//
+//   * migration-level columns (one entry per observation): MEM(v),
+//     DATA, avg BW, idle power, observed energy;
+//   * per-phase trapezoid-integral columns (3 phases x one entry per
+//     observation) of CPU(h,t), CPU(v,t), DR(v,t), BW(S,T,t),
+//     observed power, and the constant 1 (phase duration — the
+//     regressor of the bias term), in two weightings (see Weighting);
+//   * optionally (BuildOptions::with_samples, the fit path), the raw
+//     per-sample signals concatenated across observations in dataset
+//     order, with (type, role, phase) sample-slice indices — the
+//     design-matrix columns of the per-sample power regressions.
+//
+// Column accessors return std::span views into storage owned by the
+// batch (zero-copy): they are valid exactly as long as the FeatureBatch
+// is alive and are invalidated by assigning to it. Slice accessors
+// return row/sample indices in dataset order, so slice-local work is a
+// gather over a contiguous column.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "models/dataset.hpp"
+
+namespace wavm3::models {
+
+class FeatureBatch {
+ public:
+  /// The per-phase aggregated signals.
+  enum class Column {
+    kCpuHost = 0,     ///< CPU(h,t), vCPUs
+    kCpuVm = 1,       ///< CPU(v,t), vCPUs
+    kDirtyRatio = 2,  ///< DR(v,t)
+    kBandwidth = 3,   ///< BW(S,T,t), bytes/s
+    kPower = 4,       ///< observed AC power, watts
+    kOne = 5,         ///< the constant 1; its integral is the phase duration
+  };
+  static constexpr std::size_t kColumns = 6;
+
+  /// How samples are bucketed into phases when aggregating.
+  enum class Weighting {
+    /// Every consecutive sample pair contributes 0.5*dt to both of its
+    /// endpoints' phases (kNormal maps to initiation, matching the
+    /// predict-time fallback). Summed over the three phases this is
+    /// exactly the unfiltered trapezoid over [ms, me] — the weighting
+    /// behind total-energy prediction (Eq. 4).
+    kTotal = 0,
+    /// Only pairs whose two endpoints share the phase contribute — the
+    /// strict per-phase integral observed_phase_energy() uses, which
+    /// drops the straddling boundary segments.
+    kPhasePure = 1,
+  };
+  static constexpr std::size_t kWeightings = 2;
+  static constexpr std::size_t kPhases = 3;  ///< initiation, transfer, activation
+
+  struct BuildOptions {
+    /// Also materialise the per-sample SoA section (sample_column /
+    /// sample_slice); needed by the fit path, dead weight for predict.
+    bool with_samples = false;
+  };
+
+  FeatureBatch() = default;
+  explicit FeatureBatch(const Dataset& dataset) : FeatureBatch(dataset, BuildOptions{}) {}
+  FeatureBatch(const Dataset& dataset, BuildOptions options);
+  explicit FeatureBatch(std::span<const MigrationObservation* const> observations)
+      : FeatureBatch(observations, BuildOptions{}) {}
+  FeatureBatch(std::span<const MigrationObservation* const> observations, BuildOptions options);
+
+  /// Single-observation batch — what EnergyModel::predict_energy wraps.
+  static FeatureBatch of(const MigrationObservation& obs);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // ---- migration-level columns (length size()) ----
+  std::span<const double> mem_bytes() const { return mig_column(0); }
+  std::span<const double> data_bytes() const { return mig_column(1); }
+  std::span<const double> avg_bandwidth() const { return mig_column(2); }
+  std::span<const double> idle_power() const { return mig_column(3); }
+  /// Trapezoid-integrated measured power over [ms, me], joules —
+  /// identical arithmetic to MigrationObservation::observed_energy().
+  std::span<const double> observed_energy() const { return mig_column(4); }
+
+  std::span<const migration::MigrationType> types() const { return types_; }
+  std::span<const HostRole> roles() const { return roles_; }
+
+  // ---- per-phase aggregated integral columns (length size()) ----
+  /// The trapezoid integral of `col` restricted to `phase` under
+  /// weighting `w`. `phase` must be one of the three migration phases
+  /// (not kNormal).
+  std::span<const double> integral(Column col, migration::MigrationPhase phase,
+                                   Weighting w = Weighting::kTotal) const;
+
+  // ---- slice indices (rows, dataset order) ----
+  /// Row indices of one (type, role) slice.
+  std::span<const std::size_t> slice(migration::MigrationType type, HostRole role) const;
+  /// Row indices of one role, both migration types interleaved in
+  /// dataset order (the grouping the role-level baselines fit on).
+  std::span<const std::size_t> slice(HostRole role) const;
+
+  // ---- per-sample SoA section (only with BuildOptions::with_samples) ----
+  bool has_samples() const { return has_samples_; }
+  /// One concatenated sample-level column (kPower/kCpuHost/... ;
+  /// kOne is not materialised at sample level). Length = total sample
+  /// count across all observations.
+  std::span<const double> sample_column(Column col) const;
+  /// Sample indices of one (type, role, phase) regression cell, in
+  /// dataset order. `phase` must not be kNormal (kNormal samples never
+  /// enter a phase fit).
+  std::span<const std::size_t> sample_slice(migration::MigrationType type, HostRole role,
+                                            migration::MigrationPhase phase) const;
+  /// Sample indices of one role, all phases, dataset order.
+  std::span<const std::size_t> sample_slice(HostRole role) const;
+
+  /// Gathers `column` at `rows` into `out` (out.size() == rows.size()).
+  static void gather(std::span<const double> column, std::span<const std::size_t> rows,
+                     std::span<double> out);
+
+ private:
+  static constexpr std::size_t kMigColumns = 5;
+
+  void build(std::span<const MigrationObservation* const> observations, BuildOptions options);
+  std::span<const double> mig_column(std::size_t c) const;
+  std::span<double> agg_column(std::size_t w, std::size_t col, std::size_t phase);
+
+  std::size_t n_ = 0;
+  std::size_t n_samples_ = 0;
+  bool has_samples_ = false;
+  std::vector<double> mig_;  ///< kMigColumns blocks of n_
+  std::vector<double> agg_;  ///< kWeightings x kColumns x kPhases blocks of n_
+  std::vector<double> samp_; ///< kColumns-1 blocks of n_samples_ (no kOne)
+  std::vector<migration::MigrationType> types_;
+  std::vector<HostRole> roles_;
+  std::vector<std::size_t> slices_[2][2];         ///< [type][role] row indices
+  std::vector<std::size_t> role_slices_[2];       ///< [role] row indices
+  std::vector<std::size_t> sample_slices_[2][2][kPhases];
+  std::vector<std::size_t> role_sample_slices_[2];
+};
+
+}  // namespace wavm3::models

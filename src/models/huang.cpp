@@ -1,8 +1,33 @@
 #include "models/huang.hpp"
 
+#include "stats/matrix.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::models {
+
+namespace {
+
+FeatureBatch::Column regressor_column(HuangModel::CpuRegressor r) {
+  return r == HuangModel::CpuRegressor::kHostCpu ? FeatureBatch::Column::kCpuHost
+                                                 : FeatureBatch::Column::kCpuVm;
+}
+
+/// Sums the three per-phase kTotal integrals of `col` at `rows` — the
+/// unfiltered trapezoid integral over the whole migration.
+std::vector<double> total_integral(const FeatureBatch& batch, FeatureBatch::Column col,
+                                   std::span<const std::size_t> rows) {
+  using migration::MigrationPhase;
+  std::vector<double> out(rows.size());
+  FeatureBatch::gather(batch.integral(col, MigrationPhase::kInitiation), rows, out);
+  std::vector<double> scratch(rows.size());
+  for (const MigrationPhase p : {MigrationPhase::kTransfer, MigrationPhase::kActivation}) {
+    FeatureBatch::gather(batch.integral(col, p), rows, scratch);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scratch[i];
+  }
+  return out;
+}
+
+}  // namespace
 
 double HuangModel::regressor_value(const MigrationSample& sample) const {
   return regressor_ == CpuRegressor::kHostCpu ? sample.cpu_host : sample.cpu_vm;
@@ -10,22 +35,24 @@ double HuangModel::regressor_value(const MigrationSample& sample) const {
 
 void HuangModel::fit(const Dataset& train) {
   fits_.clear();
+  FeatureBatch::BuildOptions build;
+  build.with_samples = true;
+  const FeatureBatch batch(train, build);
+  std::vector<double> regressor;
+  std::vector<double> power;
   for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
-    std::vector<std::vector<double>> features;
-    std::vector<double> power;
-    for (const auto& obs : train.observations) {
-      if (obs.role != role) continue;
-      for (const auto& s : obs.samples) {
-        features.push_back({regressor_value(s)});
-        power.push_back(s.power_watts);
-      }
-    }
-    if (features.size() < 4) continue;  // role absent from this training set
+    const std::span<const std::size_t> samples = batch.sample_slice(role);
+    if (samples.size() < 4) continue;  // role absent from this training set
+    regressor.resize(samples.size());
+    power.resize(samples.size());
+    FeatureBatch::gather(batch.sample_column(regressor_column(regressor_)), samples, regressor);
+    FeatureBatch::gather(batch.sample_column(FeatureBatch::Column::kPower), samples, power);
     stats::LinregOptions options;
     // The VM-CPU reading can be all-zero on a role (suspended VM /
     // target side); ridge keeps the fit defined.
     options.ridge_lambda = 1e-9;
-    const stats::LinearFit fit = stats::fit_linear(features, power, options);
+    const std::span<const double> columns[] = {regressor};
+    const stats::LinearFit fit = stats::fit_linear(columns, power, options);
     fits_[role] = Coefficients{fit.coefficients[0], fit.coefficients[1]};
   }
   WAVM3_REQUIRE(!fits_.empty(), "HUANG: training set contained no usable observations");
@@ -42,9 +69,23 @@ double HuangModel::predict_power(HostRole role, const MigrationSample& sample) c
   return c.alpha * regressor_value(sample) + c.c;
 }
 
-double HuangModel::predict_energy(const MigrationObservation& obs) const {
-  return integrate_predicted_power(
-      obs, [this, &obs](const MigrationSample& s) { return predict_power(obs.role, s); });
+void HuangModel::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
+  WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    const std::span<const std::size_t> rows = batch.slice(role);
+    if (rows.empty()) continue;
+    const Coefficients c = coefficients(role);
+    // E = alpha * integral(CPU dt) + C * duration, one product over the
+    // two whole-migration integral columns.
+    const std::vector<double> cpu = total_integral(batch, regressor_column(regressor_), rows);
+    const std::vector<double> duration =
+        total_integral(batch, FeatureBatch::Column::kOne, rows);
+    const std::span<const double> columns[] = {cpu, duration};
+    const stats::Matrix x = stats::Matrix::from_columns(columns);
+    std::vector<double> predicted(rows.size());
+    x.times(std::vector<double>{c.alpha, c.c}, predicted);
+    for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i];
+  }
 }
 
 void HuangModel::apply_idle_bias_correction(double idle_delta_watts) {

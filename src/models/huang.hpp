@@ -34,7 +34,9 @@ class HuangModel final : public EnergyModel {
   }
 
   void fit(const Dataset& train) override;
-  double predict_energy(const MigrationObservation& obs) const override;
+  /// Per role slice: alpha * integral(CPU) + C * duration, one 2-column
+  /// matrix-vector product over the batch's summed phase integrals.
+  void predict_batch(const FeatureBatch& batch, std::span<double> out) const override;
   void apply_idle_bias_correction(double idle_delta_watts) override;
   bool is_fitted() const override { return !fits_.empty(); }
 

@@ -1,28 +1,38 @@
 #include "models/liu.hpp"
 
 #include "stats/linreg.hpp"
+#include "stats/matrix.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::models {
 
 namespace {
 constexpr double kGb = 1e9;
+
+/// DATA in gigabytes, gathered from the batch's data column.
+std::vector<double> data_gb(const FeatureBatch& batch, std::span<const std::size_t> rows) {
+  std::vector<double> out(rows.size());
+  FeatureBatch::gather(batch.data_bytes(), rows, out);
+  for (double& v : out) v /= kGb;
+  return out;
 }
+
+}  // namespace
 
 void LiuModel::fit(const Dataset& train) {
   fits_.clear();
+  const FeatureBatch batch(train);
+  std::vector<double> energy;
   for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
-    std::vector<std::vector<double>> features;
-    std::vector<double> energy;
-    for (const auto& obs : train.observations) {
-      if (obs.role != role) continue;
-      features.push_back({obs.data_bytes / kGb});
-      energy.push_back(obs.observed_energy());
-    }
-    if (features.size() < 3) continue;
+    const std::span<const std::size_t> rows = batch.slice(role);
+    if (rows.size() < 3) continue;
+    const std::vector<double> data = data_gb(batch, rows);
+    energy.resize(rows.size());
+    FeatureBatch::gather(batch.observed_energy(), rows, energy);
     stats::LinregOptions options;
     options.ridge_lambda = 1e-6;  // DATA is near-constant in some scenarios
-    const stats::LinearFit fit = stats::fit_linear(features, energy, options);
+    const std::span<const double> columns[] = {data};
+    const stats::LinearFit fit = stats::fit_linear(columns, energy, options);
     fits_[role] = Coefficients{fit.coefficients[0], fit.coefficients[1]};
   }
   WAVM3_REQUIRE(!fits_.empty(), "LIU: training set contained no usable observations");
@@ -34,9 +44,19 @@ LiuModel::Coefficients LiuModel::coefficients(HostRole role) const {
   return it->second;
 }
 
-double LiuModel::predict_energy(const MigrationObservation& obs) const {
-  const Coefficients c = coefficients(obs.role);
-  return c.alpha_per_gb * (obs.data_bytes / kGb) + c.c;
+void LiuModel::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
+  WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    const std::span<const std::size_t> rows = batch.slice(role);
+    if (rows.empty()) continue;
+    const Coefficients c = coefficients(role);
+    const std::vector<double> data = data_gb(batch, rows);
+    const std::span<const double> columns[] = {data};
+    const stats::Matrix x = stats::Matrix::from_columns(columns);
+    std::vector<double> predicted(rows.size());
+    x.times(std::vector<double>{c.alpha_per_gb}, predicted);
+    for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i] + c.c;
+  }
 }
 
 }  // namespace wavm3::models

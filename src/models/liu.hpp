@@ -19,7 +19,8 @@ class LiuModel final : public EnergyModel {
   std::string name() const override { return "LIU"; }
 
   void fit(const Dataset& train) override;
-  double predict_energy(const MigrationObservation& obs) const override;
+  /// Per role slice: alpha * DATA_GB + C over the batch's data column.
+  void predict_batch(const FeatureBatch& batch, std::span<double> out) const override;
   bool is_fitted() const override { return !fits_.empty(); }
 
   /// Fitted (alpha, C); alpha is joules per *gigabyte* of DATA, C in

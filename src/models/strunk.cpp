@@ -1,6 +1,7 @@
 #include "models/strunk.hpp"
 
 #include "stats/linreg.hpp"
+#include "stats/matrix.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -8,25 +9,39 @@ namespace wavm3::models {
 
 namespace {
 constexpr double kMbs = 1e6;
+
+/// The two STRUNK regressor columns (MEM in GiB, avg BW in MB/s) for
+/// one row slice.
+std::pair<std::vector<double>, std::vector<double>> regressors(
+    const FeatureBatch& batch, std::span<const std::size_t> rows) {
+  std::vector<double> mem(rows.size());
+  std::vector<double> bw(rows.size());
+  FeatureBatch::gather(batch.mem_bytes(), rows, mem);
+  FeatureBatch::gather(batch.avg_bandwidth(), rows, bw);
+  for (double& v : mem) v /= util::gib(1);
+  for (double& v : bw) v /= kMbs;
+  return {std::move(mem), std::move(bw)};
 }
+
+}  // namespace
 
 void StrunkModel::fit(const Dataset& train) {
   fits_.clear();
+  const FeatureBatch batch(train);
+  std::vector<double> energy;
   for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
-    std::vector<std::vector<double>> features;
-    std::vector<double> energy;
-    for (const auto& obs : train.observations) {
-      if (obs.role != role) continue;
-      features.push_back({obs.mem_bytes / util::gib(1), obs.avg_bandwidth / kMbs});
-      energy.push_back(obs.observed_energy());
-    }
-    if (features.size() < 4) continue;
+    const std::span<const std::size_t> rows = batch.slice(role);
+    if (rows.size() < 4) continue;
+    const auto [mem, bw] = regressors(batch, rows);
+    energy.resize(rows.size());
+    FeatureBatch::gather(batch.observed_energy(), rows, energy);
     stats::LinregOptions options;
     // MEM(v) is identical for every migration in the paper's design, so
     // the MEM column is collinear with the intercept; a small ridge
     // penalty resolves the degeneracy deterministically.
     options.ridge_lambda = 1e-4;
-    const stats::LinearFit fit = stats::fit_linear(features, energy, options);
+    const std::span<const double> columns[] = {mem, bw};
+    const stats::LinearFit fit = stats::fit_linear(columns, energy, options);
     fits_[role] = Coefficients{fit.coefficients[0], fit.coefficients[1], fit.coefficients[2]};
   }
   WAVM3_REQUIRE(!fits_.empty(), "STRUNK: training set contained no usable observations");
@@ -38,10 +53,19 @@ StrunkModel::Coefficients StrunkModel::coefficients(HostRole role) const {
   return it->second;
 }
 
-double StrunkModel::predict_energy(const MigrationObservation& obs) const {
-  const Coefficients c = coefficients(obs.role);
-  return c.alpha_per_gib * (obs.mem_bytes / util::gib(1)) +
-         c.beta_per_mbs * (obs.avg_bandwidth / kMbs) + c.c;
+void StrunkModel::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
+  WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
+    const std::span<const std::size_t> rows = batch.slice(role);
+    if (rows.empty()) continue;
+    const Coefficients c = coefficients(role);
+    const auto [mem, bw] = regressors(batch, rows);
+    const std::span<const double> columns[] = {mem, bw};
+    const stats::Matrix x = stats::Matrix::from_columns(columns);
+    std::vector<double> predicted(rows.size());
+    x.times(std::vector<double>{c.alpha_per_gib, c.beta_per_mbs}, predicted);
+    for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i] + c.c;
+  }
 }
 
 }  // namespace wavm3::models

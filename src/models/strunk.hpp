@@ -18,7 +18,9 @@ class StrunkModel final : public EnergyModel {
   std::string name() const override { return "STRUNK"; }
 
   void fit(const Dataset& train) override;
-  double predict_energy(const MigrationObservation& obs) const override;
+  /// Per role slice: alpha * MEM_GiB + beta * BW_MBs + C over the
+  /// batch's migration-level columns.
+  void predict_batch(const FeatureBatch& batch, std::span<double> out) const override;
   bool is_fitted() const override { return !fits_.empty(); }
 
   /// Fitted coefficients; alpha is joules per GiB of VM memory, beta is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stats/integrate.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::power {
@@ -64,8 +65,15 @@ double PowerTrace::energy_between(double t0, double t1) const {
 }
 
 double PowerTrace::total_energy() const {
-  if (samples_.size() < 2) return 0.0;
-  return energy_between(start_time(), end_time());
+  // The full-trace integral needs no interpolation or bound clipping:
+  // it is the plain trapezoid over the samples, via the shared kernel.
+  std::vector<double> t(samples_.size());
+  std::vector<double> w(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    t[i] = samples_[i].time;
+    w[i] = samples_[i].watts;
+  }
+  return stats::trapezoid(t, w);
 }
 
 double PowerTrace::mean_power_between(double t0, double t1) const {

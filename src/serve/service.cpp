@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "obs/export.hpp"
@@ -53,7 +54,14 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
                                                "Backend calls skipped while open")),
       g_breaker_state_(obs_metrics_.gauge("serve_breaker_state",
                                           "Breaker state (0 closed, 1 open, 2 half-open)")),
+      h_batch_size_(obs_metrics_.histogram(
+          "serve_batch_size", "Deduplicated scenarios per predict_batch worker task",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0})),
+      h_batch_item_latency_(obs_metrics_.exponential_histogram(
+          "serve_batch_item_latency_ns",
+          "Amortized per-item latency of batched evaluations", 1000.0, 1.046, 400)),
       pool_(ThreadPoolConfig{config.threads, config.queue_capacity}) {
+  WAVM3_REQUIRE(config_.batch_max_size > 0, "batch_max_size must be positive");
   WAVM3_REQUIRE(config_.backend_max_retries >= 0, "retry budget must be non-negative");
   WAVM3_REQUIRE(config_.backend_backoff_initial_s >= 0.0 &&
                     config_.backend_backoff_multiplier >= 1.0,
@@ -281,15 +289,121 @@ std::optional<std::future<core::MigrationForecast>> PredictionService::try_submi
   return future;
 }
 
-std::vector<core::MigrationForecast> PredictionService::predict_batch(
+void PredictionService::run_batch_chunk(const CoefficientStore::Snapshot& snap,
+                                        std::span<BatchWorkItem> chunk,
+                                        std::chrono::steady_clock::time_point enqueued,
+                                        double deadline_s,
+                                        std::vector<BatchItem>& results) {
+  WAVM3_OBS_SPAN(span, "serve", "batch_chunk");
+  const std::uint64_t started_ns = obs::now_ns();
+  h_batch_size_.observe(static_cast<double>(chunk.size()));
+  for (BatchWorkItem& item : chunk) {
+    BatchItem result;
+    try {
+      if (deadline_s > 0.0) {
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - enqueued)
+                .count();
+        if (waited > deadline_s) {
+          deadline_expired_.inc();
+          WAVM3_OBS_INSTANT("serve", "deadline_expired");
+          throw PredictError(
+              PredictErrorCode::kDeadlineExceeded,
+              util::format("batched %.1f ms past a %.1f ms deadline", waited * 1e3,
+                           deadline_s * 1e3));
+        }
+      }
+      EvalResult computed = compute(*snap.model, item.canonical);
+      if (computed.cacheable && cache_ != nullptr) cache_->put(item.key, computed.forecast);
+      result.forecast = std::move(computed.forecast);
+    } catch (const PredictError& e) {
+      result.error = e;
+    } catch (const std::exception& e) {
+      result.error = PredictError(PredictErrorCode::kBackendFailure, e.what());
+    }
+    for (const std::size_t slot : item.slots) results[slot] = result;
+  }
+  const std::uint64_t elapsed_ns = obs::now_ns() - started_ns;
+  const double amortized = static_cast<double>(elapsed_ns) / static_cast<double>(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) h_batch_item_latency_.observe(amortized);
+}
+
+std::vector<PredictionService::BatchItem> PredictionService::predict_batch_results(
     const std::vector<core::MigrationScenario>& scenarios) {
   const LatencyTimer timer(metrics_, ep_batch_);
-  std::vector<std::future<core::MigrationForecast>> futures;
-  futures.reserve(scenarios.size());
-  for (const core::MigrationScenario& sc : scenarios) futures.push_back(submit(sc));
+  std::vector<BatchItem> results(scenarios.size());
+  if (scenarios.empty()) return results;
+
+  // One snapshot for the whole batch: every miss is computed — and
+  // cached — under the same coefficient version, even if a reload
+  // lands mid-batch.
+  const CoefficientStore::Snapshot snap = store_.snapshot();
+
+  // Inline phase: canonicalize, probe the cache, and deduplicate the
+  // misses (a repeated scenario is computed once and fanned out).
+  std::vector<BatchWorkItem> work;
+  std::unordered_map<ScenarioKey, std::size_t, ScenarioKeyHash> dedup;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    core::MigrationScenario canonical =
+        canonicalize(scenarios[i], config_.quantization_step);
+    ScenarioKey key(snap.version, canonical);
+    const auto found = dedup.find(key);
+    if (found != dedup.end()) {
+      work[found->second].slots.push_back(i);
+      continue;
+    }
+    if (cache_ != nullptr) {
+      if (std::optional<core::MigrationForecast> hit = cache_->get(key)) {
+        results[i].forecast = std::move(*hit);
+        continue;
+      }
+    }
+    dedup.emplace(key, work.size());
+    work.push_back(BatchWorkItem{std::move(canonical), key, {i}});
+  }
+  if (work.empty()) return results;
+
+  // Fan the misses out in chunks of batch_max_size, one worker task
+  // per chunk; per-chunk promises both signal completion and publish
+  // the workers' writes to this thread.
+  const double deadline_s = config_.default_deadline_s;
+  const std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
+  std::vector<std::future<void>> completions;
+  for (std::size_t begin = 0; begin < work.size(); begin += config_.batch_max_size) {
+    const std::size_t count = std::min(config_.batch_max_size, work.size() - begin);
+    const std::span<BatchWorkItem> chunk(work.data() + begin, count);
+    std::promise<void> done;
+    completions.push_back(done.get_future());
+    const bool queued =
+        pool_.submit([this, &snap, chunk, enqueued, deadline_s, &results,
+                      done = std::move(done)]() mutable {
+          run_batch_chunk(snap, chunk, enqueued, deadline_s, results);
+          done.set_value();
+        });
+    if (!queued) {
+      completions.pop_back();
+      for (const BatchWorkItem& item : chunk) {
+        for (const std::size_t slot : item.slots) {
+          rejected_after_shutdown_.inc();
+          results[slot].error =
+              PredictError(PredictErrorCode::kShutdown, "prediction service is shut down");
+        }
+      }
+    }
+  }
+  for (std::future<void>& f : completions) f.get();
+  return results;
+}
+
+std::vector<core::MigrationForecast> PredictionService::predict_batch(
+    const std::vector<core::MigrationScenario>& scenarios) {
+  std::vector<BatchItem> items = predict_batch_results(scenarios);
   std::vector<core::MigrationForecast> out;
-  out.reserve(scenarios.size());
-  for (std::future<core::MigrationForecast>& f : futures) out.push_back(f.get());
+  out.reserve(items.size());
+  for (BatchItem& item : items) {
+    if (item.error.has_value()) throw *item.error;
+    out.push_back(std::move(*item.forecast));
+  }
   return out;
 }
 

@@ -5,7 +5,11 @@
 //   - predict()        synchronous, runs on the caller's thread
 //   - submit()         asynchronous, executed by the worker pool,
 //                      backpressured by the bounded queue
-//   - predict_batch()  fans a batch across the pool and gathers
+//   - predict_batch()  answers cache hits inline, dedups repeated
+//                      scenarios, and groups the remaining misses into
+//                      real batches (<= batch_max_size) — one worker
+//                      task per batch, all coalesced under a single
+//                      coefficient snapshot, with per-slot results
 //
 // All entry points share one sharded LRU result cache (keyed on the
 // quantized scenario + coefficient version, see scenario_key.hpp) and
@@ -21,6 +25,7 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +65,11 @@ struct ServiceConfig {
   /// direct planner calls.
   double quantization_step = 0.0;
   Fidelity fidelity = Fidelity::kClosedForm;
+  /// Largest number of deduplicated cache-missed scenarios one worker
+  /// task evaluates in predict_batch(). Bigger batches amortize the
+  /// per-task overhead; smaller ones spread a batch across more
+  /// workers.
+  std::size_t batch_max_size = 32;
 
   // --- graceful degradation ladder ---
   /// Per-request deadline in seconds, measured from submission. A
@@ -144,7 +154,29 @@ class PredictionService {
   std::optional<std::future<core::MigrationForecast>> try_submit(
       const core::MigrationScenario& scenario);
 
-  /// Fans `scenarios` across the pool, preserving order in the result.
+  /// One slot of a predict_batch_results() answer: exactly one of
+  /// `forecast` or `error` is set. Slot i always corresponds to
+  /// scenarios[i], so one failing scenario does not invalidate the
+  /// rest of the batch.
+  struct BatchItem {
+    std::optional<core::MigrationForecast> forecast;
+    std::optional<PredictError> error;
+    bool ok() const { return forecast.has_value(); }
+  };
+
+  /// Batched prediction with per-slot semantics: answers cache hits on
+  /// the caller's thread, dedups identical (quantized) scenarios, and
+  /// evaluates the remaining misses in worker tasks of up to
+  /// config().batch_max_size scenarios each, all under one coefficient
+  /// snapshot. Per-item failures (deadline, backend, shutdown) land as
+  /// typed PredictError values in their slots; the rest of the batch
+  /// still completes. Results are index-aligned with `scenarios`.
+  std::vector<BatchItem> predict_batch_results(
+      const std::vector<core::MigrationScenario>& scenarios);
+
+  /// All-or-nothing wrapper over predict_batch_results(): returns the
+  /// forecasts in input order, or throws the lowest-index slot's
+  /// PredictError.
   std::vector<core::MigrationForecast> predict_batch(
       const std::vector<core::MigrationScenario>& scenarios);
 
@@ -194,6 +226,22 @@ class PredictionService {
 
   /// Cache-then-compute against the current coefficient snapshot.
   core::MigrationForecast evaluate(const core::MigrationScenario& scenario);
+
+  /// One deduplicated scenario of one predict_batch worker task plus
+  /// the result slots it fans out to.
+  struct BatchWorkItem {
+    core::MigrationScenario canonical;
+    ScenarioKey key;
+    std::vector<std::size_t> slots;  ///< indices into the caller's batch
+  };
+
+  /// Worker-side body of one predict_batch chunk: per-item deadline
+  /// check, compute under the shared `snap`, per-item cache fill, and
+  /// batch metrics.
+  void run_batch_chunk(const CoefficientStore::Snapshot& snap,
+                       std::span<BatchWorkItem> chunk,
+                       std::chrono::steady_clock::time_point enqueued, double deadline_s,
+                       std::vector<BatchItem>& results);
 
   /// The configured backend (planner, or engine simulation behind the
   /// retry/breaker/degradation ladder).
@@ -248,6 +296,8 @@ class PredictionService {
   obs::Gauge& g_breaker_open_transitions_;
   obs::Gauge& g_breaker_rejections_;
   obs::Gauge& g_breaker_state_;  ///< CircuitBreaker::State as 0/1/2
+  obs::Histogram& h_batch_size_;          ///< scenarios per worker batch task
+  obs::Histogram& h_batch_item_latency_;  ///< amortized ns per batched item
   std::atomic<std::uint64_t> backoff_ticket_{0};
   ThreadPool pool_;  ///< last member: workers stop before the rest tears down
 };

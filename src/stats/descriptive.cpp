@@ -7,7 +7,7 @@
 
 namespace wavm3::stats {
 
-Summary summarize(const std::vector<double>& values) {
+Summary summarize(std::span<const double> values) {
   Summary s;
   if (values.empty()) return s;
   OnlineStats acc;
@@ -25,7 +25,7 @@ Summary summarize(const std::vector<double>& values) {
   return s;
 }
 
-double mean(const std::vector<double>& values) { return summarize(values).mean; }
+double mean(std::span<const double> values) { return summarize(values).mean; }
 
 double variance(const std::vector<double>& values) { return summarize(values).variance; }
 

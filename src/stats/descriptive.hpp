@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace wavm3::stats {
@@ -18,10 +19,18 @@ struct Summary {
   double max = 0.0;
 };
 
-/// Computes the full Summary of `values` (empty input -> zeroed summary).
-Summary summarize(const std::vector<double>& values);
+/// Computes the full Summary of `values` (empty input -> zeroed
+/// summary). The span overload is the implementation; the vector
+/// overload forwards, so columnar callers avoid a copy.
+Summary summarize(std::span<const double> values);
+inline Summary summarize(const std::vector<double>& values) {
+  return summarize(std::span<const double>(values));
+}
 
-double mean(const std::vector<double>& values);
+double mean(std::span<const double> values);
+inline double mean(const std::vector<double>& values) {
+  return mean(std::span<const double>(values));
+}
 
 /// Unbiased sample variance; returns 0 for fewer than two values.
 double variance(const std::vector<double>& values);

@@ -1,0 +1,17 @@
+#include "stats/integrate.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::stats {
+
+double trapezoid(std::span<const double> t, std::span<const double> y) {
+  WAVM3_REQUIRE(t.size() == y.size(), "trapezoid: time/value size mismatch");
+  if (t.size() < 2) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    area += 0.5 * (y[i - 1] + y[i]) * (t[i] - t[i - 1]);
+  }
+  return area;
+}
+
+}  // namespace wavm3::stats

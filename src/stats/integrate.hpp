@@ -1,0 +1,18 @@
+// Numerical integration shared by every consumer of sampled traces:
+// the trapezoid rule over (time, value) pairs. One implementation
+// serves models::MigrationObservation::observed_energy(), the power
+// meter's PowerTrace, and the FeatureBatch column aggregation, so the
+// quadrature cannot drift between layers.
+#pragma once
+
+#include <span>
+
+namespace wavm3::stats {
+
+/// Trapezoidal integral of y(t) over the sampled points: sum of
+/// 0.5 * (y[i-1] + y[i]) * (t[i] - t[i-1]). Times must be ascending
+/// (not checked here — callers own their ordering invariants); fewer
+/// than two samples integrate to 0.
+double trapezoid(std::span<const double> t, std::span<const double> y);
+
+}  // namespace wavm3::stats

@@ -28,6 +28,21 @@ Matrix design_matrix(const std::vector<std::vector<double>>& features, bool add_
   return x;
 }
 
+Matrix design_matrix(std::span<const std::span<const double>> columns, bool add_intercept) {
+  WAVM3_REQUIRE(!columns.empty(), "need at least one regressor column");
+  const std::size_t rows = columns.front().size();
+  WAVM3_REQUIRE(rows > 0, "need at least one sample");
+  Matrix x(rows, columns.size() + (add_intercept ? 1 : 0));
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    WAVM3_REQUIRE(columns[c].size() == rows, "ragged regressor columns");
+    for (std::size_t r = 0; r < rows; ++r) x.at(r, c) = columns[c][r];
+  }
+  if (add_intercept) {
+    for (std::size_t r = 0; r < rows; ++r) x.at(r, columns.size()) = 1.0;
+  }
+  return x;
+}
+
 namespace {
 
 /// Solves the (ridge-regularised) normal equations, falling back to QR
@@ -48,17 +63,17 @@ std::vector<double> solve_ols(const Matrix& x, const std::vector<double>& y, dou
   }
 }
 
-}  // namespace
-
-LinearFit fit_linear(const std::vector<std::vector<double>>& features,
-                     const std::vector<double>& targets, const LinregOptions& options) {
-  WAVM3_REQUIRE(features.size() == targets.size(), "feature/target size mismatch");
-  WAVM3_REQUIRE(!features.empty(), "need at least one sample");
-  const std::size_t n_features = features.front().size();
-  const std::size_t n_cols = n_features + (options.add_intercept ? 1 : 0);
-  WAVM3_REQUIRE(features.size() >= n_cols, "need at least as many samples as coefficients");
-
-  const Matrix x = design_matrix(features, options.add_intercept);
+/// Shared fitting core over an already-assembled design matrix `x`
+/// (intercept column last when options.add_intercept). Both the
+/// row-wise and the columnar entry points funnel here, so the two
+/// produce bit-identical fits on the same data.
+LinearFit fit_linear_on_design(const Matrix& x, const std::vector<double>& targets,
+                               const LinregOptions& options) {
+  WAVM3_REQUIRE(x.rows() == targets.size(), "feature/target size mismatch");
+  WAVM3_REQUIRE(x.rows() > 0, "need at least one sample");
+  const std::size_t n_cols = x.cols();
+  const std::size_t n_features = n_cols - (options.add_intercept ? 1 : 0);
+  WAVM3_REQUIRE(x.rows() >= n_cols, "need at least as many samples as coefficients");
 
   std::vector<bool> active(n_features, true);  // intercept handled separately, always active
   std::vector<double> coeffs;
@@ -102,13 +117,34 @@ LinearFit fit_linear(const std::vector<std::vector<double>>& features,
   LinearFit fit;
   fit.coefficients = std::move(coeffs);
   fit.has_intercept = options.add_intercept;
-  fit.n_samples = features.size();
+  fit.n_samples = x.rows();
 
-  std::vector<double> predicted(features.size());
-  for (std::size_t i = 0; i < features.size(); ++i) predicted[i] = fit.predict(features[i]);
+  // Training residual metrics, accumulated in LinearFit::predict's
+  // order (intercept first, then regressors left to right).
+  std::vector<double> predicted(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double y = options.add_intercept ? fit.coefficients.back() : 0.0;
+    for (std::size_t c = 0; c < n_features; ++c) y += fit.coefficients[c] * x.at(r, c);
+    predicted[r] = y;
+  }
   fit.r2 = r_squared(predicted, targets);
   fit.residual_rmse = rmse(predicted, targets);
   return fit;
+}
+
+}  // namespace
+
+LinearFit fit_linear(const std::vector<std::vector<double>>& features,
+                     const std::vector<double>& targets, const LinregOptions& options) {
+  WAVM3_REQUIRE(!features.empty(), "need at least one sample");
+  return fit_linear_on_design(design_matrix(features, options.add_intercept), targets,
+                              options);
+}
+
+LinearFit fit_linear(std::span<const std::span<const double>> columns,
+                     std::span<const double> targets, const LinregOptions& options) {
+  return fit_linear_on_design(design_matrix(columns, options.add_intercept),
+                              std::vector<double>(targets.begin(), targets.end()), options);
 }
 
 }  // namespace wavm3::stats

@@ -37,7 +37,19 @@ struct LinregOptions {
 LinearFit fit_linear(const std::vector<std::vector<double>>& features,
                      const std::vector<double>& targets, const LinregOptions& options = {});
 
+/// Columnar entry point: each element of `columns` is one regressor
+/// column (equal lengths), the layout FeatureBatch exposes. Builds the
+/// design matrix directly from the columns — no per-observation row
+/// copies — and produces bit-identical results to the row overload on
+/// the same data.
+LinearFit fit_linear(std::span<const std::span<const double>> columns,
+                     std::span<const double> targets, const LinregOptions& options = {});
+
 /// Builds the design matrix (optionally with intercept column appended).
 Matrix design_matrix(const std::vector<std::vector<double>>& features, bool add_intercept);
+
+/// Columnar design-matrix builder: same matrix, assembled from SoA
+/// columns instead of per-sample rows.
+Matrix design_matrix(std::span<const std::span<const double>> columns, bool add_intercept);
 
 }  // namespace wavm3::stats

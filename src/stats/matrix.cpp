@@ -78,11 +78,42 @@ std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const 
 }
 
 std::vector<double> Matrix::times(const std::vector<double>& v) const {
-  WAVM3_REQUIRE(v.size() == cols_, "vector length must equal column count");
   std::vector<double> out(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) out[r] += at(r, c) * v[c];
+  times(std::span<const double>(v), std::span<double>(out));
   return out;
+}
+
+void Matrix::times(std::span<const double> v, std::span<double> out) const {
+  WAVM3_REQUIRE(v.size() == cols_, "vector length must equal column count");
+  WAVM3_REQUIRE(out.size() == rows_, "output length must equal row count");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+}
+
+Matrix Matrix::from_columns(std::span<const std::span<const double>> columns) {
+  WAVM3_REQUIRE(!columns.empty(), "from_columns needs at least one column");
+  const std::size_t rows = columns.front().size();
+  Matrix m(rows, columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    WAVM3_REQUIRE(columns[c].size() == rows, "ragged columns in from_columns");
+    for (std::size_t r = 0; r < rows; ++r) m.at(r, c) = columns[c][r];
+  }
+  return m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  WAVM3_REQUIRE(a.size() == b.size(), "dot: length mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  WAVM3_REQUIRE(x.size() == y.size(), "axpy: length mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
 }
 
 double Matrix::frobenius_norm() const {

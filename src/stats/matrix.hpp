@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace wavm3::stats {
@@ -19,6 +20,12 @@ class Matrix {
 
   /// Builds from nested initialiser data; all rows must have equal width.
   static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Builds from column views (the SoA layout FeatureBatch exposes):
+  /// all columns must have equal length. The result is the same
+  /// row-major matrix `from_rows` would build from the transposed
+  /// data, so downstream factorisations are bit-identical.
+  static Matrix from_columns(std::span<const std::span<const double>> columns);
 
   /// Identity matrix of size n.
   static Matrix identity(std::size_t n);
@@ -45,6 +52,10 @@ class Matrix {
   /// this * v for a column vector v (v.size() == cols()).
   std::vector<double> times(const std::vector<double>& v) const;
 
+  /// this * v written into a caller-provided buffer (out.size() ==
+  /// rows()); the allocation-free form batch prediction hot paths use.
+  void times(std::span<const double> v, std::span<double> out) const;
+
   /// Frobenius norm.
   double frobenius_norm() const;
 
@@ -66,5 +77,15 @@ std::vector<double> qr_least_squares(const Matrix& a, const std::vector<double>&
 /// Solves the square system A x = b by Gaussian elimination with
 /// partial pivoting. Throws on (near-)singular A.
 std::vector<double> gaussian_solve(Matrix a, std::vector<double> b);
+
+// BLAS-1 style kernels over contiguous columns, the primitives the
+// columnar (SoA) prediction path composes its matrix-vector products
+// from without gathering rows first.
+
+/// Inner product of two equal-length columns.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += a * x elementwise (equal lengths).
+void axpy(double a, std::span<const double> x, std::span<double> y);
 
 }  // namespace wavm3::stats

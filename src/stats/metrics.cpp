@@ -8,20 +8,20 @@
 namespace wavm3::stats {
 
 namespace {
-void check_inputs(const std::vector<double>& predicted, const std::vector<double>& observed) {
+void check_inputs(std::span<const double> predicted, std::span<const double> observed) {
   WAVM3_REQUIRE(predicted.size() == observed.size(), "prediction/observation size mismatch");
   WAVM3_REQUIRE(!predicted.empty(), "error metrics need at least one sample");
 }
 }  // namespace
 
-double mae(const std::vector<double>& predicted, const std::vector<double>& observed) {
+double mae(std::span<const double> predicted, std::span<const double> observed) {
   check_inputs(predicted, observed);
   double sum = 0.0;
   for (std::size_t i = 0; i < predicted.size(); ++i) sum += std::abs(predicted[i] - observed[i]);
   return sum / static_cast<double>(predicted.size());
 }
 
-double rmse(const std::vector<double>& predicted, const std::vector<double>& observed) {
+double rmse(std::span<const double> predicted, std::span<const double> observed) {
   check_inputs(predicted, observed);
   double sum = 0.0;
   for (std::size_t i = 0; i < predicted.size(); ++i) {
@@ -31,7 +31,7 @@ double rmse(const std::vector<double>& predicted, const std::vector<double>& obs
   return std::sqrt(sum / static_cast<double>(predicted.size()));
 }
 
-double nrmse(const std::vector<double>& predicted, const std::vector<double>& observed,
+double nrmse(std::span<const double> predicted, std::span<const double> observed,
              Normalization norm) {
   const double r = rmse(predicted, observed);
   const Summary s = summarize(observed);
@@ -44,7 +44,7 @@ double nrmse(const std::vector<double>& predicted, const std::vector<double>& ob
   return r / denom;
 }
 
-double r_squared(const std::vector<double>& predicted, const std::vector<double>& observed) {
+double r_squared(std::span<const double> predicted, std::span<const double> observed) {
   check_inputs(predicted, observed);
   const double obs_mean = mean(observed);
   double ss_res = 0.0;
@@ -59,8 +59,8 @@ double r_squared(const std::vector<double>& predicted, const std::vector<double>
   return 1.0 - ss_res / ss_tot;
 }
 
-ErrorMetrics compute_error_metrics(const std::vector<double>& predicted,
-                                   const std::vector<double>& observed) {
+ErrorMetrics compute_error_metrics(std::span<const double> predicted,
+                                   std::span<const double> observed) {
   ErrorMetrics m;
   m.mae = mae(predicted, observed);
   m.rmse = rmse(predicted, observed);

@@ -1,7 +1,14 @@
 // Prediction-error metrics used throughout the paper's evaluation:
 // MAE, RMSE, and NRMSE (Tables V and VII).
+//
+// The span overloads are the primary implementations so that columnar
+// consumers (models::FeatureBatch slices, batch prediction outputs)
+// feed contiguous columns straight in without copying into vectors;
+// the std::vector overloads are thin forwarders kept for the many
+// existing call sites.
 #pragma once
 
+#include <span>
 #include <vector>
 
 namespace wavm3::stats {
@@ -13,17 +20,33 @@ namespace wavm3::stats {
 enum class Normalization { kMean, kRange };
 
 /// Mean absolute error between predictions and observations.
-double mae(const std::vector<double>& predicted, const std::vector<double>& observed);
+double mae(std::span<const double> predicted, std::span<const double> observed);
 
 /// Root mean squared error.
-double rmse(const std::vector<double>& predicted, const std::vector<double>& observed);
+double rmse(std::span<const double> predicted, std::span<const double> observed);
 
 /// Normalised RMSE as a fraction (0.118 == 11.8%).
-double nrmse(const std::vector<double>& predicted, const std::vector<double>& observed,
+double nrmse(std::span<const double> predicted, std::span<const double> observed,
              Normalization norm = Normalization::kMean);
 
 /// Coefficient of determination R^2 (can be negative for bad models).
-double r_squared(const std::vector<double>& predicted, const std::vector<double>& observed);
+double r_squared(std::span<const double> predicted, std::span<const double> observed);
+
+// Vector forwarders (identical numerics to the span overloads).
+inline double mae(const std::vector<double>& predicted, const std::vector<double>& observed) {
+  return mae(std::span<const double>(predicted), std::span<const double>(observed));
+}
+inline double rmse(const std::vector<double>& predicted, const std::vector<double>& observed) {
+  return rmse(std::span<const double>(predicted), std::span<const double>(observed));
+}
+inline double nrmse(const std::vector<double>& predicted, const std::vector<double>& observed,
+                    Normalization norm = Normalization::kMean) {
+  return nrmse(std::span<const double>(predicted), std::span<const double>(observed), norm);
+}
+inline double r_squared(const std::vector<double>& predicted,
+                        const std::vector<double>& observed) {
+  return r_squared(std::span<const double>(predicted), std::span<const double>(observed));
+}
 
 /// Convenience bundle of all four metrics.
 struct ErrorMetrics {
@@ -33,7 +56,13 @@ struct ErrorMetrics {
   double r2 = 0.0;
 };
 
-ErrorMetrics compute_error_metrics(const std::vector<double>& predicted,
-                                   const std::vector<double>& observed);
+ErrorMetrics compute_error_metrics(std::span<const double> predicted,
+                                   std::span<const double> observed);
+
+inline ErrorMetrics compute_error_metrics(const std::vector<double>& predicted,
+                                          const std::vector<double>& observed) {
+  return compute_error_metrics(std::span<const double>(predicted),
+                               std::span<const double>(observed));
+}
 
 }  // namespace wavm3::stats

@@ -872,6 +872,95 @@ TEST(PredictionService, FailingBackendWithoutDegradationThrowsTyped) {
   EXPECT_THROW(service.submit(make_scenario(1)).get(), PredictError);
 }
 
+TEST(PredictionService, BatchCarriesPerSlotErrorsIndexAligned) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationPlanner planner(model);
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.batch_max_size = 4;  // force several chunks
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 0;
+  cfg.degrade_to_closed_form = false;
+  cfg.breaker.failure_threshold = 1000;  // keep the breaker out of the picture
+  // Non-live scenarios (i % 3 == 0 in make_scenario) fail; live ones succeed.
+  cfg.simulated_backend = [](const core::Wavm3Model& m,
+                             const core::MigrationScenario& sc) -> core::MigrationForecast {
+    if (sc.type == MigrationType::kNonLive) throw std::runtime_error("injected backend failure");
+    return core::MigrationPlanner(m).forecast(sc);
+  };
+  PredictionService service(model, cfg);
+
+  std::vector<core::MigrationScenario> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(make_scenario(i));
+  const std::vector<PredictionService::BatchItem> results = service.predict_batch_results(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_FALSE(results[i].ok()) << "slot " << i;
+      ASSERT_TRUE(results[i].error.has_value());
+      EXPECT_EQ(results[i].error->code(), PredictErrorCode::kBackendFailure);
+    } else {
+      ASSERT_TRUE(results[i].ok()) << "slot " << i;
+      expect_forecast_eq(*results[i].forecast, planner.forecast(batch[i]));
+    }
+  }
+
+  // The all-or-nothing wrapper surfaces the lowest-index slot's error.
+  EXPECT_THROW(
+      {
+        try {
+          service.predict_batch(batch);
+        } catch (const PredictError& e) {
+          EXPECT_EQ(e.code(), PredictErrorCode::kBackendFailure);
+          throw;
+        }
+      },
+      PredictError);
+}
+
+TEST(PredictionService, BatchAfterShutdownFailsEverySlotTyped) {
+  const core::Wavm3Model model = make_model();
+  PredictionService service(model, ServiceConfig{.threads = 1});
+  service.shutdown();
+  std::vector<core::MigrationScenario> batch;
+  for (int i = 0; i < 3; ++i) batch.push_back(make_scenario(i));
+  const std::vector<PredictionService::BatchItem> results = service.predict_batch_results(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const PredictionService::BatchItem& item : results) {
+    ASSERT_FALSE(item.ok());
+    ASSERT_TRUE(item.error.has_value());
+    EXPECT_EQ(item.error->code(), PredictErrorCode::kShutdown);
+  }
+}
+
+TEST(PredictionService, BatchDedupsRepeatsAndObservesBatchMetrics) {
+  const core::Wavm3Model model = make_model();
+  const core::MigrationPlanner planner(model);
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.batch_max_size = 8;
+  PredictionService service(model, cfg);
+  std::vector<core::MigrationScenario> batch;
+  for (int i = 0; i < 30; ++i) batch.push_back(make_scenario(i % 5));  // heavy repeats
+  const std::vector<PredictionService::BatchItem> results = service.predict_batch_results(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "slot " << i;
+    expect_forecast_eq(*results[i].forecast, planner.forecast(batch[i]));
+  }
+  // Repeats were deduplicated before hitting the backend: only the five
+  // distinct scenarios were computed (and cached), the rest fanned out.
+  EXPECT_EQ(service.stats().cache.misses, 5u);
+  EXPECT_EQ(service.stats().cache.insertions, 5u);
+  // A second pass is answered inline from the cache.
+  const std::vector<PredictionService::BatchItem> again = service.predict_batch_results(batch);
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    ASSERT_TRUE(again[i].ok());
+    expect_forecast_eq(*again[i].forecast, planner.forecast(batch[i]));
+  }
+  EXPECT_EQ(service.stats().cache.hits, 30u);
+}
+
 TEST(PredictionService, BackendRecoversAfterRetries) {
   const core::Wavm3Model model = make_model();
   const FlakyBackend backend(2);  // first two calls fail, then healthy
