@@ -1,0 +1,252 @@
+// Tier-2 bench for the online recalibration loop (src/calib/): streams
+// synthetic migration feedback through OnlineRecalibrator::record()
+// against a CoefficientStore, injects a C1->C2-style constant-power
+// bias shift mid-stream, and tracks serving NRMSE at fixed checkpoints
+// measured *independently* of the loop's own windows (fresh evaluation
+// scenarios forecast against the store's current snapshot). Prints the
+// recovery trajectory, emits bench_out/bench_online_recalib.json, and
+// registers google-benchmark timings of the ingest hot path.
+//
+// The companion ctest gate (check_recalib_recovery.cmake) asserts that
+// the shift is visible (peak NRMSE well above baseline), that at least
+// one gated swap happened, and that the final NRMSE recovers to within
+// 20% of the pre-shift baseline.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "calib/recalibrator.hpp"
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "serve/coeff_store.hpp"
+#include "serve/service.hpp"
+#include "stats/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace wavm3;
+using migration::MigrationType;
+
+constexpr int kTotalSamples = 800;
+constexpr int kShiftAt = 300;          ///< bias switches on at this sample
+constexpr double kBiasWatts = 18.0;    ///< the injected idle-power error
+constexpr double kNoiseRel = 0.04;     ///< +/-4% multiplicative noise
+constexpr int kCheckpointEvery = 50;
+constexpr int kEvalScenarios = 200;    ///< independent eval set per checkpoint
+
+/// A fitted model from synthetic coefficient tables (same family the
+/// calib tests use, so the loop's operating point is well understood).
+core::Wavm3Model make_model() {
+  core::Wavm3Model m;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    const double t = type == MigrationType::kLive ? 1.0 : 0.7;
+    core::Wavm3Coefficients table;
+    table.source.initiation = {2.1 * t, 1.3, 0.0, 0.0, 210.0};
+    table.source.transfer = {2.4 * t, 1.1e-7, 55.0, 1.9, 205.0};
+    table.source.activation = {2.2 * t, 1.2, 0.0, 0.0, 208.0};
+    table.target.initiation = {1.9 * t, 0.8, 0.0, 0.0, 200.0};
+    table.target.transfer = {2.0 * t, 0.9e-7, 12.0, 0.7, 198.0};
+    table.target.activation = {2.1 * t, 1.0, 0.0, 0.0, 202.0};
+    m.set_coefficients(type, table);
+  }
+  return m;
+}
+
+/// Deterministic scenario family indexed by `i`: a mix of non-live and
+/// live migrations across VM sizes, dirty rates, and host loads.
+core::MigrationScenario make_scenario(int i) {
+  core::MigrationScenario sc;
+  sc.type = i % 3 == 0 ? MigrationType::kNonLive : MigrationType::kLive;
+  sc.vm_mem_bytes = util::gib(1.0 + i % 8);
+  sc.vm_cpu_vcpus = 1.0 + i % 4;
+  const double mem_pages = sc.vm_mem_bytes / util::kPageSize;
+  sc.vm_working_set_pages = mem_pages * 0.25;
+  sc.vm_dirty_pages_per_s = sc.vm_working_set_pages * (0.05 + 0.09 * (i % 10));
+  sc.source_cpu_load = 2.0 + i % 20;
+  sc.target_cpu_load = 1.0 + i % 15;
+  return sc;
+}
+
+/// Observed feedback for a scenario: the truth model's forecast plus
+/// `bias_watts` of constant extra draw on both hosts, under +/-2%
+/// multiplicative measurement noise.
+serve::MigrationFeedback observe(const core::MigrationPlanner& truth,
+                                 const core::MigrationScenario& sc, double bias_watts,
+                                 util::RngStream& rng) {
+  const core::MigrationForecast fc = truth.forecast(sc);
+  const double dur = fc.times.me - fc.times.ms;
+  serve::MigrationFeedback fb;
+  fb.source_energy_j =
+      (fc.source_energy + bias_watts * dur) * (1.0 + rng.uniform(-kNoiseRel, kNoiseRel));
+  fb.target_energy_j =
+      (fc.target_energy + bias_watts * dur) * (1.0 + rng.uniform(-kNoiseRel, kNoiseRel));
+  fb.duration_s = dur;
+  return fb;
+}
+
+/// Serving error right now: NRMSE of the store's current snapshot over
+/// a fresh evaluation set drawn from the same truth-plus-bias process.
+/// Independent of the recalibrator's windows by construction.
+double checkpoint_nrmse(const serve::CoefficientStore& store,
+                        const core::MigrationPlanner& truth, double bias_watts,
+                        util::RngStream& rng) {
+  const auto snap = store.snapshot();
+  const core::MigrationPlanner current(*snap.model);
+  std::vector<double> predicted;
+  std::vector<double> observed;
+  predicted.reserve(2 * kEvalScenarios);
+  observed.reserve(2 * kEvalScenarios);
+  for (int i = 0; i < kEvalScenarios; ++i) {
+    const core::MigrationScenario sc = make_scenario(10'000 + i);
+    const core::MigrationForecast fc = current.forecast(sc);
+    const serve::MigrationFeedback fb = observe(truth, sc, bias_watts, rng);
+    predicted.push_back(fc.source_energy);
+    observed.push_back(fb.source_energy_j);
+    predicted.push_back(fc.target_energy);
+    observed.push_back(fb.target_energy_j);
+  }
+  const std::optional<double> value = stats::try_nrmse(predicted, observed);
+  return value.value_or(0.0);
+}
+
+struct Checkpoint {
+  int sample = 0;
+  double nrmse = 0.0;
+  std::uint64_t model_version = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t rollbacks = 0;
+};
+
+void print_report() {
+  std::printf("==============================================================\n");
+  std::printf("online recalibration: NRMSE recovery after a %.0f W bias shift\n", kBiasWatts);
+  std::printf("==============================================================\n\n");
+
+  const core::Wavm3Model incumbent = make_model();
+  const core::MigrationPlanner truth(incumbent);
+  serve::CoefficientStore store(incumbent);
+  calib::RecalibratorConfig cfg;
+  cfg.pass_interval_samples = 32;
+  // Small windows flush the pre-shift rows quickly, and a tight bias
+  // threshold keeps the loop refitting until the residual error is
+  // inside the measurement noise rather than parking at the default
+  // 5 W dead zone.
+  cfg.window_capacity = 128;
+  cfg.drift.bias_threshold_watts = 2.0;
+  calib::OnlineRecalibrator rec(store, cfg);
+
+  util::RngStream feedback_rng(11);
+  util::RngStream eval_rng(12);
+  std::vector<Checkpoint> checkpoints;
+  std::printf("%8s %10s %8s %6s %10s\n", "sample", "nrmse", "version", "swaps", "phase");
+  for (int i = 1; i <= kTotalSamples; ++i) {
+    const double bias = i > kShiftAt ? kBiasWatts : 0.0;
+    const core::MigrationScenario sc = make_scenario(i);
+    rec.record(sc, observe(truth, sc, bias, feedback_rng));
+    if (i % kCheckpointEvery == 0) {
+      Checkpoint cp;
+      cp.sample = i;
+      cp.nrmse = checkpoint_nrmse(store, truth, bias, eval_rng);
+      cp.model_version = store.version();
+      cp.swaps = rec.stats().swaps;
+      cp.rollbacks = rec.stats().rollbacks;
+      checkpoints.push_back(cp);
+      std::printf("%8d %10.4f %8llu %6llu %10s\n", cp.sample, cp.nrmse,
+                  static_cast<unsigned long long>(cp.model_version),
+                  static_cast<unsigned long long>(cp.swaps),
+                  i <= kShiftAt ? "baseline" : "shifted");
+    }
+  }
+
+  // Baseline = last pre-shift checkpoint; peak = worst post-shift
+  // checkpoint; final = last checkpoint after the loop settled.
+  double pre_shift = 0.0;
+  double peak = 0.0;
+  for (const Checkpoint& cp : checkpoints) {
+    if (cp.sample <= kShiftAt) pre_shift = cp.nrmse;
+    else peak = std::max(peak, cp.nrmse);
+  }
+  const double final_nrmse = checkpoints.back().nrmse;
+  const double recovery_ratio = final_nrmse / std::max(pre_shift, 1e-12);
+  const calib::RecalibrationStats s = rec.stats();
+
+  std::printf("\npre-shift NRMSE   %.4f\n", pre_shift);
+  std::printf("peak post-shift   %.4f\n", peak);
+  std::printf("final NRMSE       %.4f\n", final_nrmse);
+  std::printf("recovery ratio    %.3f (gate: <= 1.20)\n", recovery_ratio);
+  std::printf("swaps %llu  rollbacks %llu  drift trips %llu  refits %llu\n",
+              static_cast<unsigned long long>(s.swaps),
+              static_cast<unsigned long long>(s.rollbacks),
+              static_cast<unsigned long long>(s.drift_trips),
+              static_cast<unsigned long long>(s.refits));
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream json("bench_out/bench_online_recalib.json");
+  if (json) {
+    json << "{\n"
+         << "  \"samples\": " << kTotalSamples << ",\n"
+         << "  \"shift_at\": " << kShiftAt << ",\n"
+         << "  \"bias_watts\": " << kBiasWatts << ",\n"
+         << "  \"pre_shift_nrmse\": " << pre_shift << ",\n"
+         << "  \"peak_post_shift_nrmse\": " << peak << ",\n"
+         << "  \"final_nrmse\": " << final_nrmse << ",\n"
+         << "  \"recovery_ratio\": " << recovery_ratio << ",\n"
+         << "  \"swaps\": " << s.swaps << ",\n"
+         << "  \"rollbacks\": " << s.rollbacks << ",\n"
+         << "  \"drift_trips\": " << s.drift_trips << ",\n"
+         << "  \"checkpoints\": [";
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+      const Checkpoint& cp = checkpoints[i];
+      json << (i == 0 ? "\n" : ",\n") << "    {\"sample\": " << cp.sample
+           << ", \"nrmse\": " << cp.nrmse << ", \"model_version\": " << cp.model_version
+           << ", \"swaps\": " << cp.swaps << ", \"rollbacks\": " << cp.rollbacks << "}";
+    }
+    json << "\n  ]\n}\n";
+    std::printf("\nwrote bench_out/bench_online_recalib.json\n\n");
+  }
+}
+
+// google-benchmark registrations: the feedback ingest hot path, with
+// and without the inline cadence pass amortized in.
+
+void BM_RecalibRecordIngest(benchmark::State& state) {
+  const core::Wavm3Model incumbent = make_model();
+  const core::MigrationPlanner truth(incumbent);
+  serve::CoefficientStore store(incumbent);
+  calib::RecalibratorConfig cfg;
+  cfg.pass_interval_samples = static_cast<std::size_t>(state.range(0));
+  calib::OnlineRecalibrator rec(store, cfg);
+  util::RngStream rng(21);
+  std::vector<std::pair<core::MigrationScenario, serve::MigrationFeedback>> samples;
+  samples.reserve(256);
+  for (int i = 0; i < 256; ++i) {
+    const core::MigrationScenario sc = make_scenario(i);
+    samples.emplace_back(sc, observe(truth, sc, kBiasWatts, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [sc, fb] = samples[i++ % samples.size()];
+    benchmark::DoNotOptimize(rec.record(sc, fb));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecalibRecordIngest)->Arg(0)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,44 @@
+# Gate script for the online recalibration loop: parses the artefact
+# bench_online_recalib emits and fails if
+#   * the injected bias shift was not visible (peak post-shift NRMSE
+#     under 2x the pre-shift baseline — the experiment lost its signal),
+#   * the loop never published a corrected candidate (swaps == 0), or
+#   * the final NRMSE did not recover to within 20% of the pre-shift
+#     baseline (recovery_ratio > 1.20).
+# Run as `cmake -DARTIFACT=... -P check_recalib_recovery.cmake`
+# (the bench_online_recalib_recovery_gate ctest entry).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ARTIFACT)
+  message(FATAL_ERROR "pass -DARTIFACT=<path to bench_online_recalib.json>")
+endif()
+if(NOT EXISTS "${ARTIFACT}")
+  message(FATAL_ERROR "artefact not found: ${ARTIFACT} (run bench_online_recalib first)")
+endif()
+
+file(READ "${ARTIFACT}" _json)
+string(JSON _pre GET "${_json}" pre_shift_nrmse)
+string(JSON _peak GET "${_json}" peak_post_shift_nrmse)
+string(JSON _final GET "${_json}" final_nrmse)
+string(JSON _ratio GET "${_json}" recovery_ratio)
+string(JSON _swaps GET "${_json}" swaps)
+
+# The bias shift must actually degrade serving error, or the recovery
+# claim below would be vacuous.
+if(NOT _peak GREATER _pre)
+  message(FATAL_ERROR
+    "bias shift invisible: peak post-shift NRMSE ${_peak} <= pre-shift ${_pre}")
+endif()
+
+if(_swaps EQUAL 0)
+  message(FATAL_ERROR "recalibration loop never published a candidate (swaps == 0)")
+endif()
+
+if(_ratio GREATER 1.20)
+  message(FATAL_ERROR
+    "NRMSE did not recover: final ${_final} vs pre-shift ${_pre} "
+    "(ratio ${_ratio} > 1.20)")
+endif()
+
+message(STATUS "recalib recovery gate passed: pre ${_pre}, peak ${_peak}, "
+               "final ${_final}, ratio ${_ratio} <= 1.20, swaps ${_swaps}")

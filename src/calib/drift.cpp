@@ -1,0 +1,46 @@
+#include "calib/drift.hpp"
+
+#include <cmath>
+
+#include "stats/metrics.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::calib {
+
+DriftDetector::DriftDetector(DriftConfig config) : config_(config) {
+  WAVM3_REQUIRE(config_.nrmse_threshold > 0.0, "NRMSE drift threshold must be positive");
+  WAVM3_REQUIRE(config_.bias_threshold_watts > 0.0, "bias drift threshold must be positive");
+  WAVM3_REQUIRE(config_.min_samples > 0, "drift needs at least one sample");
+}
+
+DriftReport DriftDetector::assess(std::span<const double> predicted,
+                                  std::span<const double> observed,
+                                  std::span<const double> duration_s) const {
+  WAVM3_REQUIRE(predicted.size() == observed.size() && predicted.size() == duration_s.size(),
+                "drift: misaligned window columns");
+  DriftReport report;
+  report.samples = predicted.size();
+  if (predicted.empty()) return report;
+
+  report.nrmse = stats::try_nrmse(predicted, observed);
+
+  double rate_sum = 0.0;
+  std::size_t rate_n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (!(duration_s[i] > 0.0) || !std::isfinite(duration_s[i])) continue;
+    const double rate = (observed[i] - predicted[i]) / duration_s[i];
+    if (!std::isfinite(rate)) continue;
+    rate_sum += rate;
+    ++rate_n;
+  }
+  report.bias_watts = rate_n > 0 ? rate_sum / static_cast<double>(rate_n) : 0.0;
+
+  if (report.samples < config_.min_samples) return report;  // not enough evidence
+  report.nrmse_tripped =
+      report.nrmse.has_value() && *report.nrmse > config_.nrmse_threshold;
+  report.bias_tripped = std::abs(report.bias_watts) > config_.bias_threshold_watts;
+  report.drifted = report.nrmse_tripped || report.bias_tripped;
+  return report;
+}
+
+}  // namespace wavm3::calib

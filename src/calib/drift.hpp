@@ -1,0 +1,64 @@
+// DriftDetector: decides when the live coefficients have stopped
+// describing the feedback stream.
+//
+// Two tests run over a slice window, either one trips drift:
+//
+//   * rolling NRMSE of the incumbent predictions against the observed
+//     energies exceeds a threshold — the broad-spectrum test, catching
+//     workload drift that changes the *shape* of the error;
+//   * the mean residual power rate mean((observed - predicted) /
+//     predicted duration), in watts, exceeds a threshold — the
+//     paper-style intercept-bias test. The Sec. V-D cross-testbed
+//     transfer corrects exactly this term (a constant idle-power
+//     offset between testbeds C1 and C2) and an offset that is small
+//     relative to total energy can hide inside an acceptable NRMSE
+//     while still biasing every phase's bias coefficient.
+//
+// NRMSE is computed with stats::try_nrmse: a degenerate window (one
+// scenario repeated until the observed column is constant) yields
+// "no NRMSE evidence" instead of killing the process; the bias test
+// still runs on such windows.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace wavm3::calib {
+
+struct DriftConfig {
+  double nrmse_threshold = 0.15;     ///< trip when rolling NRMSE exceeds this
+  double bias_threshold_watts = 5.0; ///< trip when |mean residual rate| exceeds this
+  std::size_t min_samples = 32;      ///< below this, never trip (not enough evidence)
+};
+
+struct DriftReport {
+  bool drifted = false;
+  bool nrmse_tripped = false;
+  bool bias_tripped = false;
+  std::size_t samples = 0;
+  /// Rolling NRMSE of the incumbent on the window; nullopt when the
+  /// window is degenerate (constant observations).
+  std::optional<double> nrmse;
+  /// Mean residual power rate, watts (positive = model underpredicts).
+  double bias_watts = 0.0;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftConfig config = {});
+
+  /// Scores one slice window. `predicted` and `observed` are energies
+  /// (joules); `duration_s` is the predicted migration duration used
+  /// to express the residual as a power rate. All spans are equal
+  /// length and index-aligned.
+  DriftReport assess(std::span<const double> predicted, std::span<const double> observed,
+                     std::span<const double> duration_s) const;
+
+  const DriftConfig& config() const { return config_; }
+
+ private:
+  DriftConfig config_;
+};
+
+}  // namespace wavm3::calib

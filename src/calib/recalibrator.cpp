@@ -1,0 +1,392 @@
+#include "calib/recalibrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "core/planner.hpp"
+#include "obs/trace.hpp"
+#include "stats/linreg.hpp"
+#include "stats/metrics.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::calib {
+
+namespace {
+
+models::HostRole role_of(std::size_t role) {
+  return role == 0 ? models::HostRole::kSource : models::HostRole::kTarget;
+}
+
+/// Forecasts every scenario of a window under `model`, keeping only
+/// rows with a usable forecast: per-role predicted energy, predicted
+/// total duration, the aligned observation, and its ingest seq. Rows
+/// whose forecast throws (e.g. the model has no table for the type)
+/// or produces a degenerate duration are dropped.
+struct ForecastColumns {
+  std::vector<double> predicted;
+  std::vector<double> observed;
+  std::vector<double> duration;
+  std::vector<std::uint64_t> seq;
+
+  std::size_t size() const { return predicted.size(); }
+};
+
+ForecastColumns forecast_window(const core::Wavm3Model& model,
+                                const FeedbackBuffer::Window& window, std::size_t role) {
+  ForecastColumns out;
+  out.predicted.reserve(window.size());
+  out.observed.reserve(window.size());
+  out.duration.reserve(window.size());
+  out.seq.reserve(window.size());
+  const core::MigrationPlanner planner(model);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    core::MigrationForecast fc;
+    try {
+      fc = planner.forecast(window.scenarios[i]);
+    } catch (const std::exception&) {
+      continue;  // incumbent cannot score this row; it cannot refit on it either
+    }
+    const double pred = role == 0 ? fc.source_energy : fc.target_energy;
+    const double dur = fc.times.me - fc.times.ms;
+    if (!std::isfinite(pred) || !std::isfinite(dur) || dur <= 0.0) continue;
+    out.predicted.push_back(pred);
+    out.observed.push_back(window.observed_energy[i]);
+    out.duration.push_back(dur);
+    out.seq.push_back(window.seq[i]);
+  }
+  return out;
+}
+
+/// Offset-only least squares given a fixed gain:
+/// argmin_b sum (obs - gain*pred - b*dur)^2.
+double refit_offset(std::span<const double> predicted, std::span<const double> observed,
+                    std::span<const double> duration, double gain) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    num += duration[i] * (observed[i] - gain * predicted[i]);
+    den += duration[i] * duration[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+/// Maps a fitted (gain, offset) correction onto one role's coefficient
+/// block: workload terms scale by gain, each phase bias becomes
+/// gain*c + offset (phase durations sum to the total duration, so the
+/// per-phase offsets reproduce offset * predicted_duration exactly).
+void apply_correction(core::RoleCoefficients& role, double gain, double offset_watts) {
+  for (core::PhaseCoefficients* p : {&role.initiation, &role.transfer, &role.activation}) {
+    p->alpha *= gain;
+    p->beta *= gain;
+    p->gamma *= gain;
+    p->delta *= gain;
+    p->c = gain * p->c + offset_watts;
+  }
+}
+
+}  // namespace
+
+OnlineRecalibrator::OnlineRecalibrator(serve::CoefficientStore& store,
+                                       RecalibratorConfig config)
+    : store_(store),
+      config_(config),
+      buffer_(config.window_capacity),
+      detector_(config.drift),
+      owned_registry_(config.registry == nullptr ? std::make_unique<obs::MetricRegistry>()
+                                                 : nullptr),
+      registry_(config.registry != nullptr ? config.registry : owned_registry_.get()),
+      c_samples_(registry_->counter("calib_samples_total",
+                                    "Feedback samples accepted into windows")),
+      c_rejected_(registry_->counter("calib_samples_rejected_total",
+                                     "Feedback samples failing validation")),
+      c_passes_(registry_->counter("calib_passes_total", "Recalibration passes run")),
+      c_drift_trips_(registry_->counter("calib_drift_trips_total",
+                                        "Slice windows that tripped drift")),
+      c_refits_(registry_->counter("calib_refits_total", "Candidate refits computed")),
+      c_candidates_rejected_(registry_->counter(
+          "calib_candidates_rejected_total",
+          "Candidates rejected by the shadow eval or sanity clamps")),
+      c_swaps_(registry_->counter("calib_swaps_total",
+                                  "Improving candidates published to the store")),
+      c_swap_conflicts_(registry_->counter(
+          "calib_swap_conflicts_total", "Publishes aborted because the store moved mid-pass")),
+      c_rollbacks_(registry_->counter("calib_rollbacks_total",
+                                      "Post-swap regressions rolled back")),
+      g_drift_nrmse_(registry_->gauge("calib_drift_nrmse",
+                                      "Worst slice NRMSE seen by the last pass")),
+      h_refit_latency_(registry_->exponential_histogram(
+          "calib_refit_latency_ns", "Latency of one candidate refit", 1000.0, 1.3, 80)) {
+  config_.registry = registry_;
+  WAVM3_REQUIRE(config_.holdout_fraction > 0.0 && config_.holdout_fraction < 1.0,
+                "holdout fraction must be in (0, 1)");
+  WAVM3_REQUIRE(config_.min_improvement >= 0.0 && config_.min_improvement < 1.0,
+                "min_improvement must be in [0, 1)");
+  WAVM3_REQUIRE(config_.min_gain > 0.0 && config_.max_gain >= config_.min_gain,
+                "gain clamp must satisfy 0 < min_gain <= max_gain");
+  WAVM3_REQUIRE(config_.rollback_nrmse_factor >= 1.0,
+                "rollback factor below 1 would reject confirmed candidates");
+  WAVM3_REQUIRE(config_.rollback_min_samples > 0, "rollback needs at least one sample");
+}
+
+bool OnlineRecalibrator::record(const core::MigrationScenario& scenario,
+                                const serve::MigrationFeedback& feedback) {
+  const std::optional<std::uint64_t> seq = buffer_.push(
+      scenario, feedback.source_energy_j, feedback.target_energy_j, feedback.duration_s);
+  if (!seq.has_value()) {
+    c_rejected_.inc();
+    return false;
+  }
+  c_samples_.inc();
+  if (config_.pass_interval_samples > 0) {
+    const std::uint64_t since =
+        samples_since_pass_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (since >= config_.pass_interval_samples) {
+      std::unique_lock<std::mutex> lock(pass_mutex_, std::try_to_lock);
+      // When another pass is in flight the counter keeps growing, so
+      // the next record() retries — the cadence never silently stalls.
+      if (lock.owns_lock()) {
+        samples_since_pass_.store(0, std::memory_order_relaxed);
+        run_pass_locked();
+      }
+    }
+  }
+  return true;
+}
+
+PassReport OnlineRecalibrator::run_pass() {
+  std::lock_guard<std::mutex> lock(pass_mutex_);
+  return run_pass_locked();
+}
+
+bool OnlineRecalibrator::check_swap_watch(PassReport& report) {
+  if (!watch_.has_value()) return false;
+  if (store_.version() != watch_->published_version) {
+    // Someone else (operator reload, another publisher) superseded the
+    // candidate: its post-swap evidence no longer describes the live
+    // model, so the watch is moot.
+    watch_.reset();
+    return false;
+  }
+  const serve::CoefficientStore::Snapshot snap = store_.snapshot();  // the candidate
+  std::vector<double> pred;
+  std::vector<double> obs;
+  for (const auto& [ts, role] : watch_->slices) {
+    const FeedbackBuffer::Window w = buffer_.window(ts, role_of(role));
+    const ForecastColumns cols = forecast_window(*snap.model, w, role);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols.seq[i] <= watch_->swap_seq) continue;  // judged on fresh evidence only
+      pred.push_back(cols.predicted[i]);
+      obs.push_back(cols.observed[i]);
+    }
+  }
+  if (pred.size() < config_.rollback_min_samples) {
+    // Not enough post-swap evidence yet. Hold further refits so a
+    // second swap can never stack on an unconfirmed first one.
+    report.waiting_confirmation = true;
+    return true;
+  }
+  const std::optional<double> post_nrmse = stats::try_nrmse(pred, obs);
+  const bool regressed =
+      post_nrmse.has_value() &&
+      *post_nrmse > config_.rollback_nrmse_factor * std::max(watch_->expected_nrmse, 1e-9);
+  if (regressed) {
+    if (store_.version() == watch_->published_version) {
+      store_.swap(watch_->prev_model);
+      c_rollbacks_.inc();
+      report.rolled_back = true;
+      WAVM3_OBS_INSTANT("calib", "rollback");
+    }
+    cooldown_until_ingested_ = buffer_.total_ingested() + config_.cooldown_samples;
+    watch_.reset();
+    return true;
+  }
+  watch_.reset();  // confirmed (or unjudgeable: constant post-swap window)
+  return false;
+}
+
+void OnlineRecalibrator::evaluate_slice(const serve::CoefficientStore::Snapshot& snap,
+                                        std::size_t type_slice, std::size_t role,
+                                        PassReport& report,
+                                        std::vector<AcceptedCandidate>& accepted) {
+  SlicePassReport sr;
+  sr.type_slice = type_slice;
+  sr.role = role_of(role);
+  const FeedbackBuffer::Window window = buffer_.window(type_slice, sr.role);
+  sr.samples = window.size();
+  if (window.size() < config_.drift.min_samples) {
+    report.slices.push_back(std::move(sr));
+    return;
+  }
+  const ForecastColumns cols = forecast_window(*snap.model, window, role);
+  sr.drift = detector_.assess(cols.predicted, cols.observed, cols.duration);
+  if (!sr.drift.drifted) {
+    report.slices.push_back(std::move(sr));
+    return;
+  }
+  c_drift_trips_.inc();
+
+  // Head fits, tail (the freshest samples) shadow-evaluates.
+  const std::size_t n = cols.size();
+  const std::size_t tail_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(config_.holdout_fraction *
+                                               static_cast<double>(n))));
+  if (n < tail_n + 4) {  // too few training rows for a 2-column fit worth trusting
+    report.slices.push_back(std::move(sr));
+    return;
+  }
+  const std::size_t head_n = n - tail_n;
+  const std::span<const double> pred_head(cols.predicted.data(), head_n);
+  const std::span<const double> obs_head(cols.observed.data(), head_n);
+  const std::span<const double> dur_head(cols.duration.data(), head_n);
+  const std::span<const double> pred_tail(cols.predicted.data() + head_n, tail_n);
+  const std::span<const double> obs_tail(cols.observed.data() + head_n, tail_n);
+  const std::span<const double> dur_tail(cols.duration.data() + head_n, tail_n);
+
+  sr.refit_attempted = true;
+  const auto t0 = std::chrono::steady_clock::now();
+  double gain = 1.0;
+  double offset = 0.0;
+  {
+    WAVM3_OBS_SPAN(span, "calib", "refit");
+    const std::span<const double> columns[] = {pred_head, dur_head};
+    stats::LinregOptions opts;
+    opts.add_intercept = false;
+    const stats::LinearFit fit = stats::fit_linear(columns, obs_head, opts);
+    gain = fit.coefficients[0];
+    offset = fit.coefficients[1];
+  }
+  c_refits_.inc();
+  h_refit_latency_.observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           t0)
+          .count()));
+  if (!std::isfinite(gain) || !std::isfinite(offset)) {
+    c_candidates_rejected_.inc();
+    report.slices.push_back(std::move(sr));
+    return;
+  }
+  const double clamped = std::clamp(gain, config_.min_gain, config_.max_gain);
+  if (clamped != gain) {
+    // The gain was implausible; keep the clamp and re-solve the offset
+    // conditioned on it, so the candidate stays least-squares optimal
+    // within the trusted region.
+    gain = clamped;
+    offset = refit_offset(pred_head, obs_head, dur_head, gain);
+  }
+  sr.gain = gain;
+  sr.offset_watts = offset;
+
+  // Shadow eval on the held-out tail: the candidate's predictions are
+  // gain*pred + offset*dur by construction — no model rebuild needed
+  // to score it.
+  sr.incumbent_tail_nrmse = stats::try_nrmse(pred_tail, obs_tail);
+  std::vector<double> cand_tail(tail_n);
+  for (std::size_t i = 0; i < tail_n; ++i) {
+    cand_tail[i] = gain * pred_tail[i] + offset * dur_tail[i];
+  }
+  sr.candidate_tail_nrmse = stats::try_nrmse(cand_tail, obs_tail);
+  const bool improves = sr.incumbent_tail_nrmse.has_value() &&
+                        sr.candidate_tail_nrmse.has_value() &&
+                        *sr.candidate_tail_nrmse <=
+                            (1.0 - config_.min_improvement) * *sr.incumbent_tail_nrmse;
+  if (!improves) {
+    c_candidates_rejected_.inc();
+    report.slices.push_back(std::move(sr));
+    return;
+  }
+  sr.candidate_accepted = true;
+  accepted.push_back(
+      AcceptedCandidate{type_slice, role, gain, offset, *sr.candidate_tail_nrmse});
+  report.slices.push_back(std::move(sr));
+}
+
+PassReport OnlineRecalibrator::run_pass_locked() {
+  WAVM3_OBS_SPAN(span, "calib", "recalib_pass");
+  c_passes_.inc();
+  PassReport report;
+  if (check_swap_watch(report)) return report;
+  if (buffer_.total_ingested() < cooldown_until_ingested_) {
+    report.cooldown = true;
+    return report;
+  }
+  const serve::CoefficientStore::Snapshot snap = store_.snapshot();
+  std::vector<AcceptedCandidate> accepted;
+  for (std::size_t ts = 0; ts < FeedbackBuffer::kTypeSlices; ++ts) {
+    for (std::size_t role = 0; role < FeedbackBuffer::kRoles; ++role) {
+      evaluate_slice(snap, ts, role, report, accepted);
+    }
+  }
+  double worst_nrmse = 0.0;
+  bool have_nrmse = false;
+  for (const SlicePassReport& sr : report.slices) {
+    if (sr.drift.nrmse.has_value()) {
+      worst_nrmse = std::max(worst_nrmse, *sr.drift.nrmse);
+      have_nrmse = true;
+    }
+  }
+  if (have_nrmse) g_drift_nrmse_.set(worst_nrmse);
+  if (accepted.empty()) return report;
+
+  core::Wavm3Model next = *snap.model;
+  double expected_nrmse = 0.0;
+  std::vector<std::pair<std::size_t, std::size_t>> swapped_slices;
+  for (const AcceptedCandidate& a : accepted) {
+    const migration::MigrationType type = FeedbackBuffer::slice_type(a.type_slice);
+    core::Wavm3Coefficients table = next.coefficients(type);
+    apply_correction(a.role == 0 ? table.source : table.target, a.gain, a.offset_watts);
+    next.set_coefficients(type, table);
+    expected_nrmse = std::max(expected_nrmse, a.shadow_nrmse);
+    swapped_slices.emplace_back(a.type_slice, a.role);
+  }
+  if (store_.version() != snap.version) {
+    // Someone published since our snapshot: this candidate was fit
+    // against a superseded incumbent, so publishing it would silently
+    // clobber the newer coefficients. Abort; the next pass refits
+    // against the new incumbent.
+    c_swap_conflicts_.inc();
+    report.swap_conflict = true;
+    return report;
+  }
+  report.published_version =
+      store_.swap(std::make_shared<const core::Wavm3Model>(std::move(next)));
+  report.swapped = true;
+  c_swaps_.inc();
+  WAVM3_OBS_INSTANT("calib", "coeff_swap");
+  watch_ = SwapWatch{snap.model, report.published_version, buffer_.last_seq(),
+                     expected_nrmse, std::move(swapped_slices)};
+  return report;
+}
+
+RecalibrationStats OnlineRecalibrator::stats() const {
+  RecalibrationStats s;
+  s.samples_accepted = c_samples_.value();
+  s.samples_rejected = c_rejected_.value();
+  s.passes = c_passes_.value();
+  s.drift_trips = c_drift_trips_.value();
+  s.refits = c_refits_.value();
+  s.candidates_rejected = c_candidates_rejected_.value();
+  s.swaps = c_swaps_.value();
+  s.swap_conflicts = c_swap_conflicts_.value();
+  s.rollbacks = c_rollbacks_.value();
+  return s;
+}
+
+std::shared_ptr<OnlineRecalibrator> attach(serve::PredictionService& service,
+                                           RecalibratorConfig config) {
+  if (config.registry == nullptr) config.registry = &service.obs_registry();
+  auto recalibrator =
+      std::make_shared<OnlineRecalibrator>(service.coeff_store(), config);
+  // The sink shares ownership: feedback jobs already queued on the
+  // worker pool keep the recalibrator alive even if the caller drops
+  // its reference before the pool drains.
+  service.set_feedback_sink(
+      [recalibrator](const core::MigrationScenario& scenario,
+                     const serve::MigrationFeedback& feedback) {
+        recalibrator->record(scenario, feedback);
+      });
+  return recalibrator;
+}
+
+}  // namespace wavm3::calib

@@ -1,0 +1,206 @@
+// OnlineRecalibrator: the closed loop that turns live migration
+// feedback into better serving coefficients.
+//
+//   feedback ──> FeedbackBuffer windows ──> DriftDetector ──> refit
+//        ──> shadow eval on a held-out tail ──> gated CoeffStore swap
+//        ──> post-swap watch ──> rollback on regression
+//
+// Refit model. Predicted migration energy is linear in the coefficient
+// table (core::attach_energy multiplies per-phase linear powers by
+// coefficient-independent forecast durations), so a multiplicative
+// drift plus a constant power offset — the span of corrections the
+// paper itself applies across testbeds (Sec. V-D's idle-power bias
+// term) — is exactly recoverable from scalar feedback by regressing
+//
+//   observed_energy ≈ gain * predicted_energy + offset * predicted_duration
+//
+// per (type, role) slice through the shared stats::fit_linear columnar
+// path (two columns, no intercept). The fitted (gain, offset) maps
+// back onto a full candidate coefficient table in closed form: every
+// phase's workload terms scale by `gain` and its bias becomes
+// gain*c + offset (summing offset * phase duration over the phases
+// reproduces offset * total duration). The C1->C2 correction is the
+// gain = 1 special case.
+//
+// Gating. A candidate is fit on the head of the window and shadow-
+// evaluated against the incumbent on the held-out tail (the freshest
+// samples); it publishes only when its tail NRMSE beats the
+// incumbent's by a configured margin, through an optimistic-
+// concurrency swap (the pass aborts if someone else published since
+// its snapshot). After a swap the loop arms a watch: once enough
+// post-swap feedback accumulates, a pooled NRMSE worse than the
+// candidate's shadow score by `rollback_nrmse_factor` swaps the
+// previous model back and freezes refits for `cooldown_samples`.
+//
+// Threading. record() may be called from many threads (it is the
+// serve feedback sink); passes are serialized by a mutex. The cadence
+// path uses try-lock, so a slow pass never stalls feedback ingest.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "calib/drift.hpp"
+#include "calib/feedback_buffer.hpp"
+#include "obs/metrics.hpp"
+#include "serve/coeff_store.hpp"
+#include "serve/service.hpp"
+
+namespace wavm3::calib {
+
+struct RecalibratorConfig {
+  std::size_t window_capacity = 256;  ///< rows per (type, role) slice window
+  DriftConfig drift{};
+  /// Run a recalibration pass every this many accepted samples (0 =
+  /// only explicit run_pass() calls).
+  std::size_t pass_interval_samples = 64;
+  /// Fraction of each window held out (freshest tail) for shadow eval.
+  double holdout_fraction = 0.25;
+  /// Candidate tail NRMSE must be <= (1 - min_improvement) * incumbent
+  /// tail NRMSE to publish.
+  double min_improvement = 0.05;
+  /// Sanity clamp on the fitted gain: outside this range the feedback
+  /// contradicts the model too violently to trust a linear correction.
+  double min_gain = 0.25;
+  double max_gain = 4.0;
+  /// Post-swap watch: judge the published candidate once this many
+  /// fresh samples arrived after the swap.
+  std::size_t rollback_min_samples = 24;
+  /// Roll back when post-swap pooled NRMSE exceeds the candidate's
+  /// shadow NRMSE by this factor.
+  double rollback_nrmse_factor = 1.5;
+  /// Accepted samples to ignore (no refits) after a rollback, so a
+  /// bad window cannot flap the coefficients.
+  std::size_t cooldown_samples = 128;
+  /// Registry the calib_* metrics live in (e.g. the owning service's
+  /// obs_registry()). Null = the recalibrator owns a private one.
+  obs::MetricRegistry* registry = nullptr;
+};
+
+/// What one pass decided for one slice window.
+struct SlicePassReport {
+  std::size_t type_slice = 0;
+  models::HostRole role = models::HostRole::kSource;
+  std::size_t samples = 0;
+  DriftReport drift;
+  bool refit_attempted = false;
+  bool candidate_accepted = false;
+  double gain = 1.0;
+  double offset_watts = 0.0;
+  std::optional<double> incumbent_tail_nrmse;
+  std::optional<double> candidate_tail_nrmse;
+};
+
+/// Outcome of one recalibration pass.
+struct PassReport {
+  bool cooldown = false;              ///< frozen after a rollback
+  bool waiting_confirmation = false;  ///< armed watch, not enough post-swap samples
+  bool rolled_back = false;
+  bool swapped = false;
+  bool swap_conflict = false;  ///< someone else published mid-pass
+  std::uint64_t published_version = 0;
+  std::vector<SlicePassReport> slices;
+};
+
+/// Monotonic counters (mirrored in the obs registry as calib_*).
+struct RecalibrationStats {
+  std::uint64_t samples_accepted = 0;
+  std::uint64_t samples_rejected = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t drift_trips = 0;
+  std::uint64_t refits = 0;
+  std::uint64_t candidates_rejected = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t swap_conflicts = 0;
+  std::uint64_t rollbacks = 0;
+};
+
+class OnlineRecalibrator {
+ public:
+  /// `store` must outlive the recalibrator; so must config.registry
+  /// when set.
+  explicit OnlineRecalibrator(serve::CoefficientStore& store, RecalibratorConfig config = {});
+
+  /// Ingests one observed migration. Returns true when the sample was
+  /// accepted into its windows. Runs a recalibration pass inline when
+  /// the cadence is due and no other pass is running.
+  bool record(const core::MigrationScenario& scenario,
+              const serve::MigrationFeedback& feedback);
+
+  /// Runs one full pass now (blocking until any in-flight pass ends):
+  /// post-swap watch first, then per-slice drift -> refit -> shadow
+  /// eval -> gated publish.
+  PassReport run_pass();
+
+  RecalibrationStats stats() const;
+  const FeedbackBuffer& buffer() const { return buffer_; }
+  const RecalibratorConfig& config() const { return config_; }
+
+ private:
+  struct AcceptedCandidate {
+    std::size_t type_slice = 0;
+    std::size_t role = 0;  ///< 0 source, 1 target
+    double gain = 1.0;
+    double offset_watts = 0.0;
+    double shadow_nrmse = 0.0;
+  };
+
+  /// Armed post-swap watch: judge (and possibly revert) the last
+  /// published candidate once enough fresh feedback lands.
+  struct SwapWatch {
+    std::shared_ptr<const core::Wavm3Model> prev_model;
+    std::uint64_t published_version = 0;
+    std::uint64_t swap_seq = 0;      ///< last ingest seq at swap time
+    double expected_nrmse = 0.0;     ///< worst shadow NRMSE among accepted slices
+    std::vector<std::pair<std::size_t, std::size_t>> slices;  ///< (type_slice, role)
+  };
+
+  PassReport run_pass_locked();
+  /// Handles the armed watch. Returns true when the pass should stop
+  /// here (rolled back, or still waiting for post-swap evidence).
+  bool check_swap_watch(PassReport& report);
+  void evaluate_slice(const serve::CoefficientStore::Snapshot& snap, std::size_t type_slice,
+                      std::size_t role, PassReport& report,
+                      std::vector<AcceptedCandidate>& accepted);
+
+  serve::CoefficientStore& store_;
+  RecalibratorConfig config_;
+  FeedbackBuffer buffer_;
+  DriftDetector detector_;
+
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;  ///< when config.registry == null
+  obs::MetricRegistry* registry_;  ///< where the calib_* metrics live
+  obs::Counter& c_samples_;
+  obs::Counter& c_rejected_;
+  obs::Counter& c_passes_;
+  obs::Counter& c_drift_trips_;
+  obs::Counter& c_refits_;
+  obs::Counter& c_candidates_rejected_;
+  obs::Counter& c_swaps_;
+  obs::Counter& c_swap_conflicts_;
+  obs::Counter& c_rollbacks_;
+  obs::Gauge& g_drift_nrmse_;  ///< worst slice NRMSE seen by the last pass
+  obs::Histogram& h_refit_latency_;
+
+  std::mutex pass_mutex_;  ///< serializes passes; cadence path try-locks
+  std::atomic<std::uint64_t> samples_since_pass_{0};
+  std::optional<SwapWatch> watch_;          ///< guarded by pass_mutex_
+  std::uint64_t cooldown_until_ingested_ = 0;  ///< guarded by pass_mutex_
+};
+
+/// Wires a recalibrator into a running service: the returned
+/// recalibrator publishes through the service's coefficient store,
+/// registers its calib_* metrics in the service's obs registry, and is
+/// installed as the service's feedback sink (the sink shares ownership,
+/// so samples already handed to the worker pool stay safe even if the
+/// caller drops its reference). The service must outlive every direct
+/// use of the returned recalibrator.
+std::shared_ptr<OnlineRecalibrator> attach(serve::PredictionService& service,
+                                           RecalibratorConfig config = {});
+
+}  // namespace wavm3::calib

@@ -33,6 +33,12 @@ double integrate(const MigrationObservation& obs,
 
 }  // namespace
 
+bool MigrationObservation::has_monotonic_timeline() const {
+  std::vector<double> t(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) t[i] = samples[i].time;
+  return stats::is_non_decreasing(t);
+}
+
 double MigrationObservation::observed_energy() const {
   return integrate(*this, [](const MigrationSample& s) { return s.power_watts; });
 }

@@ -50,6 +50,13 @@ struct MigrationObservation {
   double avg_bandwidth = 0.0;    ///< mean achieved bandwidth over the transfer (STRUNK)
   double idle_power_watts = 0.0; ///< testbed idle draw (bias transfer, SVI-F)
 
+  /// True when the sample timestamps form a valid integration axis
+  /// (finite, non-decreasing). Ingest paths reading traces from
+  /// outside the process must screen with this before integrating:
+  /// an out-of-order timestamp flips the sign of a trapezoid panel
+  /// and silently corrupts every energy integral downstream.
+  bool has_monotonic_timeline() const;
+
   /// Observed migration energy: integral of measured power over
   /// [ms, me] (trapezoidal over `samples`), in joules.
   double observed_energy() const;

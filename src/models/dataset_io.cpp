@@ -119,6 +119,14 @@ Dataset load_dataset_csv(const std::string& path) {
     s.phase = parse_phase(r[20]);
     obs->samples.push_back(s);
   }
+  // CSVs come from outside the process: reject shuffled or truncated
+  // trace rows here, with the offending observation named, instead of
+  // letting trapezoid() fail deep inside a fit.
+  for (const auto& o : dataset.observations) {
+    WAVM3_REQUIRE(o.has_monotonic_timeline(),
+                  "non-monotonic sample timestamps in " + path + " (" + o.experiment + " run " +
+                      util::format("%d", o.run) + " " + to_string(o.role) + ")");
+  }
   return dataset;
 }
 

@@ -39,16 +39,19 @@ template <typename Key, typename Value, typename Hash = std::hash<Key>,
           typename Eq = std::equal_to<Key>>
 class ShardedLruCache {
  public:
-  /// `capacity` is the total entry budget, split evenly across
-  /// `shards` (each shard gets at least one slot).
+  /// `capacity` is the total entry budget. Shard capacities sum to
+  /// exactly `capacity`: each gets floor(capacity/shards) slots and
+  /// the remainder is spread one slot each over the leading shards, so
+  /// the cache can never hold more entries than configured.
   explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8) {
     WAVM3_REQUIRE(capacity > 0, "cache capacity must be positive");
     WAVM3_REQUIRE(shards > 0, "cache needs at least one shard");
     shards = std::min(shards, capacity);
-    const std::size_t per_shard = (capacity + shards - 1) / shards;
+    const std::size_t base = capacity / shards;
+    const std::size_t extra = capacity % shards;
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>(per_shard));
+      shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0)));
     }
   }
 

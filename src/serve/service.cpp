@@ -60,6 +60,13 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
       h_batch_item_latency_(obs_metrics_.exponential_histogram(
           "serve_batch_item_latency_ns",
           "Amortized per-item latency of batched evaluations", 1000.0, 1.046, 400)),
+      feedback_accepted_(obs_metrics_.counter("serve_feedback_accepted_total",
+                                              "Feedback samples handed to the sink")),
+      feedback_dropped_(obs_metrics_.counter(
+          "serve_feedback_dropped_total",
+          "Feedback samples dropped (no sink, invalid, queue full, or shutdown)")),
+      feedback_errors_(obs_metrics_.counter("serve_feedback_errors_total",
+                                            "Feedback sink invocations that threw")),
       pool_(ThreadPoolConfig{config.threads, config.queue_capacity}) {
   WAVM3_REQUIRE(config_.batch_max_size > 0, "batch_max_size must be positive");
   WAVM3_REQUIRE(config_.backend_max_retries >= 0, "retry budget must be non-negative");
@@ -414,6 +421,55 @@ std::uint64_t PredictionService::reload(const std::string& coeffs_csv_path) {
 std::uint64_t PredictionService::swap_model(
     std::shared_ptr<const core::Wavm3Model> model) {
   return store_.swap(std::move(model));
+}
+
+void PredictionService::set_feedback_sink(FeedbackSink sink) {
+  auto shared = std::make_shared<const FeedbackSink>(std::move(sink));
+  std::lock_guard<std::mutex> lock(feedback_mutex_);
+  feedback_sink_ = std::move(shared);
+}
+
+void PredictionService::clear_feedback_sink() {
+  std::lock_guard<std::mutex> lock(feedback_mutex_);
+  feedback_sink_.reset();
+}
+
+bool PredictionService::record_feedback(const core::MigrationScenario& scenario,
+                                        const MigrationFeedback& feedback) {
+  // Screen corrupt samples before they cost a queue slot: a telemetry
+  // glitch must not be able to poison a recalibration window.
+  const bool valid = std::isfinite(feedback.source_energy_j) &&
+                     std::isfinite(feedback.target_energy_j) &&
+                     std::isfinite(feedback.duration_s) && feedback.duration_s > 0.0;
+  std::shared_ptr<const FeedbackSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mutex_);
+    sink = feedback_sink_;
+  }
+  if (!valid || sink == nullptr || !*sink) {
+    feedback_dropped_.inc();
+    return false;
+  }
+  // The job owns its copy of the sink handle, so a concurrent
+  // clear_feedback_sink() (or a racing replacement) never invalidates
+  // a sample already in flight.
+  const bool queued = pool_.try_submit([this, sink = std::move(sink), scenario, feedback] {
+    WAVM3_OBS_SPAN(span, "serve", "feedback");
+    try {
+      (*sink)(scenario, feedback);
+    } catch (...) {
+      // A throwing sink is the consumer's bug, but an uncaught
+      // exception here would terminate the worker thread — count it
+      // and keep serving.
+      feedback_errors_.inc();
+    }
+  });
+  if (!queued) {
+    feedback_dropped_.inc();
+    return false;
+  }
+  feedback_accepted_.inc();
+  return true;
 }
 
 ServiceStats PredictionService::stats() const {

@@ -24,6 +24,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -96,6 +97,23 @@ struct ServiceConfig {
   /// Null = the real serve::simulate_forecast engine backend.
   SimulatedBackend simulated_backend = {};
 };
+
+/// One observed migration outcome reported back to the service:
+/// ground-truth energy/duration for a scenario the model predicted.
+/// Consumed by the recalibration subsystem (src/calib/) through the
+/// feedback sink — the service itself only routes it.
+struct MigrationFeedback {
+  double source_energy_j = 0.0;  ///< measured source-host energy
+  double target_energy_j = 0.0;  ///< measured target-host energy
+  double duration_s = 0.0;       ///< measured total migration time
+};
+
+/// Consumer of feedback samples. Runs on a worker-pool thread;
+/// implementations must be thread-safe and should return quickly
+/// (buffer the sample, do heavy refits elsewhere). Exceptions are
+/// caught and counted, never propagated to the pool.
+using FeedbackSink =
+    std::function<void(const core::MigrationScenario&, const MigrationFeedback&)>;
 
 /// Counters of the degradation ladder (all monotonic).
 struct ResilienceStats {
@@ -189,6 +207,28 @@ class PredictionService {
   std::uint64_t swap_model(std::shared_ptr<const core::Wavm3Model> model);
 
   std::uint64_t model_version() const { return store_.version(); }
+
+  /// The RCU coefficient store behind reload()/swap_model(). Exposed
+  /// so the recalibration loop can snapshot the incumbent model and
+  /// publish/roll back candidates with compare-on-version semantics.
+  CoefficientStore& coeff_store() { return store_; }
+
+  /// Installs the consumer of record_feedback() samples (replacing any
+  /// previous one). The sink is invoked on worker-pool threads; pass
+  /// a callable that owns (or keeps alive) everything it touches.
+  void set_feedback_sink(FeedbackSink sink);
+
+  /// Removes the sink; subsequent feedback is counted as dropped.
+  void clear_feedback_sink();
+
+  /// Reports one observed migration outcome. Non-blocking: the sample
+  /// is handed to the worker pool and the sink runs asynchronously.
+  /// Returns false — and counts the sample as dropped — when no sink
+  /// is installed, the queue is full, or the service is shut down.
+  /// Obviously-corrupt samples (non-finite or non-positive duration,
+  /// non-finite energies) are rejected up front.
+  bool record_feedback(const core::MigrationScenario& scenario,
+                       const MigrationFeedback& feedback);
 
   ServiceStats stats() const;
 
@@ -298,6 +338,11 @@ class PredictionService {
   obs::Gauge& g_breaker_state_;  ///< CircuitBreaker::State as 0/1/2
   obs::Histogram& h_batch_size_;          ///< scenarios per worker batch task
   obs::Histogram& h_batch_item_latency_;  ///< amortized ns per batched item
+  obs::Counter& feedback_accepted_;  ///< samples handed to the sink
+  obs::Counter& feedback_dropped_;   ///< no sink / queue full / shutdown / invalid
+  obs::Counter& feedback_errors_;    ///< sink invocations that threw
+  std::mutex feedback_mutex_;
+  std::shared_ptr<const FeedbackSink> feedback_sink_;  ///< null = no consumer
   std::atomic<std::uint64_t> backoff_ticket_{0};
   ThreadPool pool_;  ///< last member: workers stop before the rest tears down
 };

@@ -1,14 +1,25 @@
 #include "stats/integrate.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace wavm3::stats {
+
+bool is_non_decreasing(std::span<const double> t) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!std::isfinite(t[i])) return false;
+    if (i > 0 && t[i] < t[i - 1]) return false;
+  }
+  return true;
+}
 
 double trapezoid(std::span<const double> t, std::span<const double> y) {
   WAVM3_REQUIRE(t.size() == y.size(), "trapezoid: time/value size mismatch");
   if (t.size() < 2) return 0.0;
   double area = 0.0;
   for (std::size_t i = 1; i < t.size(); ++i) {
+    WAVM3_REQUIRE(t[i] >= t[i - 1], "trapezoid: timestamps must be non-decreasing");
     area += 0.5 * (y[i - 1] + y[i]) * (t[i] - t[i - 1]);
   }
   return area;

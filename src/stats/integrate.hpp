@@ -9,10 +9,19 @@
 
 namespace wavm3::stats {
 
+/// True when the timestamps form a valid integration axis: every step
+/// is finite and non-decreasing. Ingest paths that receive traces from
+/// outside the process (online feedback, replayed logs) should screen
+/// with this and reject the sample instead of integrating garbage.
+bool is_non_decreasing(std::span<const double> t);
+
 /// Trapezoidal integral of y(t) over the sampled points: sum of
-/// 0.5 * (y[i-1] + y[i]) * (t[i] - t[i-1]). Times must be ascending
-/// (not checked here — callers own their ordering invariants); fewer
-/// than two samples integrate to 0.
+/// 0.5 * (y[i-1] + y[i]) * (t[i] - t[i-1]). Times must be
+/// non-decreasing — enforced with WAVM3_REQUIRE, since an out-of-order
+/// timestamp silently flips the sign of a panel and corrupts the
+/// energy integral. Untrusted callers screen first with
+/// is_non_decreasing() and drop the sample. Fewer than two samples
+/// integrate to 0.
 double trapezoid(std::span<const double> t, std::span<const double> y);
 
 }  // namespace wavm3::stats

@@ -31,8 +31,10 @@ double rmse(std::span<const double> predicted, std::span<const double> observed)
   return std::sqrt(sum / static_cast<double>(predicted.size()));
 }
 
-double nrmse(std::span<const double> predicted, std::span<const double> observed,
-             Normalization norm) {
+std::optional<double> try_nrmse(std::span<const double> predicted,
+                                std::span<const double> observed, Normalization norm) {
+  WAVM3_REQUIRE(predicted.size() == observed.size(), "prediction/observation size mismatch");
+  if (predicted.empty()) return std::nullopt;
   const double r = rmse(predicted, observed);
   const Summary s = summarize(observed);
   double denom = 0.0;
@@ -40,8 +42,18 @@ double nrmse(std::span<const double> predicted, std::span<const double> observed
     case Normalization::kMean: denom = std::abs(s.mean); break;
     case Normalization::kRange: denom = s.max - s.min; break;
   }
-  WAVM3_REQUIRE(denom > 0.0, "NRMSE normaliser must be positive");
+  // A constant window (range 0), an all-zero window (mean 0), or any
+  // NaN poisoning the summary all make the ratio meaningless.
+  if (!(denom > 0.0) || !std::isfinite(denom) || !std::isfinite(r)) return std::nullopt;
   return r / denom;
+}
+
+double nrmse(std::span<const double> predicted, std::span<const double> observed,
+             Normalization norm) {
+  check_inputs(predicted, observed);
+  const std::optional<double> value = try_nrmse(predicted, observed, norm);
+  WAVM3_REQUIRE(value.has_value(), "NRMSE normaliser must be positive");
+  return *value;
 }
 
 double r_squared(std::span<const double> predicted, std::span<const double> observed) {

@@ -8,6 +8,7 @@
 // existing call sites.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -25,9 +26,28 @@ double mae(std::span<const double> predicted, std::span<const double> observed);
 /// Root mean squared error.
 double rmse(std::span<const double> predicted, std::span<const double> observed);
 
-/// Normalised RMSE as a fraction (0.118 == 11.8%).
+/// Normalised RMSE as a fraction (0.118 == 11.8%). Throws
+/// util::ContractError on an empty window or a non-positive normaliser
+/// — the offline reproduction contract, where a degenerate window is a
+/// pipeline bug worth failing loudly on.
 double nrmse(std::span<const double> predicted, std::span<const double> observed,
              Normalization norm = Normalization::kMean);
+
+/// Non-throwing NRMSE for windows that can legitimately be degenerate
+/// (online feedback: a single scenario repeated until the observed
+/// column is constant, or an empty slice). Returns nullopt when the
+/// window is empty or its normaliser is non-positive or non-finite,
+/// instead of aborting the serving process. Sizes must still match
+/// (that remains a programming error).
+std::optional<double> try_nrmse(std::span<const double> predicted,
+                                std::span<const double> observed,
+                                Normalization norm = Normalization::kMean);
+
+inline std::optional<double> try_nrmse(const std::vector<double>& predicted,
+                                       const std::vector<double>& observed,
+                                       Normalization norm = Normalization::kMean) {
+  return try_nrmse(std::span<const double>(predicted), std::span<const double>(observed), norm);
+}
 
 /// Coefficient of determination R^2 (can be negative for bad models).
 double r_squared(std::span<const double> predicted, std::span<const double> observed);

@@ -3,6 +3,7 @@
 // pre-copy rate limiting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cmath>
 
@@ -139,6 +140,38 @@ TEST(DatasetIo, FitFromReloadedDatasetMatches) {
 TEST(DatasetIo, MissingFileYieldsEmptyDataset) {
   const models::Dataset d = models::load_dataset_csv("/nonexistent/path.csv");
   EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DatasetIo, LoaderRejectsNonMonotonicSampleTimestamps) {
+  // A trace CSV with shuffled rows used to load silently and corrupt
+  // every downstream energy integral (negative trapezoid panels); the
+  // loader must reject it at the door, naming the observation.
+  models::Dataset bad;
+  bad.name = "tampered";
+  models::MigrationObservation obs;
+  obs.experiment = "SHUFFLED";
+  obs.run = 1;
+  obs.testbed = "t";
+  obs.times = {0.0, 1.0, 2.0, 3.0};
+  for (const double t : {0.0, 2.0, 1.0, 3.0}) {  // out of order
+    models::MigrationSample s;
+    s.time = t;
+    s.power_watts = 100.0;
+    obs.samples.push_back(s);
+  }
+  EXPECT_FALSE(obs.has_monotonic_timeline());
+  bad.observations.push_back(obs);
+
+  const std::string path = ::testing::TempDir() + "/wavm3_dataset_bad.csv";
+  ASSERT_TRUE(models::save_dataset_csv(bad, path));
+  EXPECT_THROW(models::load_dataset_csv(path), util::ContractError);
+  std::remove(path.c_str());
+
+  std::sort(bad.observations[0].samples.begin(), bad.observations[0].samples.end(),
+            [](const models::MigrationSample& a, const models::MigrationSample& b) {
+              return a.time < b.time;
+            });
+  EXPECT_TRUE(bad.observations[0].has_monotonic_timeline());
 }
 
 TEST(CrossValidate, ProducesStableSlices) {

@@ -11,7 +11,9 @@
 #include <cmath>
 #include <condition_variable>
 #include <future>
+#include <limits>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -243,6 +245,26 @@ TEST(LruCache, ShardedCapacityAndClear) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.get(199).has_value());
+}
+
+TEST(LruCache, TotalBudgetIsNeverExceededByShardRemainders) {
+  // capacity=10, shards=8 used to ceil-divide into 8 shards of 2 = 16
+  // slots, nearly doubling the configured memory budget. The remainder
+  // must be distributed so shard capacities sum to exactly `capacity`.
+  ShardedLruCache<int, int> cache(10, 8);
+  for (int i = 0; i < 1000; ++i) cache.put(i, i);
+  EXPECT_EQ(cache.size(), 10u);
+  // An evenly divisible budget still splits evenly.
+  ShardedLruCache<int, int> even(64, 8);
+  for (int i = 0; i < 1000; ++i) even.put(i, i);
+  EXPECT_EQ(even.size(), 64u);
+  // Degenerate budget: fewer entries than shards collapses the shard
+  // count, never allocates zero-capacity shards (hash skew may leave
+  // some shards short, but the budget bound must hold).
+  ShardedLruCache<int, int> tiny(3, 8);
+  for (int i = 0; i < 100; ++i) tiny.put(i, i);
+  EXPECT_LE(tiny.size(), 3u);
+  EXPECT_EQ(tiny.shard_count(), 3u);
 }
 
 TEST(LruCache, ConcurrentMixedAccessIsSafe) {
@@ -1115,6 +1137,73 @@ TEST(PredictionService, CacheCapacityZeroDisablesCaching) {
   EXPECT_EQ(stats.cache.hits, 0u);
   EXPECT_EQ(stats.cache.misses, 0u);
   EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(PredictionService, FeedbackWithoutSinkIsDropped) {
+  PredictionService service(make_model(), ServiceConfig{.threads = 1});
+  MigrationFeedback fb{100.0, 120.0, 12.0};
+  EXPECT_FALSE(service.record_feedback(make_scenario(1), fb));
+  EXPECT_NE(service.metrics_prometheus().find("serve_feedback_dropped_total 1"),
+            std::string::npos);
+}
+
+TEST(PredictionService, FeedbackReachesSinkAsynchronously) {
+  PredictionService service(make_model(), ServiceConfig{.threads = 2});
+  std::atomic<int> delivered{0};
+  std::atomic<double> energy_sum{0.0};
+  service.set_feedback_sink(
+      [&](const core::MigrationScenario&, const MigrationFeedback& fb) {
+        delivered.fetch_add(1);
+        double cur = energy_sum.load();
+        while (!energy_sum.compare_exchange_weak(cur, cur + fb.source_energy_j)) {
+        }
+      });
+  for (int i = 0; i < 40; ++i) {
+    MigrationFeedback fb{10.0 * i, 5.0, 3.0};
+    EXPECT_TRUE(service.record_feedback(make_scenario(i), fb));
+  }
+  service.shutdown(DrainMode::kDrain);
+  EXPECT_EQ(delivered.load(), 40);
+  EXPECT_DOUBLE_EQ(energy_sum.load(), 10.0 * (39.0 * 40.0 / 2.0));
+}
+
+TEST(PredictionService, FeedbackRejectsCorruptSamplesBeforeTheSink) {
+  PredictionService service(make_model(), ServiceConfig{.threads = 1});
+  std::atomic<int> delivered{0};
+  service.set_feedback_sink(
+      [&](const core::MigrationScenario&, const MigrationFeedback&) { delivered.fetch_add(1); });
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(service.record_feedback(make_scenario(1), MigrationFeedback{nan, 1.0, 1.0}));
+  EXPECT_FALSE(service.record_feedback(make_scenario(1), MigrationFeedback{1.0, nan, 1.0}));
+  EXPECT_FALSE(service.record_feedback(make_scenario(1), MigrationFeedback{1.0, 1.0, 0.0}));
+  service.shutdown(DrainMode::kDrain);
+  EXPECT_EQ(delivered.load(), 0);
+}
+
+TEST(PredictionService, ThrowingSinkIsCountedAndDoesNotKillWorkers) {
+  PredictionService service(make_model(), ServiceConfig{.threads = 1});
+  service.set_feedback_sink(
+      [](const core::MigrationScenario&, const MigrationFeedback&) {
+        throw std::runtime_error("consumer bug");
+      });
+  EXPECT_TRUE(service.record_feedback(make_scenario(1), MigrationFeedback{1.0, 1.0, 1.0}));
+  // The worker that ran the throwing sink must still answer queries.
+  const core::MigrationForecast fc = service.submit(make_scenario(2)).get();
+  expect_forecast_eq(fc, core::MigrationPlanner(make_model()).forecast(make_scenario(2)));
+  EXPECT_NE(service.metrics_prometheus().find("serve_feedback_errors_total 1"),
+            std::string::npos);
+}
+
+TEST(PredictionService, ClearFeedbackSinkStopsDelivery) {
+  PredictionService service(make_model(), ServiceConfig{.threads = 1});
+  std::atomic<int> delivered{0};
+  service.set_feedback_sink(
+      [&](const core::MigrationScenario&, const MigrationFeedback&) { delivered.fetch_add(1); });
+  EXPECT_TRUE(service.record_feedback(make_scenario(1), MigrationFeedback{1.0, 1.0, 1.0}));
+  service.clear_feedback_sink();
+  EXPECT_FALSE(service.record_feedback(make_scenario(2), MigrationFeedback{1.0, 1.0, 1.0}));
+  service.shutdown(DrainMode::kDrain);
+  EXPECT_EQ(delivered.load(), 1);
 }
 
 TEST(PredictionService, ConcurrentFailingBackendIsSafe) {

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stats/convergence.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/diagnostics.hpp"
+#include "stats/integrate.hpp"
 #include "stats/linreg.hpp"
 #include "stats/lm.hpp"
 #include "stats/matrix.hpp"
@@ -140,6 +142,60 @@ TEST(Metrics, RangeNormalization) {
 
 TEST(Metrics, SizeMismatchThrows) {
   EXPECT_THROW(mae({1.0}, {1.0, 2.0}), util::ContractError);
+}
+
+TEST(Metrics, TryNrmseMatchesThrowingFormOnHealthyWindows) {
+  const std::vector<double> obs = {10, 10, 10, 10};
+  const std::vector<double> pred = {11, 9, 12, 8};
+  const std::optional<double> v = try_nrmse(pred, obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, nrmse(pred, obs));
+}
+
+TEST(Metrics, TryNrmseIsNulloptOnDegenerateWindows) {
+  // A feedback window of one repeated scenario: the observed column is
+  // constant at zero, so no normaliser exists. The throwing form keeps
+  // its offline contract; the online form must not kill the process.
+  const std::vector<double> obs = {0, 0, 0};
+  const std::vector<double> pred = {1, 2, 3};
+  EXPECT_FALSE(try_nrmse(pred, obs).has_value());
+  EXPECT_FALSE(try_nrmse(pred, obs, Normalization::kRange).has_value());
+  EXPECT_THROW(nrmse(pred, obs), util::ContractError);
+  // Constant non-zero observations: mean-normalisation still works,
+  // range-normalisation has no spread to normalise by.
+  const std::vector<double> flat = {5, 5, 5};
+  EXPECT_TRUE(try_nrmse(pred, flat).has_value());
+  EXPECT_FALSE(try_nrmse(pred, flat, Normalization::kRange).has_value());
+  // Empty windows are "no evidence", not an abort.
+  EXPECT_FALSE(try_nrmse(std::vector<double>{}, std::vector<double>{}).has_value());
+  // A size mismatch is still a programming error in either form.
+  EXPECT_THROW(try_nrmse({1.0}, {1.0, 2.0}), util::ContractError);
+}
+
+TEST(Integrate, TrapezoidKnownArea) {
+  const std::vector<double> t = {0.0, 1.0, 3.0};
+  const std::vector<double> y = {2.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(trapezoid(t, y), 3.0 + 8.0);
+}
+
+TEST(Integrate, TrapezoidRejectsNonMonotonicTime) {
+  // Out-of-order timestamps flip the sign of a panel: before the fix
+  // this returned 3 - 8 + 13 = silently wrong area instead of failing.
+  const std::vector<double> t = {0.0, 2.0, 1.0, 3.0};
+  const std::vector<double> y = {2.0, 4.0, 4.0, 4.0};
+  EXPECT_THROW(trapezoid(t, y), util::ContractError);
+  // Repeated timestamps (a stalled meter) are legal: zero-width panel.
+  const std::vector<double> t2 = {0.0, 1.0, 1.0, 2.0};
+  const std::vector<double> y2 = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(trapezoid(t2, y2), 4.0);
+}
+
+TEST(Integrate, IsNonDecreasingScreensIngestAxes) {
+  EXPECT_TRUE(is_non_decreasing(std::vector<double>{0.0, 1.0, 1.0, 2.5}));
+  EXPECT_TRUE(is_non_decreasing(std::vector<double>{}));
+  EXPECT_FALSE(is_non_decreasing(std::vector<double>{0.0, 2.0, 1.0}));
+  EXPECT_FALSE(is_non_decreasing(
+      std::vector<double>{0.0, std::numeric_limits<double>::quiet_NaN(), 1.0}));
 }
 
 TEST(Linreg, RecoversPlantedCoefficients) {

@@ -31,9 +31,11 @@
 #include <stdexcept>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "calib/recalibrator.hpp"
 #include "core/calibration.hpp"
 #include "dcsim/simulation.hpp"
 #include "core/coeff_io.hpp"
@@ -52,9 +54,11 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/coeff_store.hpp"
 #include "serve/query_stream.hpp"
 #include "serve/service.hpp"
 #include "serve/sim_backend.hpp"
+#include "util/rng.hpp"
 #include "stats/diagnostics.hpp"
 #include "stats/metrics.hpp"
 #include "stats/resampling.hpp"
@@ -704,6 +708,23 @@ int cmd_serve_bench(const Args& args) {
   serve::QueryStreamGenerator stream =
       serve::QueryStreamGenerator::diurnal(qopts, args.get_seed());
 
+  // --recalibrate closes the loop: the src/calib/ recalibrator is
+  // attached as the service's feedback sink and every served scenario
+  // is reported back as "observed" energy — the model's own forecast
+  // plus --feedback-bias watts of systematic error — so drift
+  // detection, gated swaps, and the rollback watch run live under the
+  // bench load.
+  std::shared_ptr<calib::OnlineRecalibrator> recalibrator;
+  const double feedback_bias = args.get_double("feedback-bias", 12.0);
+  const core::MigrationPlanner feedback_truth(model);
+  if (args.has("recalibrate")) {
+    calib::RecalibratorConfig rcfg;
+    rcfg.pass_interval_samples =
+        static_cast<std::size_t>(args.get_int("pass-interval", 64));
+    rcfg.drift.bias_threshold_watts = args.get_double("bias-threshold", 2.0);
+    recalibrator = calib::attach(service, rcfg);
+  }
+
   std::printf("serving %ld requests (batch %ld) on %d threads; cache %zu entries%s, "
               "repeat fraction %.0f%%, fidelity %s\n",
               total, batch, cfg.threads, cfg.cache_capacity,
@@ -740,6 +761,17 @@ int cmd_serve_bench(const Args& args) {
         energy_checksum += fc.total_energy();
       }
     }
+    if (recalibrator) {
+      for (const core::MigrationScenario& sc : scenarios) {
+        const core::MigrationForecast fc = feedback_truth.forecast(sc);
+        const double dur = fc.times.me - fc.times.ms;
+        serve::MigrationFeedback fb;
+        fb.source_energy_j = fc.source_energy + feedback_bias * dur;
+        fb.target_energy_j = fc.target_energy + feedback_bias * dur;
+        fb.duration_s = dur;
+        service.record_feedback(sc, fb);  // queue-full drops are counted
+      }
+    }
     done += static_cast<long>(scenarios.size());
     if (done >= next_reload && next_reload <= total) {
       // Hot-swap the coefficients mid-stream (a recalibration event);
@@ -767,6 +799,16 @@ int cmd_serve_bench(const Args& args) {
     std::printf("failed   : %ld of %ld requests raised (degradation %s)\n", crashed, total,
                 cfg.degrade_to_closed_form ? "on" : "off");
   }
+  if (recalibrator) {
+    const calib::RecalibrationStats cs = recalibrator->stats();
+    std::printf("recalib  : %llu samples in, %llu drift trips, %llu swaps, "
+                "%llu rollbacks (model now v%llu)\n",
+                static_cast<unsigned long long>(cs.samples_accepted),
+                static_cast<unsigned long long>(cs.drift_trips),
+                static_cast<unsigned long long>(cs.swaps),
+                static_cast<unsigned long long>(cs.rollbacks),
+                static_cast<unsigned long long>(service.model_version()));
+  }
   // Machine-readable output goes to files so stdout stays human-only.
   // Format follows the extension: .json -> JSON snapshot, .csv -> the
   // legacy per-endpoint CSV, anything else -> Prometheus text.
@@ -784,6 +826,141 @@ int cmd_serve_bench(const Args& args) {
     std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
   }
   if (!trace_path.empty() && !dump_chrome_trace(trace_path)) return 1;
+  return 0;
+}
+
+int cmd_recalibrate(const Args& args) {
+  // Offline demonstration of the online recalibration loop
+  // (src/calib/): streams synthetic migration feedback against a
+  // coefficient store, switches a constant-power bias error on
+  // mid-stream, and reports how drift detection, shadow-gated swaps,
+  // and the rollback watch drive serving NRMSE back to the noise
+  // floor. With --out the recovered coefficient table is saved for
+  // `predict` / `serve-bench`.
+  core::Wavm3Model model;
+  if (args.has("coeffs")) {
+    model = core::load_coefficients_csv(args.get("coeffs", ""));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    util::set_log_level(util::LogLevel::kWarn);
+    std::puts("no --coeffs given; fitting on a fast simulated campaign...");
+    const exp::CampaignResult campaign =
+        exp::run_campaign(testbed_by_name(args.get("testbed", "m")),
+                          exp::fast_campaign_options(), args.get_seed());
+    model.fit(campaign.dataset);
+  }
+
+  const long samples = std::max(1L, args.get_int("samples", 800));
+  const long shift_at = args.get_int("shift-at", samples * 3 / 8);
+  const double bias_watts = args.get_double("bias-watts", 18.0);
+  const double noise = args.get_double("noise", 0.04);
+
+  serve::CoefficientStore store(model);
+  obs::MetricRegistry registry;
+  calib::RecalibratorConfig cfg;
+  cfg.registry = &registry;
+  cfg.window_capacity = static_cast<std::size_t>(args.get_int("window", 128));
+  cfg.pass_interval_samples =
+      static_cast<std::size_t>(args.get_int("pass-interval", 32));
+  cfg.drift.nrmse_threshold =
+      args.get_double("nrmse-threshold", cfg.drift.nrmse_threshold);
+  cfg.drift.bias_threshold_watts = args.get_double("bias-threshold", 2.0);
+  cfg.drift.min_samples = static_cast<std::size_t>(
+      args.get_int("drift-min-samples", static_cast<long>(cfg.drift.min_samples)));
+  cfg.min_improvement = args.get_double("min-improvement", cfg.min_improvement);
+  cfg.cooldown_samples = static_cast<std::size_t>(
+      args.get_int("cooldown", static_cast<long>(cfg.cooldown_samples)));
+  calib::OnlineRecalibrator rec(store, cfg);
+
+  const core::MigrationPlanner truth(model);
+  serve::QueryStreamOptions qopts;
+  qopts.repeat_fraction = 0.0;  // feedback wants fresh scenarios, not cache hits
+  serve::QueryStreamGenerator stream =
+      serve::QueryStreamGenerator::diurnal(qopts, args.get_seed());
+  util::RngStream noise_rng(args.get_seed() + 1);
+
+  const auto observe = [&](const core::MigrationScenario& sc, double bias) {
+    const core::MigrationForecast fc = truth.forecast(sc);
+    const double dur = fc.times.me - fc.times.ms;
+    serve::MigrationFeedback fb;
+    fb.source_energy_j =
+        (fc.source_energy + bias * dur) * (1.0 + noise_rng.uniform(-noise, noise));
+    fb.target_energy_j =
+        (fc.target_energy + bias * dur) * (1.0 + noise_rng.uniform(-noise, noise));
+    fb.duration_s = dur;
+    return fb;
+  };
+
+  std::printf("streaming %ld feedback samples; +%.1f W bias switches on after "
+              "sample %ld (noise +/-%.0f%%)\n\n",
+              samples, bias_watts, shift_at, noise * 100.0);
+  std::printf("%8s %10s %8s %6s %6s %10s\n", "sample", "nrmse", "version", "swaps",
+              "rolls", "phase");
+  const long checkpoint_every = std::max(1L, samples / 12);
+  for (long i = 1; i <= samples; ++i) {
+    const double bias = i > shift_at ? bias_watts : 0.0;
+    const auto scenarios = stream.generate(1);
+    rec.record(scenarios[0], observe(scenarios[0], bias));
+    if (i % checkpoint_every == 0 || i == samples) {
+      // Serving NRMSE measured independently of the loop's own
+      // windows: fresh scenarios forecast against the store's current
+      // snapshot, observed through the same truth-plus-bias process.
+      const auto snap = store.snapshot();
+      const core::MigrationPlanner current(*snap.model);
+      std::vector<double> predicted;
+      std::vector<double> observed;
+      for (const core::MigrationScenario& sc : stream.generate(128)) {
+        const core::MigrationForecast fc = current.forecast(sc);
+        const serve::MigrationFeedback fb = observe(sc, bias);
+        predicted.push_back(fc.source_energy);
+        observed.push_back(fb.source_energy_j);
+        predicted.push_back(fc.target_energy);
+        observed.push_back(fb.target_energy_j);
+      }
+      const std::optional<double> nrmse = stats::try_nrmse(predicted, observed);
+      const calib::RecalibrationStats s = rec.stats();
+      std::printf("%8ld %10.4f %8llu %6llu %6llu %10s\n", i, nrmse.value_or(0.0),
+                  static_cast<unsigned long long>(store.version()),
+                  static_cast<unsigned long long>(s.swaps),
+                  static_cast<unsigned long long>(s.rollbacks),
+                  i <= shift_at ? "baseline" : "shifted");
+    }
+  }
+
+  const calib::RecalibrationStats s = rec.stats();
+  std::printf("\naccepted %llu  rejected %llu  passes %llu  drift trips %llu  "
+              "refits %llu\nswaps %llu  conflicts %llu  rollbacks %llu  "
+              "candidates rejected %llu\n",
+              static_cast<unsigned long long>(s.samples_accepted),
+              static_cast<unsigned long long>(s.samples_rejected),
+              static_cast<unsigned long long>(s.passes),
+              static_cast<unsigned long long>(s.drift_trips),
+              static_cast<unsigned long long>(s.refits),
+              static_cast<unsigned long long>(s.swaps),
+              static_cast<unsigned long long>(s.swap_conflicts),
+              static_cast<unsigned long long>(s.rollbacks),
+              static_cast<unsigned long long>(s.candidates_rejected));
+
+  if (args.has("out")) {
+    const auto snap = store.snapshot();
+    if (!core::save_coefficients_csv(*snap.model, args.get("out", ""))) {
+      std::fprintf(stderr, "could not write %s\n", args.get("out", "").c_str());
+      return 1;
+    }
+    std::printf("wrote %s (model version %llu)\n", args.get("out", "").c_str(),
+                static_cast<unsigned long long>(snap.version));
+  }
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    const std::string body = metrics_path.ends_with(".json")
+                                 ? obs::json_snapshot(registry)
+                                 : obs::prometheus_text(registry);
+    if (!write_text_file(metrics_path, body)) return 1;
+    std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -817,7 +994,14 @@ int cmd_help() {
       "            [--reloads N] [--fidelity closed|sim] [--csv] [--seed N]\n"
       "            [--fail-backend] [--no-degrade] [--deadline-ms T] [--retries N]\n"
       "            [--breaker-threshold N] [--breaker-open-ms T]\n"
+      "            [--recalibrate] [--feedback-bias W] [--pass-interval N]\n"
+      "            [--bias-threshold W]\n"
       "            [--trace-out FILE] [--metrics-out FILE (.json|.csv|.prom)]\n"
+      "  recalibrate [--coeffs FILE | --testbed m|o] [--samples N] [--shift-at N]\n"
+      "            [--bias-watts W] [--noise F] [--window N] [--pass-interval N]\n"
+      "            [--nrmse-threshold F] [--bias-threshold W] [--drift-min-samples N]\n"
+      "            [--min-improvement F] [--cooldown N] [--seed N]\n"
+      "            [--out FILE] [--metrics-out FILE (.json|.prom)]\n"
       "  report    [--out FILE] [--fast] [--seed N]\n"
       "  help\n");
   return 0;
@@ -838,6 +1022,7 @@ int main(int argc, char** argv) {
     if (cmd == "tables") return cmd_tables(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
+    if (cmd == "recalibrate") return cmd_recalibrate(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "help" || cmd == "--help") return cmd_help();
   } catch (const std::exception& e) {
