@@ -14,7 +14,10 @@
 
 namespace wavm3::cloud {
 
-/// Static host characteristics, mirroring Table IIc.
+/// Static host characteristics, mirroring Table IIc, plus the fleet
+/// fields a datacenter-scale planner needs (NIC capacity, migration
+/// concurrency, topology placement). The fleet fields default to the
+/// two-host testbed's implicit values so host-pair code is unaffected.
 struct HostSpec {
   std::string name;              ///< e.g. "m01"
   int vcpus = 1;                 ///< hardware threads (32 for m01/m02)
@@ -26,6 +29,17 @@ struct HostSpec {
   std::string cpu_architecture = "x86_64";
   std::string nic_model;         ///< e.g. "Broadcom BCM5704"
   std::string xen_version = "4.2.5";
+
+  /// NIC wire rate in bytes/s; 0 = unbounded (the link alone limits,
+  /// which is the two-host testbed behaviour).
+  double nic_rate = 0.0;
+  /// How many migrations this host may serve concurrently (as source
+  /// or target); planners schedule waves under this cap.
+  int max_concurrent_migrations = 1;
+  /// Topology group (rack / aggregation domain); same-group pairs get
+  /// full link rate, cross-group pairs may be slower. Empty = one flat
+  /// group.
+  std::string group;
 };
 
 /// A physical machine.

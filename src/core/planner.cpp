@@ -121,14 +121,15 @@ MigrationForecast forecast_timings(const MigrationScenario& sc) {
   return fc;
 }
 
-void attach_energy(const Wavm3Model& model, const MigrationScenario& sc,
-                   MigrationForecast& fc) {
+PhaseRepresentatives representative_features(const MigrationScenario& sc,
+                                             const MigrationForecast& fc) {
   const auto& cfg = sc.migration;
   const bool live = sc.type == MigrationType::kLive;
   const bool postcopy = sc.type == MigrationType::kPostCopy;
   // The model is fitted for the paper's two flavours; post-copy uses
   // the live coefficient table (the closest workload semantics).
-  const MigrationType coeff_type = postcopy ? MigrationType::kLive : sc.type;
+  PhaseRepresentatives rep;
+  rep.coeff_type = postcopy ? MigrationType::kLive : sc.type;
 
   // Representative feature values per (phase, role), mirroring how the
   // engine drives the hosts. The migrating VM counts into CPU(h) on the
@@ -217,12 +218,21 @@ void attach_energy(const Wavm3Model& model, const MigrationScenario& sc,
         break;
     }
 
-    const MigrationSample src = make_sample(ph, src_cpu_host, src_cpu_vm, bw, dr);
-    const MigrationSample dst = make_sample(ph, dst_cpu_host, dst_cpu_vm, bw, 0.0);
-    const double p_src = model.predict_power(coeff_type, HostRole::kSource, src);
-    const double p_dst = model.predict_power(coeff_type, HostRole::kTarget, dst);
-    fc.source_phase_energy[i] = p_src * dur;
-    fc.target_phase_energy[i] = p_dst * dur;
+    rep.source[i] = make_sample(ph, src_cpu_host, src_cpu_vm, bw, dr);
+    rep.target[i] = make_sample(ph, dst_cpu_host, dst_cpu_vm, bw, 0.0);
+    rep.duration[i] = dur;
+  }
+  return rep;
+}
+
+void attach_energy(const Wavm3Model& model, const MigrationScenario& sc,
+                   MigrationForecast& fc) {
+  const PhaseRepresentatives rep = representative_features(sc, fc);
+  for (int i = 0; i < 3; ++i) {
+    const double p_src = model.predict_power(rep.coeff_type, HostRole::kSource, rep.source[i]);
+    const double p_dst = model.predict_power(rep.coeff_type, HostRole::kTarget, rep.target[i]);
+    fc.source_phase_energy[i] = p_src * rep.duration[i];
+    fc.target_phase_energy[i] = p_dst * rep.duration[i];
   }
 
   fc.source_energy =

@@ -77,6 +77,24 @@ class MigrationPlanner {
 /// without a fitted model (and the engine's tests) can use it.
 MigrationForecast forecast_timings(const MigrationScenario& scenario);
 
+/// The representative constant feature values the energy attribution
+/// integrates over each phase: one (source, target) sample pair per
+/// phase, chosen to mirror how the engine drives the hosts, plus the
+/// coefficient table the scenario's type maps to (post-copy prices
+/// with the live tables). attach_energy evaluates these through
+/// predict_power; the batched scoring path (src/plan/) integrates the
+/// very same samples through models::FeatureBatch, so both roads give
+/// the same energies (up to floating-point reassociation).
+struct PhaseRepresentatives {
+  models::MigrationSample source[3];  ///< initiation, transfer, activation
+  models::MigrationSample target[3];
+  double duration[3] = {0.0, 0.0, 0.0};
+  migration::MigrationType coeff_type = migration::MigrationType::kLive;
+};
+
+PhaseRepresentatives representative_features(const MigrationScenario& scenario,
+                                             const MigrationForecast& fc);
+
 /// Fills the energy fields of `fc` from the fitted model, given the
 /// scenario and already-computed timings/traffic. Exposed so forecasts
 /// whose timings come from elsewhere (e.g. an engine simulation run by

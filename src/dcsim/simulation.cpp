@@ -283,13 +283,11 @@ DcSimReport DataCenterSimulation::run() {
   rt.report.strategy = config_.strategy;
   rt.report.duration = config_.duration;
 
-  // Build the fleet and its full-mesh network.
+  // Build the fleet. Every host pair is reachable through the default
+  // link, materialised lazily per pair on first use — O(pairs that
+  // actually migrate) links instead of an eager O(hosts^2) mesh.
   for (const auto& spec : config_.hosts) rt.dc.add_host(spec);
-  for (std::size_t i = 0; i < config_.hosts.size(); ++i) {
-    for (std::size_t j = i + 1; j < config_.hosts.size(); ++j) {
-      rt.dc.network().connect(config_.hosts[i].name, config_.hosts[j].name, config_.link);
-    }
-  }
+  rt.dc.network().set_default_link(config_.link);
   for (const auto& placement : config_.vms) {
     cloud::Host* host = rt.dc.host(placement.host);
     WAVM3_REQUIRE(host != nullptr, "placement names unknown host: " + placement.host);
@@ -359,6 +357,11 @@ DcSimConfig make_fleet_scenario(int n_hosts, int n_vms, std::uint64_t seed) {
     h.name = util::format("host%02d", i);
     h.vcpus = 32;
     h.ram_bytes = util::gib(32);
+    // Fleet fields: 16-host racks, GbE NICs, one migration at a time
+    // per host (the planner's wave scheduler works under these caps).
+    h.group = util::format("rack%02d", i / 16);
+    h.nic_rate = util::gbit_per_s(1);
+    h.max_concurrent_migrations = 1;
     cfg.hosts.push_back(h);
   }
   // m-class ground truth (same machines as the paper's m01-m02 pair).

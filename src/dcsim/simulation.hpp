@@ -50,7 +50,7 @@ struct VmPlacement {
 struct DcSimConfig {
   std::vector<cloud::HostSpec> hosts;    ///< homogeneous fleet (>= 2)
   power::HostPowerParams power;          ///< ground-truth machine class
-  net::LinkSpec link;                    ///< full-mesh links between hosts
+  net::LinkSpec link;                    ///< default link between any host pair
   net::BandwidthModelParams bandwidth;
   migration::MigrationConfig migration;
   std::vector<VmPlacement> vms;

@@ -1,5 +1,7 @@
 #include "net/topology.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace wavm3::net {
@@ -14,13 +16,17 @@ void Topology::connect(const std::string& host_a, const std::string& host_b, Lin
 }
 
 Link* Topology::link_between(const std::string& host_a, const std::string& host_b) {
-  const auto it = links_.find(key(host_a, host_b));
-  return it == links_.end() ? nullptr : it->second.get();
+  return const_cast<Link*>(std::as_const(*this).link_between(host_a, host_b));
 }
 
 const Link* Topology::link_between(const std::string& host_a, const std::string& host_b) const {
   const auto it = links_.find(key(host_a, host_b));
-  return it == links_.end() ? nullptr : it->second.get();
+  if (it != links_.end()) return it->second.get();
+  if (!default_spec_.has_value() || host_a == host_b) return nullptr;
+  // Materialise the default link for this pair on first use.
+  auto& slot = links_[key(host_a, host_b)];
+  slot = std::make_unique<Link>(*default_spec_);
+  return slot.get();
 }
 
 }  // namespace wavm3::net

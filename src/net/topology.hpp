@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -12,22 +13,43 @@
 namespace wavm3::net {
 
 /// Symmetric registry of links between named hosts.
+///
+/// Two population modes compose:
+///   * connect() registers an explicit per-pair link (heterogeneous
+///     topologies, tests);
+///   * set_default_link() declares every not-explicitly-connected pair
+///     reachable through a link of the given spec, materialised lazily
+///     on first lookup. A fleet of N hosts then costs O(pairs actually
+///     used) links instead of the O(N^2) full mesh that the two-host
+///     origins of dcsim used to build eagerly.
 class Topology {
  public:
   /// Registers a bidirectional link between two hosts. Replaces any
   /// previous link between the pair.
   void connect(const std::string& host_a, const std::string& host_b, LinkSpec spec);
 
-  /// Returns the link between two hosts, or nullptr when disconnected.
+  /// Declares the spec every unconnected pair falls back to. Each pair
+  /// still gets its own Link instance (links carry mutable fault
+  /// state), created on first link_between() lookup.
+  void set_default_link(LinkSpec spec) { default_spec_ = std::move(spec); }
+  bool has_default_link() const { return default_spec_.has_value(); }
+
+  /// Returns the link between two hosts, or nullptr when disconnected
+  /// and no default spec is set.
   Link* link_between(const std::string& host_a, const std::string& host_b);
   const Link* link_between(const std::string& host_a, const std::string& host_b) const;
 
+  /// Materialised links only (explicit + lazily created defaults).
   std::size_t link_count() const { return links_.size(); }
 
  private:
   static std::pair<std::string, std::string> key(const std::string& a, const std::string& b);
 
-  std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+  // mutable: lazy default-link materialisation is logically const —
+  // with a default spec set, every pair is connected; the map entry is
+  // just the memoised Link instance.
+  mutable std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+  std::optional<LinkSpec> default_spec_;
 };
 
 }  // namespace wavm3::net

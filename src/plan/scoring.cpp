@@ -1,0 +1,96 @@
+#include "plan/scoring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::plan {
+
+namespace {
+
+using models::HostRole;
+using models::MigrationObservation;
+using models::MigrationSample;
+
+/// Scenarios per FeatureBatch chunk: bounds peak memory of the
+/// synthetic observations without giving up the amortization (each
+/// chunk is still thousands of rows — far past the point where the
+/// batched matrix product dominates per-call overhead).
+constexpr std::size_t kChunk = 8192;
+
+/// Expands one scenario into a synthetic observation for `role`: six
+/// samples at the phase boundaries (ms, ts, ts, te, te, me), each
+/// carrying the phase's representative constant features. Consecutive
+/// same-phase pairs integrate to value x duration; the cross-phase
+/// pairs have zero dt and contribute nothing.
+MigrationObservation boundary_observation(const core::MigrationScenario& sc,
+                                          const core::MigrationForecast& fc,
+                                          const core::PhaseRepresentatives& rep,
+                                          HostRole role) {
+  MigrationObservation obs;
+  obs.type = rep.coeff_type;
+  obs.role = role;
+  obs.times = fc.times;
+  obs.mem_bytes = sc.vm_mem_bytes;
+  obs.data_bytes = fc.total_bytes;
+  obs.avg_bandwidth = fc.bandwidth;
+
+  const MigrationSample* phase_samples = role == HostRole::kSource ? rep.source : rep.target;
+  const double bounds[4] = {fc.times.ms, fc.times.ts, fc.times.te, fc.times.me};
+  obs.samples.reserve(6);
+  for (int phase = 0; phase < 3; ++phase) {
+    MigrationSample s = phase_samples[phase];
+    s.time = bounds[phase];
+    obs.samples.push_back(s);
+    s.time = bounds[phase + 1];
+    obs.samples.push_back(s);
+  }
+  return obs;
+}
+
+}  // namespace
+
+std::size_t score_batch(const models::EnergyModel& model,
+                        std::span<const core::MigrationScenario> scenarios,
+                        std::vector<core::MigrationForecast>& out) {
+  out.resize(scenarios.size());
+  std::size_t rows = 0;
+
+  std::vector<MigrationObservation> observations;
+  std::vector<const MigrationObservation*> ptrs;
+  std::vector<double> energies;
+  for (std::size_t base = 0; base < scenarios.size(); base += kChunk) {
+    const std::size_t count = std::min(kChunk, scenarios.size() - base);
+
+    observations.clear();
+    observations.reserve(2 * count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const core::MigrationScenario& sc = scenarios[base + i];
+      core::MigrationForecast& fc = out[base + i];
+      fc = core::forecast_timings(sc);
+      const core::PhaseRepresentatives rep = core::representative_features(sc, fc);
+      observations.push_back(boundary_observation(sc, fc, rep, HostRole::kSource));
+      observations.push_back(boundary_observation(sc, fc, rep, HostRole::kTarget));
+    }
+
+    ptrs.clear();
+    ptrs.reserve(observations.size());
+    for (const MigrationObservation& obs : observations) ptrs.push_back(&obs);
+    const models::FeatureBatch batch(ptrs);
+
+    energies.assign(batch.size(), 0.0);
+    model.predict_batch(batch, energies);
+    rows += batch.size();
+
+    // Rows alternate source/target in scenario order. The per-phase
+    // split is not re-derived here (one batched pass prices totals);
+    // callers needing the split go through core::attach_energy.
+    for (std::size_t i = 0; i < count; ++i) {
+      out[base + i].source_energy = energies[2 * i];
+      out[base + i].target_energy = energies[2 * i + 1];
+    }
+  }
+  return rows;
+}
+
+}  // namespace wavm3::plan

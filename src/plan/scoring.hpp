@@ -1,0 +1,34 @@
+// Batched candidate pricing: thousands of hypothetical migrations per
+// wave priced through models::FeatureBatch + EnergyModel::predict_batch
+// (the columnar path), instead of thousands of scalar
+// core::MigrationPlanner::forecast calls.
+//
+// Each scenario forecasts its timings in closed form, then expands to
+// two synthetic observations (source and target role) of six
+// phase-boundary samples carrying core::representative_features'
+// constant per-phase values. Under FeatureBatch's kTotal weighting the
+// per-phase trapezoid integrals of such an observation are exactly
+// (value x phase duration), so one matrix-vector product per
+// (type, role) slice reproduces core::attach_energy's per-phase
+// power x duration sums up to floating-point reassociation —
+// score_batch and MigrationPlanner::forecast agree to relative
+// machine precision (plan_test pins this at 1e-9).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "models/energy_model.hpp"
+
+namespace wavm3::plan {
+
+/// Forecasts timings for every scenario and fills the energy fields
+/// through one batched prediction pass. `out` is resized to
+/// scenarios.size(). Returns the number of batch rows evaluated
+/// (two per scenario).
+std::size_t score_batch(const models::EnergyModel& model,
+                        std::span<const core::MigrationScenario> scenarios,
+                        std::vector<core::MigrationForecast>& out);
+
+}  // namespace wavm3::plan

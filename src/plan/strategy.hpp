@@ -1,0 +1,41 @@
+// The two bundled placement strategies:
+//
+//   FirstFitStrategy  — the naive baseline: for each donor VM take the
+//     feasible candidate on the lowest-indexed host, energy-blind.
+//     This is classic first-fit over the host list and the comparison
+//     anchor of bench_plan.
+//
+//   BeamSearchStrategy — energy-aware: per donor, a beam over the
+//     donor's VMs (first-fit-decreasing order) where each beam state
+//     carries its tentative target loads and accumulated predicted
+//     migration energy. The completed assignment with the lowest
+//     energy wins; the first-fit assignment for the same donor is
+//     always admitted as one more candidate, so beam search never
+//     selects a worse-than-first-fit assignment (bench_plan's CI gate
+//     relies on this invariant).
+//
+// Both strategies are all-or-nothing per donor: a donor whose VMs
+// cannot all be placed contributes no moves (a partially vacated host
+// saves no energy), and both track tentative RAM/CPU deltas across
+// donors so a wave's combined selection stays feasible.
+#pragma once
+
+#include "plan/planner.hpp"
+
+namespace wavm3::plan {
+
+class FirstFitStrategy final : public PlacementStrategy {
+ public:
+  const char* name() const override { return "first_fit"; }
+  std::vector<int> choose(const Fleet& fleet, const CandidateSet& candidates,
+                          const PlannerConfig& config) const override;
+};
+
+class BeamSearchStrategy final : public PlacementStrategy {
+ public:
+  const char* name() const override { return "beam"; }
+  std::vector<int> choose(const Fleet& fleet, const CandidateSet& candidates,
+                          const PlannerConfig& config) const override;
+};
+
+}  // namespace wavm3::plan

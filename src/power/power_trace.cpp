@@ -12,6 +12,8 @@ void PowerTrace::add(double time, double watts) {
                 "power samples must be time-ordered");
   WAVM3_REQUIRE(watts >= 0.0, "negative power reading");
   samples_.push_back({time, watts});
+  times_.push_back(time);
+  watts_.push_back(watts);
 }
 
 double PowerTrace::start_time() const {
@@ -26,54 +28,18 @@ double PowerTrace::end_time() const {
 
 double PowerTrace::power_at(double t) const {
   WAVM3_REQUIRE(!samples_.empty(), "empty trace");
-  if (t <= samples_.front().time) return samples_.front().watts;
-  if (t >= samples_.back().time) return samples_.back().watts;
-  // First sample with time >= t.
-  const auto it = std::lower_bound(
-      samples_.begin(), samples_.end(), t,
-      [](const PowerSample& s, double value) { return s.time < value; });
-  const auto hi = it;
-  const auto lo = it - 1;
-  const double span = hi->time - lo->time;
-  if (span <= 0.0) return hi->watts;
-  const double f = (t - lo->time) / span;
-  return lo->watts * (1.0 - f) + hi->watts * f;
+  return stats::interp_at(times_, watts_, t);
 }
 
 double PowerTrace::energy_between(double t0, double t1) const {
   WAVM3_REQUIRE(t1 >= t0, "inverted energy interval");
-  if (samples_.size() < 2) return 0.0;
-  const double a = std::max(t0, samples_.front().time);
-  const double b = std::min(t1, samples_.back().time);
-  if (b <= a) return 0.0;
-
-  double energy = 0.0;
-  double prev_t = a;
-  double prev_p = power_at(a);
-  // Walk interior samples strictly inside (a, b).
-  const auto first = std::upper_bound(
-      samples_.begin(), samples_.end(), a,
-      [](double value, const PowerSample& s) { return value < s.time; });
-  for (auto it = first; it != samples_.end() && it->time < b; ++it) {
-    energy += 0.5 * (prev_p + it->watts) * (it->time - prev_t);
-    prev_t = it->time;
-    prev_p = it->watts;
-  }
-  const double end_p = power_at(b);
-  energy += 0.5 * (prev_p + end_p) * (b - prev_t);
-  return energy;
+  // Windowed trapezoid with boundary interpolation, via the shared
+  // stats kernel (one quadrature for every trace consumer).
+  return stats::window_trapezoid(times_, watts_, t0, t1);
 }
 
 double PowerTrace::total_energy() const {
-  // The full-trace integral needs no interpolation or bound clipping:
-  // it is the plain trapezoid over the samples, via the shared kernel.
-  std::vector<double> t(samples_.size());
-  std::vector<double> w(samples_.size());
-  for (std::size_t i = 0; i < samples_.size(); ++i) {
-    t[i] = samples_[i].time;
-    w[i] = samples_[i].watts;
-  }
-  return stats::trapezoid(t, w);
+  return stats::trapezoid(times_, watts_);
 }
 
 double PowerTrace::mean_power_between(double t0, double t1) const {

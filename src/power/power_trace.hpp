@@ -58,6 +58,10 @@ class PowerTrace {
  private:
   std::string label_;
   std::vector<PowerSample> samples_;
+  // Columnar mirror of samples_, kept in lockstep by add(): the
+  // interpolation/integration kernels in stats/ take contiguous spans.
+  std::vector<double> times_;
+  std::vector<double> watts_;
 };
 
 }  // namespace wavm3::power

@@ -24,4 +24,24 @@ bool is_non_decreasing(std::span<const double> t);
 /// integrate to 0.
 double trapezoid(std::span<const double> t, std::span<const double> y);
 
+/// y at time x by linear interpolation between the neighbouring
+/// samples, clamped to the first/last value outside the sampled
+/// extent. Times must be non-decreasing and non-empty.
+double interp_at(std::span<const double> t, std::span<const double> y, double x);
+
+/// Trapezoidal integral of y(t) restricted to the window [t0, t1]:
+/// the window is clamped to the sampled extent and the boundary
+/// values are linearly interpolated, so splitting an interval is
+/// exact — window_trapezoid(a,c) == window_trapezoid(a,b) +
+/// window_trapezoid(b,c). This is the one implementation behind
+/// PowerTrace::energy_between and the planner's per-VM history
+/// windows; an empty overlap (or fewer than two samples) yields 0.
+double window_trapezoid(std::span<const double> t, std::span<const double> y,
+                        double t0, double t1);
+
+/// Mean of y over the clamped window (window_trapezoid / overlap
+/// width); 0 on empty overlap.
+double window_mean(std::span<const double> t, std::span<const double> y,
+                   double t0, double t1);
+
 }  // namespace wavm3::stats

@@ -104,5 +104,34 @@ TEST(Topology, SelfLoopRejected) {
   EXPECT_THROW(topo.connect("a", "a", gigabit()), util::ContractError);
 }
 
+TEST(Topology, DefaultLinkMaterializesPerPair) {
+  Topology topo;
+  EXPECT_FALSE(topo.has_default_link());
+  EXPECT_EQ(topo.link_between("a", "b"), nullptr);
+
+  topo.set_default_link(gigabit());
+  EXPECT_TRUE(topo.has_default_link());
+  Link* ab = topo.link_between("a", "b");
+  ASSERT_NE(ab, nullptr);
+  // Symmetric, stable, and distinct per pair (links carry mutable
+  // fault state, so pairs must not share one Link object).
+  EXPECT_EQ(topo.link_between("b", "a"), ab);
+  Link* cd = topo.link_between("c", "d");
+  ASSERT_NE(cd, nullptr);
+  EXPECT_NE(cd, ab);
+  // Self-pairs stay unconnected even with a default.
+  EXPECT_EQ(topo.link_between("a", "a"), nullptr);
+}
+
+TEST(Topology, ExplicitLinkOverridesDefault) {
+  Topology topo;
+  topo.set_default_link(gigabit());
+  LinkSpec fast = gigabit();
+  fast.wire_rate = util::gbit_per_s(10);
+  topo.connect("a", "b", fast);
+  EXPECT_DOUBLE_EQ(topo.link_between("a", "b")->spec().wire_rate, util::gbit_per_s(10));
+  EXPECT_DOUBLE_EQ(topo.link_between("a", "c")->spec().wire_rate, gigabit().wire_rate);
+}
+
 }  // namespace
 }  // namespace wavm3::net

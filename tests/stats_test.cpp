@@ -190,6 +190,51 @@ TEST(Integrate, TrapezoidRejectsNonMonotonicTime) {
   EXPECT_DOUBLE_EQ(trapezoid(t2, y2), 4.0);
 }
 
+TEST(Integrate, InterpAtClampsAndInterpolates) {
+  const std::vector<double> t = {0.0, 1.0, 3.0};
+  const std::vector<double> y = {2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(interp_at(t, y, -1.0), 2.0);   // clamp left
+  EXPECT_DOUBLE_EQ(interp_at(t, y, 5.0), 8.0);    // clamp right
+  EXPECT_DOUBLE_EQ(interp_at(t, y, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(interp_at(t, y, 2.0), 6.0);
+  EXPECT_DOUBLE_EQ(interp_at(t, y, 1.0), 4.0);    // exact sample
+  // Repeated timestamps: the later sample wins, no division by zero.
+  const std::vector<double> t2 = {0.0, 1.0, 1.0, 2.0};
+  const std::vector<double> y2 = {0.0, 2.0, 6.0, 6.0};
+  EXPECT_DOUBLE_EQ(interp_at(t2, y2, 1.0), 6.0);
+}
+
+TEST(Integrate, WindowTrapezoidSplitsExactly) {
+  // Splitting [t0, t1] at any interior point conserves the integral —
+  // the property PowerTrace::energy_between and the planner's history
+  // windows both rely on.
+  const std::vector<double> t = {0.0, 1.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 4.0, 0.0};
+  const double whole = window_trapezoid(t, y, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(whole, trapezoid(t, y));
+  for (const double cut : {0.5, 1.0, 2.7, 3.9}) {
+    EXPECT_DOUBLE_EQ(window_trapezoid(t, y, 0.0, cut) + window_trapezoid(t, y, cut, 4.0),
+                     whole);
+  }
+  // Sub-sample window inside one panel: plain trapezoid of the lerped
+  // endpoints.
+  EXPECT_DOUBLE_EQ(window_trapezoid(t, y, 1.5, 2.5), 4.0);
+  // Windows beyond the sampled extent clamp; fully disjoint gives 0.
+  EXPECT_DOUBLE_EQ(window_trapezoid(t, y, -5.0, 10.0), whole);
+  EXPECT_DOUBLE_EQ(window_trapezoid(t, y, 10.0, 20.0), 0.0);
+}
+
+TEST(Integrate, WindowMeanEdgeCases) {
+  const std::vector<double> t = {0.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(window_mean(t, y, 0.0, 2.0), 2.0);
+  // Zero-width window degenerates to the interpolated value.
+  EXPECT_DOUBLE_EQ(window_mean(t, y, 1.0, 1.0), 2.0);
+  // Single-sample history: that sample is the mean.
+  EXPECT_DOUBLE_EQ(window_mean(std::vector<double>{5.0}, std::vector<double>{7.0}, 0.0, 10.0),
+                   7.0);
+}
+
 TEST(Integrate, IsNonDecreasingScreensIngestAxes) {
   EXPECT_TRUE(is_non_decreasing(std::vector<double>{0.0, 1.0, 1.0, 2.5}));
   EXPECT_TRUE(is_non_decreasing(std::vector<double>{}));

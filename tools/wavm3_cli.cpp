@@ -54,6 +54,9 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "plan/fleet.hpp"
+#include "plan/planner.hpp"
+#include "plan/strategy.hpp"
 #include "serve/coeff_store.hpp"
 #include "serve/query_stream.hpp"
 #include "serve/service.hpp"
@@ -646,6 +649,105 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_plan(const Args& args) {
+  // Datacenter-scale consolidation planning over a Fleet snapshot:
+  // rolling waves of energy-priced, cycle-scheduled migrations.
+  const std::string trace_path = trace_out_path(args);
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
+
+  core::Wavm3Model model;
+  if (args.has("coeffs")) {
+    model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    const exp::Testbed testbed = testbed_by_name(args.get("testbed", "m"));
+    const exp::CampaignResult campaign =
+        exp::run_campaign(testbed, exp::fast_campaign_options(), args.get_seed());
+    model.fit(campaign.dataset);
+  }
+
+  plan::Fleet fleet;
+  if (args.has("fleet-hosts") || args.has("fleet-vms")) {
+    std::ifstream hosts_csv(args.get("fleet-hosts", "hosts.csv"));
+    std::ifstream vms_csv(args.get("fleet-vms", "vms.csv"));
+    if (!hosts_csv || !vms_csv) {
+      std::fprintf(stderr, "could not open --fleet-hosts / --fleet-vms\n");
+      return 1;
+    }
+    fleet = plan::Fleet::from_csv(hosts_csv, vms_csv);
+  } else {
+    const int hosts = static_cast<int>(args.get_int("hosts", 64));
+    const int vms = static_cast<int>(args.get_int("vms", 10 * hosts));
+    fleet = plan::Fleet::synthetic(hosts, vms, args.get_seed());
+  }
+
+  plan::PlannerConfig cfg;
+  cfg.policy.horizon_seconds = args.get_double("horizon", cfg.policy.horizon_seconds);
+  cfg.candidate_targets =
+      static_cast<int>(args.get_int("candidate-targets", cfg.candidate_targets));
+  cfg.max_donors_per_wave =
+      static_cast<int>(args.get_int("max-donors", cfg.max_donors_per_wave));
+  cfg.beam_width = static_cast<int>(args.get_int("beam-width", cfg.beam_width));
+  cfg.wave_horizon_s = args.get_double("wave-horizon", cfg.wave_horizon_s);
+  if (args.has("no-cycles")) cfg.cycle_aware = false;
+
+  const plan::FirstFitStrategy first_fit;
+  const plan::BeamSearchStrategy beam;
+  const std::string strategy_name = args.get("strategy", "beam");
+  const plan::PlacementStrategy* strategy = nullptr;
+  if (strategy_name == "beam") strategy = &beam;
+  else if (strategy_name == "first-fit") strategy = &first_fit;
+  else {
+    std::fprintf(stderr, "unknown --strategy '%s' (expected first-fit|beam)\n",
+                 strategy_name.c_str());
+    return 2;
+  }
+
+  // Plan from the end of the sampled histories, one wave per workload
+  // period, committing each so later waves see the consolidated fleet.
+  double now = 0.0;
+  for (const plan::FleetVm& vm : fleet.vms()) {
+    if (!vm.history.empty()) now = std::max(now, vm.history.t.back());
+  }
+  const int waves = static_cast<int>(args.get_int("waves", 1));
+  plan::MigrationPlanner planner(model, cfg);
+
+  std::printf("planning %d wave(s) over %zu hosts / %zu VMs (%s, cycles %s)\n\n",
+              waves, fleet.host_count(), fleet.vm_count(), strategy->name(),
+              cfg.cycle_aware ? "on" : "off");
+  std::printf("%6s %12s %12s %12s %10s %6s %8s %8s\n", "wave", "migr [kJ]",
+              "saving [kJ]", "net [kJ]", "downtime", "moves", "vacated", "aligned");
+  for (int w = 0; w < waves; ++w) {
+    const plan::WavePlan p =
+        planner.plan_wave(fleet, *strategy, now + w * cfg.wave_horizon_s);
+    std::printf("%6d %12.1f %12.1f %12.1f %9.2fs %6zu %8d %8d\n", w,
+                p.total_migration_energy_j / 1e3, p.steady_saving_j / 1e3,
+                (p.total_migration_energy_j - p.steady_saving_j) / 1e3,
+                p.total_downtime_s, p.moves.size(), p.donors_vacated,
+                p.moves_cycle_aligned);
+    if (args.has("verbose")) {
+      for (const plan::ScheduledMove& m : p.moves) {
+        std::printf("    %-14s %-12s -> %-12s start %10.1f  %8.2f kJ%s\n",
+                    fleet.vm(m.vm).id.c_str(), fleet.host(m.source).spec.name.c_str(),
+                    fleet.host(m.target).spec.name.c_str(), m.start_s,
+                    m.energy_j / 1e3, m.cycle_aligned ? "  (low window)" : "");
+      }
+    }
+  }
+  int powered = 0;
+  for (const plan::FleetHost& h : fleet.hosts()) powered += h.powered_on ? 1 : 0;
+  std::printf("\n%d/%zu hosts powered after the last wave\n", powered,
+              fleet.host_count());
+
+  if (!trace_path.empty() && !dump_chrome_trace(trace_path)) return 1;
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !dump_global_metrics(metrics_path)) return 1;
+  return 0;
+}
+
 int cmd_serve_bench(const Args& args) {
   // Load-tests the in-process prediction service (src/serve/) with a
   // synthetic consolidation-round query stream and prints its metrics.
@@ -988,6 +1090,12 @@ int cmd_help() {
       "  simulate  [--testbed m|o] [--hosts N] [--vms N] [--hours H]\n"
       "            [--horizon SECONDS] [--seed N]\n"
       "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "  plan      [--coeffs FILE | --testbed m|o] [--hosts N] [--vms N]\n"
+      "            [--fleet-hosts FILE --fleet-vms FILE]\n"
+      "            [--strategy first-fit|beam] [--waves N] [--beam-width N]\n"
+      "            [--candidate-targets N] [--max-donors N] [--no-cycles]\n"
+      "            [--horizon SECONDS] [--wave-horizon SECONDS] [--verbose]\n"
+      "            [--seed N] [--trace-out FILE] [--metrics-out FILE]\n"
       "  serve-bench [--coeffs FILE | --testbed m|o] [--threads N] [--requests N]\n"
       "            [--batch N] [--cache-capacity N] [--cache-shards N]\n"
       "            [--quantization F] [--repeat-fraction F] [--queue N]\n"
@@ -1021,6 +1129,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "tables") return cmd_tables(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "plan") return cmd_plan(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
     if (cmd == "recalibrate") return cmd_recalibrate(args);
     if (cmd == "report") return cmd_report(args);
