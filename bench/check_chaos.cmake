@@ -1,0 +1,57 @@
+# Gate script for the chaos soak: parses the artefact bench_chaos_soak
+# emits and fails if
+#   * fewer than 95% of planned moves ended completed-or-replanned
+#     under the seeded storm,
+#   * the FleetInvariantChecker flagged ANY violation on ANY wave
+#     (capacity, placement, ownership, concurrency caps, or the energy
+#     ledger drifting out of planned = committed + refunded +
+#     outstanding),
+#   * the executor planned nothing at benchmark scale, or
+#   * the faults-off parity pin failed: with no storm the closed loop
+#     must commit the same outcome as the direct
+#     MigrationPlanner::plan_wave(commit=true) path — identical
+#     placements and powered sets, committed energy within 1e-9
+#     relative (parity_ok is computed in the bench so the tolerance
+#     check is not done on a stringified double here).
+# Run as `cmake -DARTIFACT=... -P check_chaos.cmake`
+# (the bench_chaos_soak_gate ctest entry).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ARTIFACT)
+  message(FATAL_ERROR "pass -DARTIFACT=<path to bench_chaos_soak.json>")
+endif()
+if(NOT EXISTS "${ARTIFACT}")
+  message(FATAL_ERROR "artefact not found: ${ARTIFACT} (run bench_chaos_soak first)")
+endif()
+
+file(READ "${ARTIFACT}" _json)
+string(JSON _planned GET "${_json}" moves_planned)
+string(JSON _resolution GET "${_json}" resolution_fraction)
+string(JSON _violations GET "${_json}" invariant_violations)
+string(JSON _parity_ok GET "${_json}" parity_ok)
+string(JSON _parity_err GET "${_json}" parity_rel_err)
+
+if(_planned EQUAL 0)
+  message(FATAL_ERROR "chaos executor planned no moves at benchmark scale")
+endif()
+
+if(_resolution LESS 0.95)
+  message(FATAL_ERROR
+    "storm resolution below the gate: ${_resolution} < 0.95 "
+    "of planned moves completed-or-replanned")
+endif()
+
+if(NOT _violations EQUAL 0)
+  message(FATAL_ERROR
+    "fleet invariants violated under the storm: ${_violations} "
+    "violations (capacity/placement/ownership/concurrency/ledger)")
+endif()
+
+if(NOT _parity_ok EQUAL 1)
+  message(FATAL_ERROR
+    "faults-off parity pin failed: closed-loop committed outcome "
+    "diverged from the direct planner path (rel err ${_parity_err})")
+endif()
+
+message(STATUS "chaos gate passed: ${_planned} moves, resolution ${_resolution} "
+               ">= 0.95, 0 invariant violations, parity rel err ${_parity_err}")

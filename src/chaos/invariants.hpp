@@ -1,0 +1,78 @@
+// Fleet invariant checking for the chaos executor: after every wave
+// the reconciled Fleet snapshot and the move ledger are audited, so a
+// bookkeeping bug (double-placed VM, over-committed host, leaked
+// energy) aborts the experiment at the wave that introduced it rather
+// than corrupting every later wave's numbers.
+//
+// Checked invariants:
+//   * capacity      — per-host RAM commitment within spec, and the
+//                     host's cached ram/cpu accumulators agree with a
+//                     recomputation from its VM list;
+//   * placement     — host/VM references form a bijection: every VM on
+//                     exactly one powered host, no orphans, no dupes,
+//                     powered-off hosts empty;
+//   * ownership     — each VM has at most one pending ledger entry,
+//                     pending entries still match reality (the VM sits
+//                     on the entry's source), and no VM is both shed
+//                     (lost to the plan) and placed by the same wave;
+//   * concurrency   — executed migration intervals never overlap a
+//                     host beyond its max_concurrent_migrations cap;
+//   * energy ledger — planned = committed + refunded + outstanding
+//                     within 1e-9 relative, wasted >= 0 (predicted
+//                     energy is conserved: every accepted move's price
+//                     is either committed by a placement or refunded,
+//                     never silently dropped).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chaos/replan.hpp"
+#include "plan/fleet.hpp"
+
+namespace wavm3::chaos {
+
+/// One failed invariant; `check` names the invariant class, `detail`
+/// the concrete host/VM/number that broke it.
+struct InvariantViolation {
+  std::string check;
+  std::string detail;
+};
+
+/// The executor's running energy ledger (joules of *predicted*
+/// migration energy; wasted_j additionally meters the energy burnt by
+/// failed attempts on top of the plan).
+struct LedgerSnapshot {
+  double planned_j = 0.0;      ///< every accepted move, once
+  double committed_j = 0.0;    ///< moves whose VM landed on the target
+  double refunded_j = 0.0;     ///< moves replanned or shed
+  double outstanding_j = 0.0;  ///< moves still pending a retry
+  double wasted_j = 0.0;       ///< energy burnt by failed attempts
+};
+
+/// One host's share of an executed migration attempt (both endpoints
+/// of every attempt are recorded), with the *actual* start/end times.
+struct ExecutedInterval {
+  int host = -1;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+class FleetInvariantChecker {
+ public:
+  /// Relative tolerance of the energy-ledger conservation check.
+  static constexpr double kLedgerRelTol = 1e-9;
+  /// Absolute tolerance of the recomputed-accounting checks (joule/
+  /// byte/vCPU accumulators drift by float reassociation only).
+  static constexpr double kAccountingTol = 1e-6;
+
+  /// Audits one wave's end state. `ledger` is the full move ledger
+  /// (all waves), `wave_intervals` the attempts executed this wave.
+  std::vector<InvariantViolation> check(const plan::Fleet& fleet,
+                                        std::span<const TrackedMove> ledger,
+                                        std::span<const ExecutedInterval> wave_intervals,
+                                        const LedgerSnapshot& totals) const;
+};
+
+}  // namespace wavm3::chaos

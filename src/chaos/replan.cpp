@@ -1,0 +1,75 @@
+#include "chaos/replan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavm3::chaos {
+
+const char* to_string(MoveResolution r) {
+  switch (r) {
+    case MoveResolution::kPending: return "pending";
+    case MoveResolution::kCompleted: return "completed";
+    case MoveResolution::kVmLost: return "vm-lost";
+    case MoveResolution::kReplanned: return "replanned";
+    case MoveResolution::kShed: return "shed";
+  }
+  return "?";
+}
+
+ReplanPolicy::ReplanPolicy(ReplanConfig config) : config_(config) {
+  WAVM3_REQUIRE(config_.wave_deadline_s > 0.0, "wave deadline must be positive");
+  WAVM3_REQUIRE(config_.retry_budget >= 1, "retry budget must allow one attempt");
+  WAVM3_REQUIRE(config_.backoff_base_waves >= 1 &&
+                    config_.max_backoff_waves >= config_.backoff_base_waves,
+                "backoff waves must be >= 1 and capped at max_backoff_waves");
+  WAVM3_REQUIRE(config_.rolling_window >= 1, "rolling window must hold >= 1 execution");
+  WAVM3_REQUIRE(config_.degraded_failure_rate > 0.0 && config_.degraded_failure_rate <= 1.0 &&
+                    config_.recovery_failure_rate >= 0.0 &&
+                    config_.recovery_failure_rate < config_.degraded_failure_rate,
+                "degraded/recovery rates must satisfy 0 <= recovery < degraded <= 1");
+  WAVM3_REQUIRE(config_.degraded_width_factor > 0.0 && config_.degraded_width_factor <= 1.0,
+                "degraded width factor must be in (0, 1]");
+  WAVM3_REQUIRE(config_.min_wave_moves >= 1, "degraded waves must admit >= 1 move");
+}
+
+double ReplanPolicy::failure_rate() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(window_failures_) / static_cast<double>(window_.size());
+}
+
+std::size_t ReplanPolicy::admitted_width(std::size_t planned) const {
+  if (!degraded_) return planned;
+  const auto shrunk = static_cast<std::size_t>(static_cast<double>(planned) *
+                                               config_.degraded_width_factor);
+  return std::min(planned, std::max(static_cast<std::size_t>(config_.min_wave_moves), shrunk));
+}
+
+void ReplanPolicy::record_execution(bool success) {
+  window_.push_back(!success);
+  if (!success) ++window_failures_;
+  while (window_.size() > static_cast<std::size_t>(config_.rolling_window)) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+  const double rate = failure_rate();
+  if (rate >= config_.degraded_failure_rate) {
+    degraded_ = true;
+  } else if (rate <= config_.recovery_failure_rate) {
+    degraded_ = false;
+  }
+}
+
+bool ReplanPolicy::arm_retry(TrackedMove& mv, int wave) const {
+  if (mv.attempts >= config_.retry_budget) return false;
+  // attempts failures so far -> backoff doubles per failure past the
+  // first, capped so a flaky move cannot drift out of the run entirely.
+  const int doublings = std::min(mv.attempts - 1, 30);
+  const long long raw = static_cast<long long>(config_.backoff_base_waves) << doublings;
+  const int backoff = static_cast<int>(
+      std::min<long long>(raw, static_cast<long long>(config_.max_backoff_waves)));
+  mv.eligible_wave = wave + backoff;
+  return true;
+}
+
+}  // namespace wavm3::chaos

@@ -127,6 +127,13 @@ struct DataCenterSimulation::Runtime {
     } else {
       ++report.migrations_failed;
       report.wasted_migration_bytes += r.wasted_bytes;
+      const char* cause =
+          r.outcome == migration::MigrationOutcome::kVmLost ? "vm-lost" : "rolled-back";
+      ++report.migration_failures_by_cause[cause];
+      obs::registry()
+          .counter("dcsim_migration_failures_total", "Failed fleet migrations by cause",
+                   {{"strategy", to_string(cfg.strategy)}, {"cause", cause}})
+          .inc();
     }
     report.total_migration_downtime += r.downtime;
   }
@@ -147,16 +154,31 @@ struct DataCenterSimulation::Runtime {
                           account_migration(r);
                           // A rolled-back move left the world as it was:
                           // re-attempt in place, up to the policy's
-                          // bound (a lost VM is already on the target,
-                          // so only rollbacks retry). Past the bound
-                          // the plan continues without this move; the
-                          // next controller tick replans around it.
-                          if (r.outcome == migration::MigrationOutcome::kRolledBack &&
-                              move.attempts < cfg.policy.max_retries) {
-                            ++report.migrations_retried;
-                            PendingMove retry = move;
-                            ++retry.attempts;
-                            pending.push_front(retry);
+                          // bound. kVmLost must NEVER retry: the engine
+                          // already restarted the VM on the target, so
+                          // a re-attempt would migrate a VM that is no
+                          // longer on the source. Past the bound the
+                          // plan continues without this move; the next
+                          // controller tick replans around it.
+                          if (r.outcome == migration::MigrationOutcome::kRolledBack) {
+                            if (move.attempts < cfg.policy.max_retries) {
+                              ++report.migrations_retried;
+                              obs::registry()
+                                  .counter("dcsim_migration_retries_total",
+                                           "Rolled-back fleet migrations re-attempted",
+                                           {{"strategy", to_string(cfg.strategy)}})
+                                  .inc();
+                              PendingMove retry = move;
+                              ++retry.attempts;
+                              pending.push_front(retry);
+                            } else {
+                              ++report.migration_retries_exhausted;
+                              obs::registry()
+                                  .counter("dcsim_migration_retries_exhausted_total",
+                                           "Rolled-back migrations dropped at the retry cap",
+                                           {{"strategy", to_string(cfg.strategy)}})
+                                  .inc();
+                            }
                           }
                           execute_next_migration();
                         });

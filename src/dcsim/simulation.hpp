@@ -76,6 +76,11 @@ struct DcSimReport {
   int migrations_executed = 0;               ///< completed migrations
   int migrations_failed = 0;                 ///< rolled back or VM lost
   int migrations_retried = 0;                ///< re-attempts after rollback
+  int migration_retries_exhausted = 0;       ///< rollbacks dropped at the retry cap
+  /// Failed migrations keyed by cause ("rolled-back" / "vm-lost"); the
+  /// per-cause split behind migrations_failed. Lost VMs never retry:
+  /// the engine already restarted them on the target.
+  std::map<std::string, int> migration_failures_by_cause;
   double wasted_migration_bytes = 0.0;       ///< traffic of failed migrations
   int plans_rejected_by_cost = 0;            ///< cost-aware refusals
   int power_off_events = 0;

@@ -33,11 +33,18 @@ FaultPlan& FaultPlan::add(const LinkDegradation& d) {
 }
 
 FaultPlan& FaultPlan::add(const LinkFlap& f) {
-  WAVM3_REQUIRE(f.end > f.start, "flap window must have positive length");
-  WAVM3_REQUIRE(f.up_duration > 0.0 && f.down_duration > 0.0,
-                "flap up/down durations must be positive");
+  WAVM3_REQUIRE(f.end >= f.start, "flap window must not end before it starts");
+  WAVM3_REQUIRE(f.up_duration >= 0.0 && f.down_duration >= 0.0,
+                "flap up/down durations must be non-negative");
+  WAVM3_REQUIRE(f.up_duration + f.down_duration > 0.0,
+                "flap period must be positive (up + down > 0)");
   WAVM3_REQUIRE(f.down_factor >= 0.0 && f.down_factor <= 1.0,
                 "flap down factor must be in [0,1]");
+  // Degenerate-but-harmless flaps are accepted and dropped: a
+  // zero-length window or a flap that is never down cannot affect
+  // link_factor, and storing them would divide the factor evaluation's
+  // phase arithmetic by pathological periods for nothing.
+  if (f.end == f.start || f.down_duration == 0.0) return *this;
   flaps_.push_back(f);
   return *this;
 }

@@ -48,6 +48,12 @@ struct LinkDegradation {
 /// Periodic flapping: from `start` the link alternates `up_duration`
 /// seconds at full capacity with `down_duration` seconds at
 /// `down_factor`, until `end`.
+///
+/// Degenerate cases (defined, not rejected): up_duration == 0 keeps
+/// the link at `down_factor` for the whole window; down_duration == 0
+/// or end == start is a no-op (accepted by add() and dropped). Only
+/// up_duration + down_duration == 0 is malformed — there is no period
+/// to phase against — and throws.
 struct LinkFlap {
   double start = 0.0;
   double end = 0.0;
@@ -118,6 +124,16 @@ struct FaultPlanOptions {
 /// A deterministic schedule of faults. Build one with the add()
 /// methods (or FaultPlan::random) and hand it, immutably shared, to
 /// the engine and/or the bandwidth model.
+///
+/// Overlap semantics: link faults on the same link compose
+/// *multiplicatively and order-independently*. At any instant the
+/// effective factor is the product of every active degradation's
+/// factor and every active flap's down_factor (when that flap is in a
+/// down phase), clamped to [0, 1]; an active stall forces the factor
+/// to 0 outright. There is no last-writer-wins: the order in which
+/// overlapping faults were add()ed never changes link_factor, so two
+/// overlapping 0.5 degradations yield 0.25 over the intersection no
+/// matter which was added first.
 class FaultPlan final : public net::LinkConditioner {
  public:
   FaultPlan() = default;

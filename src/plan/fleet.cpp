@@ -6,6 +6,7 @@
 #include <istream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "stats/integrate.hpp"
@@ -235,25 +236,42 @@ Fleet Fleet::from_csv(std::istream& hosts_csv, std::istream& vms_csv) {
     h.nic_rate = util::gbit_per_s(parse_double(f[3], "nic_gbit"));
     h.group = f[4];
     h.max_concurrent_migrations = static_cast<int>(parse_double(f[5], "max_migrations"));
+    WAVM3_REQUIRE(h.vcpus > 0, "fleet CSV: host vcpus must be positive: " + line);
+    WAVM3_REQUIRE(h.ram_bytes > 0.0, "fleet CSV: host ram_gib must be positive: " + line);
+    WAVM3_REQUIRE(h.nic_rate >= 0.0, "fleet CSV: host nic_gbit must be non-negative: " + line);
+    WAVM3_REQUIRE(h.max_concurrent_migrations >= 0,
+                  "fleet CSV: host max_migrations must be non-negative: " + line);
     fleet.add_host(std::move(h));
   }
 
   WAVM3_REQUIRE(static_cast<bool>(std::getline(vms_csv, line)), "fleet CSV: empty VM file");
   WAVM3_REQUIRE(line == "id,host,vcpus,ram_gib,cpu_vcpus,dirty_pages_per_s,working_set_pages",
                 "fleet CSV: unexpected VM header: " + line);
+  std::unordered_set<std::string> seen_vm_ids;
   while (std::getline(vms_csv, line)) {
     if (line.empty()) continue;
     const auto f = split_csv_line(line);
     WAVM3_REQUIRE(f.size() == 7, "fleet CSV: VM row needs 7 fields: " + line);
     FleetVm vm;
     vm.id = f[0];
+    WAVM3_REQUIRE(!vm.id.empty(), "fleet CSV: VM id must not be empty: " + line);
+    WAVM3_REQUIRE(seen_vm_ids.insert(vm.id).second,
+                  "fleet CSV: duplicate VM id: " + vm.id);
     const int host = fleet.host_index(f[1]);
     WAVM3_REQUIRE(host >= 0, "fleet CSV: VM on unknown host: " + line);
     vm.vcpus = parse_double(f[2], "vcpus");
     vm.ram_bytes = util::gib(parse_double(f[3], "ram_gib"));
     vm.cpu_now = parse_double(f[4], "cpu_vcpus");
     vm.dirty_now = parse_double(f[5], "dirty_pages_per_s");
-    vm.working_set_pages = static_cast<std::uint64_t>(parse_double(f[6], "working_set_pages"));
+    const double working_set = parse_double(f[6], "working_set_pages");
+    WAVM3_REQUIRE(vm.vcpus > 0.0, "fleet CSV: VM vcpus must be positive: " + line);
+    WAVM3_REQUIRE(vm.ram_bytes >= 0.0, "fleet CSV: VM ram_gib must be non-negative: " + line);
+    WAVM3_REQUIRE(vm.cpu_now >= 0.0, "fleet CSV: VM cpu_vcpus must be non-negative: " + line);
+    WAVM3_REQUIRE(vm.dirty_now >= 0.0,
+                  "fleet CSV: VM dirty_pages_per_s must be non-negative: " + line);
+    WAVM3_REQUIRE(working_set >= 0.0,
+                  "fleet CSV: VM working_set_pages must be non-negative: " + line);
+    vm.working_set_pages = static_cast<std::uint64_t>(working_set);
     fleet.add_vm(std::move(vm), host);
   }
   return fleet;

@@ -74,6 +74,72 @@ TEST(FaultPlan, StallZeroesAndFlapAlternates) {
   EXPECT_NEAR(flappy.average_link_factor(0.0, 100.0), 0.81, 1e-9);
 }
 
+TEST(FaultPlan, DegenerateFlapsAreDefinedNotAmbiguous) {
+  // Zero-length window: a no-op, accepted and dropped.
+  FaultPlan zero_window;
+  zero_window.add(LinkFlap{50.0, 50.0, 8.0, 2.0, 0.05});
+  EXPECT_TRUE(zero_window.empty());
+  EXPECT_DOUBLE_EQ(zero_window.link_factor(50.0), 1.0);
+
+  // Never-down flap (down_duration == 0): also a no-op.
+  FaultPlan never_down;
+  never_down.add(LinkFlap{0.0, 100.0, 8.0, 0.0, 0.05});
+  EXPECT_TRUE(never_down.empty());
+  EXPECT_DOUBLE_EQ(never_down.link_factor(4.0), 1.0);
+
+  // Always-down flap (up_duration == 0): down_factor across the whole
+  // window, exactly like a degradation.
+  FaultPlan always_down;
+  always_down.add(LinkFlap{10.0, 110.0, 0.0, 5.0, 0.25});
+  EXPECT_DOUBLE_EQ(always_down.link_factor(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(always_down.link_factor(10.0), 0.25);
+  EXPECT_DOUBLE_EQ(always_down.link_factor(109.9), 0.25);
+  EXPECT_DOUBLE_EQ(always_down.link_factor(110.0), 1.0);
+  EXPECT_NEAR(always_down.average_link_factor(10.0, 110.0), 0.25, 1e-12);
+
+  // A zero period has no phase to evaluate against: malformed.
+  FaultPlan bad;
+  EXPECT_THROW(bad.add(LinkFlap{0.0, 100.0, 0.0, 0.0, 0.5}), util::ContractError);
+  EXPECT_THROW(bad.add(LinkFlap{100.0, 0.0, 8.0, 2.0, 0.5}), util::ContractError);
+}
+
+TEST(FaultPlan, OverlappingFaultsComposeOrderIndependently) {
+  // Two overlapping degradations: the factor over the intersection is
+  // the product, whichever order they were added in — no last-writer
+  // ambiguity.
+  FaultPlan ab;
+  ab.add(LinkDegradation{0.0, 100.0, 0.5});
+  ab.add(LinkDegradation{50.0, 150.0, 0.5});
+  FaultPlan ba;
+  ba.add(LinkDegradation{50.0, 150.0, 0.5});
+  ba.add(LinkDegradation{0.0, 100.0, 0.5});
+  for (const double t : {25.0, 75.0, 125.0, 149.0}) {
+    EXPECT_DOUBLE_EQ(ab.link_factor(t), ba.link_factor(t)) << "t=" << t;
+  }
+  EXPECT_DOUBLE_EQ(ab.link_factor(75.0), 0.25);
+  EXPECT_DOUBLE_EQ(ab.link_factor(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(ab.link_factor(125.0), 0.5);
+  // Exact piecewise mean over [0, 150): thirds at 0.5, 0.25, 0.5.
+  EXPECT_NEAR(ab.average_link_factor(0.0, 150.0), (0.5 + 0.25 + 0.5) / 3.0, 1e-12);
+  EXPECT_NEAR(ab.average_link_factor(0.0, 150.0), ba.average_link_factor(0.0, 150.0),
+              1e-12);
+
+  // A flap's down phase multiplies into an overlapping degradation the
+  // same way; cross-check the exact integral against dense sampling.
+  FaultPlan mixed;
+  mixed.add(LinkDegradation{0.0, 100.0, 0.5});
+  mixed.add(LinkFlap{0.0, 100.0, 6.0, 4.0, 0.2});
+  EXPECT_DOUBLE_EQ(mixed.link_factor(3.0), 0.5);        // flap up
+  EXPECT_DOUBLE_EQ(mixed.link_factor(8.0), 0.5 * 0.2);  // flap down
+  double sampled = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sampled += mixed.link_factor((static_cast<double>(i) + 0.5) * 100.0 / n);
+  }
+  sampled /= n;
+  EXPECT_NEAR(mixed.average_link_factor(0.0, 100.0), sampled, 1e-6);
+}
+
 TEST(FaultPlan, HostOverloadIsPerHostAndSummed) {
   FaultPlan plan;
   plan.add(HostOverload{"src", 0.0, 50.0, 2.0});
@@ -358,6 +424,62 @@ TEST(DcSimFaults, FailedMigrationsAreCountedAndRetried) {
   EXPECT_EQ(r.migrations_retried, r2.migrations_retried);
   EXPECT_DOUBLE_EQ(r.wasted_migration_bytes, r2.wasted_migration_bytes);
   EXPECT_DOUBLE_EQ(r.total_energy_joules, r2.total_energy_joules);
+}
+
+TEST(DcSimFaults, RetriesAreCappedPerMigrationWithCauseAttribution) {
+  // A transfer-phase loss re-arms for every attempt, so every plan
+  // migration fails every time: each move must burn exactly its retry
+  // budget and then be dropped as exhausted — never retried forever.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(ConnectionLoss{FaultPhase::kTransfer, 5.0});
+
+  core::Wavm3Model model;
+  model.fit(wavm3::testing::fast_campaign_m().dataset);
+  const core::MigrationPlanner planner(model);
+
+  dcsim::DcSimConfig cfg = dcsim::make_fleet_scenario(4, 12, 99);
+  cfg.duration = 4.0 * 3600.0;
+  cfg.strategy = dcsim::Strategy::kCostBlind;
+  cfg.faults = plan;
+  dcsim::DataCenterSimulation sim(cfg, &planner);
+  const dcsim::DcSimReport r = sim.run();
+
+  EXPECT_EQ(r.migrations_executed, 0);
+  ASSERT_GT(r.migrations_failed, 0);
+  ASSERT_GT(r.migration_retries_exhausted, 0);
+  // Every exhausted plan move consumed its full budget, no more.
+  EXPECT_EQ(r.migrations_retried, cfg.policy.max_retries * r.migration_retries_exhausted);
+  // Per-cause attribution: every failure here is a rollback.
+  ASSERT_EQ(r.migration_failures_by_cause.count("rolled-back"), 1u);
+  EXPECT_EQ(r.migration_failures_by_cause.at("rolled-back"), r.migrations_failed);
+  EXPECT_EQ(r.migration_failures_by_cause.count("vm-lost"), 0u);
+}
+
+TEST(DcSimFaults, LostVmsAreCountedButNeverRetried) {
+  // Under post-copy, a transfer-phase loss with a generous offset lands
+  // in the pull stage: the VM restarts on the target (kVmLost). The
+  // fleet executor must count the failure under its own cause and must
+  // NOT retry — the VM is no longer on the source.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(ConnectionLoss{FaultPhase::kTransfer, 10.0});
+
+  core::Wavm3Model model;
+  model.fit(wavm3::testing::fast_campaign_m().dataset);
+  const core::MigrationPlanner planner(model);
+
+  dcsim::DcSimConfig cfg = dcsim::make_fleet_scenario(4, 12, 99);
+  cfg.duration = 4.0 * 3600.0;
+  cfg.strategy = dcsim::Strategy::kCostBlind;
+  cfg.policy.migration_type = MigrationType::kPostCopy;
+  cfg.faults = plan;
+  dcsim::DataCenterSimulation sim(cfg, &planner);
+  const dcsim::DcSimReport r = sim.run();
+
+  ASSERT_GT(r.migrations_failed, 0);
+  ASSERT_EQ(r.migration_failures_by_cause.count("vm-lost"), 1u);
+  EXPECT_EQ(r.migration_failures_by_cause.at("vm-lost"), r.migrations_failed);
+  EXPECT_EQ(r.migrations_retried, 0);
+  EXPECT_EQ(r.migration_retries_exhausted, 0);
 }
 
 }  // namespace

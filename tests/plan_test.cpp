@@ -208,6 +208,53 @@ TEST(Fleet, CsvRoundTripAndValidation) {
   EXPECT_THROW(Fleet::from_csv(ok_hosts, unknown_host), util::ContractError);
 }
 
+TEST(Fleet, CsvRejectsMalformedSpecs) {
+  const std::string host_header =
+      "name,vcpus,ram_gib,nic_gbit,group,max_migrations\n";
+  const std::string good_host = "alpha,32,64,10,rackA,2\n";
+  const std::string vm_header =
+      "id,host,vcpus,ram_gib,cpu_vcpus,dirty_pages_per_s,working_set_pages\n";
+  const std::string good_vm = "web01,alpha,4,8,2.5,12000,250000\n";
+
+  const auto expect_host_rejected = [&](const std::string& row) {
+    std::istringstream hosts(host_header + row);
+    std::istringstream vms(vm_header + good_vm);
+    EXPECT_THROW(Fleet::from_csv(hosts, vms), util::ContractError) << row;
+  };
+  const auto expect_vm_rejected = [&](const std::string& rows) {
+    std::istringstream hosts(host_header + good_host);
+    std::istringstream vms(vm_header + rows);
+    EXPECT_THROW(Fleet::from_csv(hosts, vms), util::ContractError) << rows;
+  };
+
+  // Host rows: non-finite and non-positive capacities must not survive
+  // into a Fleet where they would poison utilisation and fit checks.
+  expect_host_rejected("alpha,nan,64,10,rackA,2\n");
+  expect_host_rejected("alpha,0,64,10,rackA,2\n");
+  expect_host_rejected("alpha,-8,64,10,rackA,2\n");
+  expect_host_rejected("alpha,32,0,10,rackA,2\n");
+  expect_host_rejected("alpha,32,-64,10,rackA,2\n");
+  expect_host_rejected("alpha,32,64,-10,rackA,2\n");
+  expect_host_rejected("alpha,32,64,inf,rackA,2\n");
+  expect_host_rejected("alpha,32,64,10,rackA,-1\n");
+
+  // VM rows: empty/duplicate ids and negative demand columns.
+  expect_vm_rejected(",alpha,4,8,2.5,12000,250000\n");
+  expect_vm_rejected(good_vm + "web01,alpha,2,4,1.0,5000,100000\n");
+  expect_vm_rejected("web01,alpha,0,8,2.5,12000,250000\n");
+  expect_vm_rejected("web01,alpha,4,-8,2.5,12000,250000\n");
+  expect_vm_rejected("web01,alpha,4,8,-2.5,12000,250000\n");
+  expect_vm_rejected("web01,alpha,4,8,2.5,-12000,250000\n");
+  expect_vm_rejected("web01,alpha,4,8,2.5,12000,-250000\n");
+  expect_vm_rejected("web01,alpha,4,8,nan,12000,250000\n");
+
+  // Distinct ids on a valid host still parse.
+  std::istringstream hosts(host_header + good_host);
+  std::istringstream vms(vm_header + good_vm + "web02,alpha,2,4,1.0,5000,100000\n");
+  const Fleet ok = Fleet::from_csv(hosts, vms);
+  EXPECT_EQ(ok.vm_count(), 2u);
+}
+
 TEST(Fleet, RefreshLoadsTracksTrailingWindow) {
   // One host, one VM with a step history: 1 vCPU before t=1000,
   // 3 vCPUs after. A trailing window entirely inside the high plateau

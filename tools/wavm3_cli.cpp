@@ -51,6 +51,7 @@
 #include "models/huang.hpp"
 #include "models/liu.hpp"
 #include "models/strunk.hpp"
+#include "chaos/executor.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -748,6 +749,116 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  // Closed-loop plan -> execute -> replan over a Fleet snapshot under
+  // a deterministic per-wave fault storm (src/chaos/).
+  const std::string trace_path = trace_out_path(args);
+  if (!trace_path.empty()) obs::tracer().set_enabled(true);
+
+  core::Wavm3Model model;
+  if (args.has("coeffs")) {
+    model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    const exp::Testbed testbed = testbed_by_name(args.get("testbed", "m"));
+    const exp::CampaignResult campaign =
+        exp::run_campaign(testbed, exp::fast_campaign_options(), args.get_seed());
+    model.fit(campaign.dataset);
+  }
+
+  plan::Fleet fleet;
+  if (args.has("fleet-hosts") || args.has("fleet-vms")) {
+    std::ifstream hosts_csv(args.get("fleet-hosts", "hosts.csv"));
+    std::ifstream vms_csv(args.get("fleet-vms", "vms.csv"));
+    if (!hosts_csv || !vms_csv) {
+      std::fprintf(stderr, "could not open --fleet-hosts / --fleet-vms\n");
+      return 1;
+    }
+    fleet = plan::Fleet::from_csv(hosts_csv, vms_csv);
+  } else {
+    const int hosts = static_cast<int>(args.get_int("hosts", 64));
+    const int vms = static_cast<int>(args.get_int("vms", 10 * hosts));
+    fleet = plan::Fleet::synthetic(hosts, vms, args.get_seed());
+  }
+
+  chaos::ChaosConfig cfg;
+  cfg.storm.level = static_cast<int>(args.get_int("storm", cfg.storm.level));
+  cfg.storm_seed = static_cast<std::uint64_t>(args.get_int("seed", 2015));
+  cfg.max_waves = static_cast<int>(args.get_int("waves", cfg.max_waves));
+  cfg.replan.retry_budget =
+      static_cast<int>(args.get_int("retry-budget", cfg.replan.retry_budget));
+  cfg.wave_gap_s = args.get_double("wave-gap", cfg.wave_gap_s);
+  if (args.has("no-relief")) cfg.relief_enabled = false;
+  if (args.has("no-faults")) cfg.faults_enabled = false;
+  cfg.planner.beam_width =
+      static_cast<int>(args.get_int("beam-width", cfg.planner.beam_width));
+
+  const plan::FirstFitStrategy first_fit;
+  const plan::BeamSearchStrategy beam;
+  const std::string strategy_name = args.get("strategy", "beam");
+  const plan::PlacementStrategy* strategy = nullptr;
+  if (strategy_name == "beam") strategy = &beam;
+  else if (strategy_name == "first-fit") strategy = &first_fit;
+  else {
+    std::fprintf(stderr, "unknown --strategy '%s' (expected first-fit|beam)\n",
+                 strategy_name.c_str());
+    return 2;
+  }
+
+  double now = 0.0;
+  for (const plan::FleetVm& vm : fleet.vms()) {
+    if (!vm.history.empty()) now = std::max(now, vm.history.t.back());
+  }
+
+  std::printf("chaos loop over %zu hosts / %zu VMs (%s, storm level %d, seed %llu, "
+              "relief %s)\n\n",
+              fleet.host_count(), fleet.vm_count(), strategy->name(), cfg.storm.level,
+              static_cast<unsigned long long>(cfg.storm_seed),
+              cfg.relief_enabled ? "on" : "off");
+
+  chaos::WaveExecutor exec(model, cfg);
+  const chaos::ChaosReport report = exec.run(fleet, *strategy, now);
+
+  std::printf("%5s %7s %7s %6s %6s %7s %7s %5s %5s %5s %5s\n", "wave", "planned",
+              "relief", "retry", "done", "rolled", "vmlost", "defer", "shed",
+              "viol", "deg");
+  for (const chaos::WaveOutcome& w : report.waves) {
+    std::printf("%5d %7d %7d %6d %6d %7d %7d %5d %5d %5zu %5s\n", w.wave,
+                w.planned_moves, w.relief_moves, w.retries_attempted, w.completed,
+                w.rolled_back, w.vm_lost, w.deferred, w.shed, w.violations.size(),
+                w.degraded ? "yes" : "no");
+    if (args.has("verbose")) {
+      for (const chaos::InvariantViolation& v : w.violations) {
+        std::printf("    VIOLATION [%s] %s\n", v.check.c_str(), v.detail.c_str());
+      }
+    }
+  }
+  std::printf("\nresolution %.4f (%d placed + %d replanned of %d planned), "
+              "%d unresolved, %d violations, %s after %zu wave(s)\n",
+              report.resolution_fraction, report.resolved_placed,
+              report.resolved_replanned, report.moves_planned, report.unresolved,
+              report.invariant_violations,
+              report.terminal ? "quiescent" : "wave budget exhausted",
+              report.waves.size());
+  std::printf("ledger: planned %.1f kJ = committed %.1f kJ + refunded %.1f kJ "
+              "(+ outstanding %.1f kJ); wasted %.1f kJ on aborted attempts\n",
+              report.ledger.planned_j / 1e3, report.ledger.committed_j / 1e3,
+              report.ledger.refunded_j / 1e3, report.ledger.outstanding_j / 1e3,
+              report.ledger.wasted_j / 1e3);
+  int powered = 0;
+  for (const plan::FleetHost& h : fleet.hosts()) powered += h.powered_on ? 1 : 0;
+  std::printf("%d/%zu hosts powered after the last wave\n", powered,
+              fleet.host_count());
+
+  if (!trace_path.empty() && !dump_chrome_trace(trace_path)) return 1;
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty() && !dump_global_metrics(metrics_path)) return 1;
+  return report.invariant_violations == 0 ? 0 : 1;
+}
+
 int cmd_serve_bench(const Args& args) {
   // Load-tests the in-process prediction service (src/serve/) with a
   // synthetic consolidation-round query stream and prints its metrics.
@@ -1096,6 +1207,12 @@ int cmd_help() {
       "            [--candidate-targets N] [--max-donors N] [--no-cycles]\n"
       "            [--horizon SECONDS] [--wave-horizon SECONDS] [--verbose]\n"
       "            [--seed N] [--trace-out FILE] [--metrics-out FILE]\n"
+      "  chaos     [--coeffs FILE | --testbed m|o] [--hosts N] [--vms N]\n"
+      "            [--fleet-hosts FILE --fleet-vms FILE]\n"
+      "            [--storm LEVEL] [--seed N] [--waves N] [--retry-budget N]\n"
+      "            [--strategy first-fit|beam] [--beam-width N] [--wave-gap SECONDS]\n"
+      "            [--no-relief] [--no-faults] [--verbose]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
       "  serve-bench [--coeffs FILE | --testbed m|o] [--threads N] [--requests N]\n"
       "            [--batch N] [--cache-capacity N] [--cache-shards N]\n"
       "            [--quantization F] [--repeat-fraction F] [--queue N]\n"
@@ -1130,6 +1247,7 @@ int main(int argc, char** argv) {
     if (cmd == "tables") return cmd_tables(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
     if (cmd == "recalibrate") return cmd_recalibrate(args);
     if (cmd == "report") return cmd_report(args);
