@@ -1,0 +1,72 @@
+# Gate script for the streaming prediction path: parses the artefact
+# bench_stream_accuracy emits and fails if
+#   * the live forecast at 100% observed does not match the batch
+#     predict_batch path to 1e-9 relative (the golden-parity contract
+#     of the IncrementalExtractor), or
+#   * any adjacent point of the NRMSE-vs-observed-fraction curve rises
+#     by more than 2% relative — mid-stream revisions carry
+#     extrapolation noise, so tiny bumps are tolerated, but observing
+#     more of a migration must never make the forecast genuinely
+#     worse, or
+#   * the 100%-observed point is not the minimum of the curve — the
+#     fully observed forecast must be the best one.
+# Run as `cmake -DARTIFACT=... -P check_stream.cmake`
+# (the bench_stream_accuracy_gate ctest entry).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ARTIFACT)
+  message(FATAL_ERROR "pass -DARTIFACT=<path to bench_stream_accuracy.json>")
+endif()
+if(NOT EXISTS "${ARTIFACT}")
+  message(FATAL_ERROR "artefact not found: ${ARTIFACT} (run bench_stream_accuracy first)")
+endif()
+
+file(READ "${ARTIFACT}" _json)
+string(JSON _obs GET "${_json}" observations)
+string(JSON _parity GET "${_json}" parity_max_rel_err)
+string(JSON _bump GET "${_json}" worst_bump_rel)
+string(JSON _npoints LENGTH "${_json}" points)
+
+if(_obs EQUAL 0)
+  message(FATAL_ERROR "accuracy curve pooled zero observations")
+endif()
+if(_npoints LESS 2)
+  message(FATAL_ERROR "accuracy curve has ${_npoints} points; expected >= 2")
+endif()
+
+if(_parity GREATER "1e-9")
+  message(FATAL_ERROR
+    "batch parity broken at 100% observed: max rel err ${_parity} > 1e-9")
+endif()
+
+# The worst adjacent-point NRMSE increase (computed by the bench as
+# nrmse[i]/nrmse[i-1] - 1) must stay within the 2% noise allowance.
+if(_bump GREATER "0.02")
+  message(FATAL_ERROR
+    "NRMSE curve regressed between adjacent observed fractions: worst "
+    "bump ${_bump} > 0.02 relative")
+endif()
+
+# Walk the curve: the final (100%-observed) point must be its minimum.
+math(EXPR _last "${_npoints} - 1")
+set(_min "")
+set(_final "")
+set(_curve "")
+foreach(_i RANGE ${_last})
+  string(JSON _frac GET "${_json}" points ${_i} fraction)
+  string(JSON _nrmse GET "${_json}" points ${_i} nrmse)
+  string(APPEND _curve " ${_frac}:${_nrmse}")
+  if(_min STREQUAL "" OR _nrmse LESS _min)
+    set(_min "${_nrmse}")
+  endif()
+  set(_final "${_nrmse}")
+endforeach()
+if(_final GREATER _min)
+  message(FATAL_ERROR
+    "100%-observed NRMSE ${_final} is not the curve minimum ${_min} "
+    "(curve:${_curve})")
+endif()
+
+message(STATUS "stream gate passed: ${_obs} observations, parity ${_parity} <= 1e-9, "
+               "worst bump ${_bump} <= 0.02, final NRMSE is curve minimum "
+               "(curve:${_curve})")

@@ -26,6 +26,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "chaos/invariants.hpp"
@@ -34,6 +36,7 @@
 #include "models/energy_model.hpp"
 #include "plan/planner.hpp"
 #include "plan/strategy.hpp"
+#include "stream/session.hpp"
 
 namespace wavm3::chaos {
 
@@ -88,6 +91,7 @@ struct WaveOutcome {
   int deferred = 0;            ///< refunded: could not start before the deadline
   int invalidated = 0;         ///< refunded: fleet drifted under a pending retry
   int shed = 0;                ///< refunded: retry budget exhausted
+  int live_aborted = 0;        ///< refunded: live degeneration abort (src/stream/)
   int hosts_powered_off = 0;
   bool degraded = false;       ///< policy in degraded mode after the wave
   LedgerSnapshot ledger;       ///< running totals after the wave
@@ -133,6 +137,20 @@ class WaveExecutor {
   WaveOutcome run_wave(plan::Fleet& fleet, const plan::PlacementStrategy& strategy, int wave,
                       double now);
 
+  /// Flags `vm` for live abort: any attempt (fresh, relief, or carried
+  /// retry) moving that VM is refunded — resolution kReplanned, energy
+  /// back to the planner — at the next wave boundary instead of being
+  /// executed, so the planner re-prices the move against the fleet it
+  /// finds. This is the re-plan hook behind a stream degeneration
+  /// alert ("this live migration will not converge; stop paying for
+  /// it"). Thread-safe: the stream callback fires from serve worker
+  /// threads while run_wave owns the ledger. Requests are consumed
+  /// once per wave; flags for untracked VMs expire silently.
+  void request_live_abort(int vm);
+
+  /// Total request_live_abort() calls (monotonic; diagnostics).
+  std::uint64_t live_abort_requests() const;
+
  private:
   const models::EnergyModel* model_;
   ChaosConfig config_;
@@ -142,6 +160,17 @@ class WaveExecutor {
   std::vector<int> pending_;  ///< ledger ids awaiting a retry wave
   LedgerSnapshot totals_;
   FleetInvariantChecker checker_;
+  mutable std::mutex abort_mutex_;       ///< guards the two fields below only
+  std::unordered_set<int> live_abort_vms_;  ///< flagged since the last wave
+  std::uint64_t live_abort_requests_ = 0;
 };
+
+/// Adapts an executor into the stream degeneration-alert consumer:
+/// alerts carrying a planner VM id (sessions opened with plan_vm >= 0)
+/// flag that VM for abort-and-refund at the next wave boundary; others
+/// are ignored. Install via
+/// serve::PredictionService::set_degeneration_callback. The executor
+/// must outlive every service holding the callback.
+stream::DegenerationCallback make_live_abort_hook(WaveExecutor& executor);
 
 }  // namespace wavm3::chaos

@@ -37,6 +37,7 @@ MigrationPhase parse_phase(const std::string& s) {
 MigrationType parse_type(const std::string& s) {
   if (s == "live") return MigrationType::kLive;
   if (s == "non-live") return MigrationType::kNonLive;
+  if (s == "post-copy") return MigrationType::kPostCopy;
   throw util::ContractError("unknown migration type in dataset CSV: " + s);
 }
 

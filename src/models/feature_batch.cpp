@@ -63,6 +63,36 @@ FeatureBatch FeatureBatch::of(const MigrationObservation& obs) {
   return FeatureBatch(std::span<const MigrationObservation* const>(&ptr, 1));
 }
 
+FeatureBatch FeatureBatch::from_rows(std::span<const RowAggregates> rows) {
+  FeatureBatch fb;
+  fb.n_ = rows.size();
+  fb.has_samples_ = false;
+  fb.mig_.assign(kMigColumns * fb.n_, 0.0);
+  fb.agg_.assign(kWeightings * kColumns * kPhases * fb.n_, 0.0);
+  fb.types_.resize(fb.n_);
+  fb.roles_.resize(fb.n_);
+  for (std::size_t r = 0; r < fb.n_; ++r) {
+    const RowAggregates& row = rows[r];
+    fb.types_[r] = row.type;
+    fb.roles_[r] = row.role;
+    fb.slices_[type_index(row.type)][role_index(row.role)].push_back(r);
+    fb.role_slices_[role_index(row.role)].push_back(r);
+    fb.mig_[0 * fb.n_ + r] = row.mem_bytes;
+    fb.mig_[1 * fb.n_ + r] = row.data_bytes;
+    fb.mig_[2 * fb.n_ + r] = row.avg_bandwidth;
+    fb.mig_[3 * fb.n_ + r] = row.idle_power;
+    fb.mig_[4 * fb.n_ + r] = row.observed_energy;
+    for (std::size_t w = 0; w < kWeightings; ++w) {
+      for (std::size_t col = 0; col < kColumns; ++col) {
+        for (std::size_t p = 0; p < kPhases; ++p) {
+          fb.agg_[((w * kColumns + col) * kPhases + p) * fb.n_ + r] = row.integrals[w][col][p];
+        }
+      }
+    }
+  }
+  return fb;
+}
+
 void FeatureBatch::build(std::span<const MigrationObservation* const> observations,
                          BuildOptions options) {
   n_ = observations.size();

@@ -80,6 +80,30 @@ class FeatureBatch {
   /// Single-observation batch — what EnergyModel::predict_energy wraps.
   static FeatureBatch of(const MigrationObservation& obs);
 
+  /// One row's pre-aggregated state: everything build() accumulates per
+  /// observation, laid out as [weighting][column][phase]. This is the
+  /// bridge from the streaming path (src/stream/'s IncrementalExtractor
+  /// maintains exactly these sums online) into the batched predict
+  /// path: from_rows() wraps them in a FeatureBatch without touching
+  /// raw samples, so a partially observed migration prices through the
+  /// very same predict_batch arithmetic as a completed trace.
+  struct RowAggregates {
+    migration::MigrationType type = migration::MigrationType::kNonLive;
+    HostRole role = HostRole::kSource;
+    double mem_bytes = 0.0;
+    double data_bytes = 0.0;
+    double avg_bandwidth = 0.0;
+    double idle_power = 0.0;
+    double observed_energy = 0.0;
+    double integrals[kWeightings][kColumns][kPhases] = {};
+  };
+
+  /// Batch over pre-aggregated rows (no per-sample section). A row
+  /// whose integrals came from the same samples as a build()-built row
+  /// yields bit-identical columns — the golden-parity contract the
+  /// stream tests pin.
+  static FeatureBatch from_rows(std::span<const RowAggregates> rows);
+
   std::size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
 

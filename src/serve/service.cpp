@@ -67,6 +67,15 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
           "Feedback samples dropped (no sink, invalid, queue full, or shutdown)")),
       feedback_errors_(obs_metrics_.counter("serve_feedback_errors_total",
                                             "Feedback sink invocations that threw")),
+      g_stream_sessions_(obs_metrics_.gauge("stream_sessions_active",
+                                            "Open live-migration stream sessions")),
+      stream_samples_(obs_metrics_.counter(
+          "stream_samples_total", "Telemetry samples accepted by submit_sample")),
+      h_stream_revision_delta_(obs_metrics_.exponential_histogram(
+          "stream_revision_delta_watts",
+          "Per-revision live-forecast change, as mean watts over the expected span",
+          0.01, 1.6, 44)),
+      stream_registry_(config.stream),
       pool_(ThreadPoolConfig{config.threads, config.queue_capacity}) {
   WAVM3_REQUIRE(config_.batch_max_size > 0, "batch_max_size must be positive");
   WAVM3_REQUIRE(config_.backend_max_retries >= 0, "retry budget must be non-negative");
@@ -472,6 +481,95 @@ bool PredictionService::record_feedback(const core::MigrationScenario& scenario,
   return true;
 }
 
+void PredictionService::open_stream(std::uint64_t session,
+                                    const core::MigrationScenario& scenario, int plan_vm) {
+  // One snapshot prices the whole open: the baseline forecast and both
+  // roles' representative features come from the same coefficients.
+  const CoefficientStore::Snapshot snap = store_.snapshot();
+  const core::MigrationForecast fc = core::MigrationPlanner(*snap.model).forecast(scenario);
+  stream::SessionOptions options;
+  options.type = scenario.type;
+  options.scenario = scenario;
+  options.plan_vm = plan_vm;
+  options.source_prior =
+      stream::PhasePrior::from_scenario(scenario, fc, models::HostRole::kSource);
+  options.target_prior =
+      stream::PhasePrior::from_scenario(scenario, fc, models::HostRole::kTarget);
+  options.baseline_total_j = fc.total_energy();
+  options.expected_total_s = fc.times.total_duration();
+  stream_registry_.open(session, std::move(options));
+  g_stream_sessions_.set(static_cast<double>(stream_registry_.active()));
+}
+
+void PredictionService::open_stream(std::uint64_t session, migration::MigrationType type,
+                                    const migration::PhaseTimestamps& expected_times) {
+  stream::SessionOptions options;
+  options.type = type;
+  options.source_prior = stream::PhasePrior::from_times(expected_times);
+  options.target_prior = options.source_prior;
+  options.expected_total_s = expected_times.total_duration();
+  stream_registry_.open(session, std::move(options));
+  g_stream_sessions_.set(static_cast<double>(stream_registry_.active()));
+}
+
+void PredictionService::submit_sample(std::uint64_t session, models::HostRole role,
+                                      const models::MigrationSample& sample) {
+  stream_registry_.submit(session, role, sample);
+  stream_samples_.inc();
+}
+
+stream::LiveForecast PredictionService::predict_live(std::uint64_t session) {
+  const CoefficientStore::Snapshot snap = store_.snapshot();
+  stream::LiveForecast fc = stream_registry_.predict(session, *snap.model);
+  h_stream_revision_delta_.observe(fc.delta_watts);
+  return fc;
+}
+
+std::future<stream::LiveForecast> PredictionService::submit_predict_live(
+    std::uint64_t session) {
+  // Promise shared with the job: unlike submit(), there is no cache
+  // fast path — every live revision reprices against fresh state.
+  auto promise = std::make_shared<std::promise<stream::LiveForecast>>();
+  std::future<stream::LiveForecast> future = promise->get_future();
+  const bool queued = pool_.submit([this, session, promise] {
+    try {
+      promise->set_value(predict_live(session));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  if (!queued) {
+    rejected_after_shutdown_.inc();
+    promise->set_exception(std::make_exception_ptr(
+        PredictError(PredictErrorCode::kShutdown, "prediction service is shut down")));
+  }
+  return future;
+}
+
+PredictionService::StreamCloseReport PredictionService::close_stream(
+    std::uint64_t session) {
+  StreamCloseReport report;
+  const std::shared_ptr<stream::StreamSession> closed = stream_registry_.close(session);
+  g_stream_sessions_.set(static_cast<double>(stream_registry_.active()));
+  report.summary = closed->summary();
+  // A session opened with a scenario and long enough to measure
+  // becomes ground truth: the meters' energy integrals feed the same
+  // record_feedback() path external reports use, so the calib sink
+  // (when installed) ingests streamed migrations automatically.
+  if (closed->options().scenario.has_value() && report.summary.duration_s > 0.0) {
+    MigrationFeedback feedback;
+    feedback.source_energy_j = report.summary.observed_source_j;
+    feedback.target_energy_j = report.summary.observed_target_j;
+    feedback.duration_s = report.summary.duration_s;
+    report.feedback_recorded = record_feedback(*closed->options().scenario, feedback);
+  }
+  return report;
+}
+
+void PredictionService::set_degeneration_callback(stream::DegenerationCallback callback) {
+  stream_registry_.set_degeneration_callback(std::move(callback));
+}
+
 ServiceStats PredictionService::stats() const {
   ServiceStats s;
   if (cache_ != nullptr) s.cache = cache_->stats();
@@ -568,6 +666,7 @@ void PredictionService::refresh_gauges() const {
   g_breaker_open_transitions_.set(static_cast<double>(breaker_.open_transitions()));
   g_breaker_rejections_.set(static_cast<double>(breaker_.rejections()));
   g_breaker_state_.set(static_cast<double>(static_cast<int>(breaker_.state())));
+  g_stream_sessions_.set(static_cast<double>(stream_registry_.active()));
 }
 
 std::string PredictionService::metrics_prometheus() const {

@@ -40,6 +40,7 @@
 #include "serve/metrics.hpp"
 #include "serve/scenario_key.hpp"
 #include "serve/thread_pool.hpp"
+#include "stream/session.hpp"
 
 namespace wavm3::serve {
 
@@ -96,6 +97,12 @@ struct ServiceConfig {
   CircuitBreakerConfig breaker = {};
   /// Null = the real serve::simulate_forecast engine backend.
   SimulatedBackend simulated_backend = {};
+
+  // --- live streaming (src/stream/) ---
+  /// Session registry behind open_stream()/submit_sample()/
+  /// predict_live(): extractor timestamp semantics, session bound and
+  /// eviction policy, ring capacity, degeneration thresholds.
+  stream::RegistryConfig stream = {};
 };
 
 /// One observed migration outcome reported back to the service:
@@ -230,6 +237,65 @@ class PredictionService {
   bool record_feedback(const core::MigrationScenario& scenario,
                        const MigrationFeedback& feedback);
 
+  // --- live mid-migration streaming (src/stream/) ---
+
+  /// Opens a live telemetry session for a migration about to start.
+  /// Extrapolation priors, the degeneration baseline, and the
+  /// revision-delta normalisation all come from the closed-form
+  /// forecast of `scenario` under the current coefficient snapshot.
+  /// `plan_vm` tags degeneration alerts with the plan::-side VM id so
+  /// the chaos re-plan hook can abort the right move. Throws
+  /// stream::StreamError(kDuplicateSession / kSessionLimit).
+  void open_stream(std::uint64_t session, const core::MigrationScenario& scenario,
+                   int plan_vm = -1);
+
+  /// Opens a session without a scenario (trace replay, unknown
+  /// provenance): the prior carries durations only — from the
+  /// announced phase timestamps — and close_stream() records no
+  /// feedback.
+  void open_stream(std::uint64_t session, migration::MigrationType type,
+                   const migration::PhaseTimestamps& expected_times);
+
+  /// Feeds one timestamped telemetry sample to one role's meter
+  /// stream. Out-of-order timestamps throw util::ContractError,
+  /// oversized gaps stream::StreamError(kGapExceeded) — see
+  /// stream/incremental.hpp for the full semantics matrix.
+  void submit_sample(std::uint64_t session, models::HostRole role,
+                     const models::MigrationSample& sample);
+
+  /// Revised live forecast under the current coefficient snapshot —
+  /// the same RCU discipline as predict(), so a reload mid-migration
+  /// simply prices the next revision with the new coefficients.
+  /// Degeneration alerts fire on the returning revision, outside all
+  /// stream locks.
+  stream::LiveForecast predict_live(std::uint64_t session);
+
+  /// predict_live() on the worker pool, sharing its queue and
+  /// backpressure with submit(). After shutdown the returned future
+  /// carries PredictError(kShutdown).
+  std::future<stream::LiveForecast> submit_predict_live(std::uint64_t session);
+
+  /// What close_stream() did.
+  struct StreamCloseReport {
+    stream::SessionSummary summary;
+    bool feedback_recorded = false;  ///< routed through record_feedback()
+  };
+
+  /// Finishes and removes the session. When it was opened with a
+  /// scenario and observed any samples, the measured per-role energy
+  /// integrals and duration auto-convert into a MigrationFeedback
+  /// routed through record_feedback() — i.e. straight into the calib
+  /// recalibration ingest when a sink is installed.
+  StreamCloseReport close_stream(std::uint64_t session);
+
+  /// Installs the degeneration-alert consumer (replacing any previous
+  /// one); e.g. chaos::make_live_abort_hook. Invoked outside all
+  /// stream locks, on whichever thread called predict_live().
+  void set_degeneration_callback(stream::DegenerationCallback callback);
+
+  /// The registry behind the stream entry points (tests/diagnostics).
+  stream::SessionRegistry& stream_registry() { return stream_registry_; }
+
   ServiceStats stats() const;
 
   /// Text report: per-endpoint latency/QPS table plus cache and queue
@@ -341,9 +407,13 @@ class PredictionService {
   obs::Counter& feedback_accepted_;  ///< samples handed to the sink
   obs::Counter& feedback_dropped_;   ///< no sink / queue full / shutdown / invalid
   obs::Counter& feedback_errors_;    ///< sink invocations that threw
+  obs::Gauge& g_stream_sessions_;    ///< open stream sessions
+  obs::Counter& stream_samples_;     ///< samples accepted by submit_sample()
+  obs::Histogram& h_stream_revision_delta_;  ///< per-revision forecast change, watts
   std::mutex feedback_mutex_;
   std::shared_ptr<const FeedbackSink> feedback_sink_;  ///< null = no consumer
   std::atomic<std::uint64_t> backoff_ticket_{0};
+  stream::SessionRegistry stream_registry_;
   ThreadPool pool_;  ///< last member: workers stop before the rest tears down
 };
 

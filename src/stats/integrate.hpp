@@ -22,6 +22,16 @@ bool is_non_decreasing(std::span<const double> t);
 /// energy integral. Untrusted callers screen first with
 /// is_non_decreasing() and drop the sample. Fewer than two samples
 /// integrate to 0.
+///
+/// Duplicate timestamps (t[i] == t[i-1]) are DEFINED to collapse to
+/// the last value: the zero-width panel contributes exactly 0 to the
+/// area, and the later sample becomes the left endpoint of the next
+/// panel — i.e. y(t) is treated as jumping to the newest reading at
+/// the repeated instant (a stalled meter followed by a step reads
+/// post-step from the step on). interp_at() implements the same rule
+/// via upper_bound, window_trapezoid() inherits it from both, and the
+/// streaming IncrementalExtractor (src/stream/) reproduces it
+/// bit-for-bit — regression-pinned in stats_test and stream_test.
 double trapezoid(std::span<const double> t, std::span<const double> y);
 
 /// y at time x by linear interpolation between the neighbouring
@@ -36,6 +46,9 @@ double interp_at(std::span<const double> t, std::span<const double> y, double x)
 /// window_trapezoid(b,c). This is the one implementation behind
 /// PowerTrace::energy_between and the planner's per-VM history
 /// windows; an empty overlap (or fewer than two samples) yields 0.
+/// Duplicate timestamps follow trapezoid()'s collapse-to-last rule:
+/// repeated instants add zero area and a boundary landing exactly on
+/// one interpolates with the newest reading.
 double window_trapezoid(std::span<const double> t, std::span<const double> y,
                         double t0, double t1);
 

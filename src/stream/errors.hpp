@@ -1,0 +1,50 @@
+// Typed error taxonomy of the streaming ingestion path, mirroring
+// serve/errors.hpp: every failure carries a StreamErrorCode so callers
+// can branch on *why* (drop the sample? re-open the session? back
+// off?) instead of string-matching what(). Contract breaches that
+// indicate corrupt telemetry — a timestamp running backwards — are NOT
+// StreamErrors: they throw util::ContractError, the same screening
+// class MigrationObservation::has_monotonic_timeline() guards, so the
+// two ingest paths reject identical inputs identically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wavm3::stream {
+
+/// Why a streaming operation failed.
+enum class StreamErrorCode {
+  kUnknownSession,    ///< no session registered under that id
+  kDuplicateSession,  ///< open() with an id already in the registry
+  kSessionLimit,      ///< registry full and eviction disabled
+  kFinished,          ///< sample submitted after finish()
+  kGapExceeded,       ///< timestamp gap wider than ExtractorConfig::max_gap_s
+};
+
+const char* to_string(StreamErrorCode code);
+
+/// A typed streaming failure. Catchable as std::runtime_error.
+class StreamError : public std::runtime_error {
+ public:
+  StreamError(StreamErrorCode code, const std::string& detail)
+      : std::runtime_error(std::string(to_string(code)) + ": " + detail), code_(code) {}
+
+  StreamErrorCode code() const { return code_; }
+
+ private:
+  StreamErrorCode code_;
+};
+
+inline const char* to_string(StreamErrorCode code) {
+  switch (code) {
+    case StreamErrorCode::kUnknownSession: return "unknown-session";
+    case StreamErrorCode::kDuplicateSession: return "duplicate-session";
+    case StreamErrorCode::kSessionLimit: return "session-limit";
+    case StreamErrorCode::kFinished: return "stream-finished";
+    case StreamErrorCode::kGapExceeded: return "gap-exceeded";
+  }
+  return "?";
+}
+
+}  // namespace wavm3::stream

@@ -1,0 +1,131 @@
+#include "stream/live_predictor.hpp"
+
+#include <algorithm>
+
+namespace wavm3::stream {
+
+namespace {
+
+using models::FeatureBatch;
+using migration::MigrationPhase;
+
+constexpr MigrationPhase kDensePhase[3] = {MigrationPhase::kInitiation,
+                                           MigrationPhase::kTransfer,
+                                           MigrationPhase::kActivation};
+
+/// Observed mean feature levels of one dense phase (integral /
+/// coverage); only meaningful when coverage > 0.
+models::MigrationSample phase_mean_sample(const IncrementalExtractor& x, std::size_t p) {
+  const double cov = x.phase_coverage(p);
+  models::MigrationSample s;
+  s.cpu_host = x.integral(FeatureBatch::Column::kCpuHost, p) / cov;
+  s.cpu_vm = x.integral(FeatureBatch::Column::kCpuVm, p) / cov;
+  s.dirty_ratio = x.integral(FeatureBatch::Column::kDirtyRatio, p) / cov;
+  s.bandwidth = x.integral(FeatureBatch::Column::kBandwidth, p) / cov;
+  return s;
+}
+
+/// Observed mean across ALL phases — the fallback for a phase that has
+/// not started when the prior carries no representatives.
+models::MigrationSample overall_mean_sample(const IncrementalExtractor& x) {
+  double cov = 0.0;
+  models::MigrationSample s;
+  for (std::size_t p = 0; p < FeatureBatch::kPhases; ++p) {
+    cov += x.phase_coverage(p);
+    s.cpu_host += x.integral(FeatureBatch::Column::kCpuHost, p);
+    s.cpu_vm += x.integral(FeatureBatch::Column::kCpuVm, p);
+    s.dirty_ratio += x.integral(FeatureBatch::Column::kDirtyRatio, p);
+    s.bandwidth += x.integral(FeatureBatch::Column::kBandwidth, p);
+  }
+  if (cov > 0.0) {
+    s.cpu_host /= cov;
+    s.cpu_vm /= cov;
+    s.dirty_ratio /= cov;
+    s.bandwidth /= cov;
+  }
+  return s;
+}
+
+}  // namespace
+
+PhasePrior PhasePrior::from_times(const migration::PhaseTimestamps& times) {
+  PhasePrior prior;
+  prior.duration[0] = times.initiation_duration();
+  prior.duration[1] = times.transfer_duration();
+  prior.duration[2] = times.activation_duration();
+  return prior;
+}
+
+PhasePrior PhasePrior::from_scenario(const core::MigrationScenario& scenario,
+                                     const core::MigrationForecast& fc,
+                                     models::HostRole role) {
+  const core::PhaseRepresentatives rep = core::representative_features(scenario, fc);
+  PhasePrior prior;
+  prior.has_representatives = true;
+  for (std::size_t p = 0; p < 3; ++p) {
+    prior.duration[p] = rep.duration[p];
+    prior.representative[p] =
+        role == models::HostRole::kSource ? rep.source[p] : rep.target[p];
+  }
+  return prior;
+}
+
+RoleForecast predict_role(const core::Wavm3Model& model, const IncrementalExtractor& extractor,
+                          const PhasePrior& prior) {
+  RoleForecast out;
+
+  // The observed prefix prices through the exact batch arithmetic —
+  // this is the term that makes the 100%-observed forecast equal the
+  // batch prediction bit-for-bit.
+  const models::FeatureBatch fb = extractor.to_batch();
+  double prefix = 0.0;
+  model.predict_batch(fb, std::span<double>(&prefix, 1));
+  out.observed_model_j = prefix;
+
+  // Post-copy prices with the live tables, mirroring
+  // core::PhaseRepresentatives::coeff_type.
+  const migration::MigrationType coeff_type =
+      extractor.type() == migration::MigrationType::kPostCopy ? migration::MigrationType::kLive
+                                                              : extractor.type();
+
+  double total_observed = 0.0;
+  double total_expected = 0.0;
+  for (std::size_t p = 0; p < FeatureBatch::kPhases; ++p) {
+    PhaseEstimate& pe = out.phase[p];
+    pe.observed_s = extractor.phase_coverage(p);
+    pe.expected_s = std::max(prior.duration[p], pe.observed_s);
+    pe.landed = extractor.finished() || extractor.deepest_phase() > static_cast<int>(p);
+    if (!pe.landed) pe.remaining_s = pe.expected_s - pe.observed_s;
+    pe.confidence =
+        pe.landed ? 1.0
+                  : (pe.expected_s > 0.0
+                         ? std::clamp(pe.observed_s / pe.expected_s, 0.0, 1.0)
+                         : 0.0);
+    if (pe.remaining_s > 0.0) {
+      models::MigrationSample rep;
+      if (pe.observed_s > 0.0) {
+        rep = phase_mean_sample(extractor, p);
+      } else if (prior.has_representatives) {
+        rep = prior.representative[p];
+      } else {
+        rep = overall_mean_sample(extractor);
+      }
+      rep.phase = kDensePhase[p];
+      const double watts = model.predict_power(coeff_type, extractor.role(), rep);
+      pe.remaining_j = watts * pe.remaining_s;
+      out.remaining_j += pe.remaining_j;
+    }
+    total_observed += pe.observed_s;
+    total_expected += pe.expected_s;
+  }
+
+  out.energy_j = out.observed_model_j + out.remaining_j;
+  out.observed_fraction =
+      extractor.finished()
+          ? 1.0
+          : (total_expected > 0.0 ? std::clamp(total_observed / total_expected, 0.0, 1.0)
+                                  : 0.0);
+  return out;
+}
+
+}  // namespace wavm3::stream

@@ -1,0 +1,79 @@
+// LivePredictor: a revised energy forecast at any observed fraction of
+// an in-flight migration.
+//
+//   forecast = model(observed prefix) + sum over phases of
+//              predict_power(representative features) * remaining time
+//
+// The observed prefix prices through the EXACT batch path — the
+// extractor's aggregates wrap into a FeatureBatch row and go through
+// Wavm3Model::predict_batch — so at 100% observed (a finished stream)
+// the remaining term is identically zero and the live forecast equals
+// the batch prediction bit-for-bit (the bench_stream_accuracy CI
+// gate). For the unobserved remainder of each phase the features come,
+// in preference order, from
+//
+//   1. the phase's own observed mean (integral / coverage) — the best
+//      estimate once the phase has started,
+//   2. the prior's representative sample (closed-form planner
+//      representatives when the session was opened with a scenario),
+//   3. the overall observed mean across phases,
+//   4. a zero sample (bias-only power) when nothing is known,
+//
+// and the remaining duration from the prior phase durations. A phase
+// is LANDED — contributing zero remainder regardless of priors — once
+// a deeper phase has produced a sample or the stream has finished; its
+// confidence snaps to 1, which is the "confidence tightens as phases
+// land" behaviour the ROADMAP asks for.
+#pragma once
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "stream/incremental.hpp"
+
+namespace wavm3::stream {
+
+/// Expected phase structure of the migration being streamed: where the
+/// remaining-time extrapolation gets its durations and (optionally)
+/// feature levels. Zero durations mean "no expectation" — remaining
+/// time is then 0 and the forecast is observed-prefix only.
+struct PhasePrior {
+  double duration[3] = {0.0, 0.0, 0.0};  ///< initiation, transfer, activation (s)
+  bool has_representatives = false;
+  models::MigrationSample representative[3];
+
+  /// Durations from announced phase timestamps (the replay path).
+  static PhasePrior from_times(const migration::PhaseTimestamps& times);
+
+  /// Durations + representative feature levels from the closed-form
+  /// planner (the serve path: sessions opened with a scenario). `role`
+  /// selects the source or target representatives.
+  static PhasePrior from_scenario(const core::MigrationScenario& scenario,
+                                  const core::MigrationForecast& fc, models::HostRole role);
+};
+
+/// Per-phase slice of a live forecast.
+struct PhaseEstimate {
+  double observed_s = 0.0;   ///< coverage so far
+  double expected_s = 0.0;   ///< max(prior duration, observed)
+  double remaining_s = 0.0;  ///< 0 once landed
+  double remaining_j = 0.0;  ///< extrapolated energy of the remainder
+  double confidence = 0.0;   ///< observed/expected, snapped to 1 on landing
+  bool landed = false;
+};
+
+/// One role's revised forecast.
+struct RoleForecast {
+  double energy_j = 0.0;          ///< observed_model_j + remaining_j
+  double observed_model_j = 0.0;  ///< model on the observed prefix (exact integrals)
+  double remaining_j = 0.0;
+  double observed_fraction = 0.0; ///< observed duration / expected total, in [0, 1]
+  PhaseEstimate phase[3];
+};
+
+/// Revised forecast for one role's extractor state under `model`.
+/// Throws (like predict_batch) when the model has no fit for the
+/// extractor's (type, role) slice.
+RoleForecast predict_role(const core::Wavm3Model& model, const IncrementalExtractor& extractor,
+                          const PhasePrior& prior);
+
+}  // namespace wavm3::stream

@@ -1,0 +1,55 @@
+#include "stream/phase_track.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavm3::stream {
+
+using migration::MigrationPhase;
+
+void PhaseTracker::observe(const models::MigrationSample& sample) {
+  // Annotated transitions (kNormal is "outside any phase" and is not a
+  // boundary of its own).
+  if (sample.phase != phase_ && sample.phase != MigrationPhase::kNormal) {
+    boundaries_.push_back({sample.phase, sample.time});
+    if (sample.phase == MigrationPhase::kTransfer) {
+      rounds_ = 1;  // the first pre-copy round starts with the transfer
+      last_round_at_ = sample.time;
+      peak_cpu_vm_ = 0.0;
+    }
+    phase_ = sample.phase;
+  }
+
+  if (phase_ == MigrationPhase::kTransfer && sample.phase == MigrationPhase::kTransfer) {
+    peak_cpu_vm_ = std::max(peak_cpu_vm_, sample.cpu_vm);
+
+    if (has_prev_ && prev_.phase == MigrationPhase::kTransfer &&
+        sample.time - last_round_at_ >= config_.min_round_s) {
+      // Round boundary: a bandwidth step (both readings live) or the
+      // dirty bitmap resetting under us.
+      const double bw_ref = std::max(sample.bandwidth, prev_.bandwidth);
+      const bool bw_jump =
+          prev_.bandwidth > 0.0 && sample.bandwidth > 0.0 &&
+          std::abs(sample.bandwidth - prev_.bandwidth) > config_.round_bw_jump_fraction * bw_ref;
+      const bool dr_drop = prev_.dirty_ratio > 0.0 &&
+                           sample.dirty_ratio <
+                               (1.0 - config_.dirty_drop_fraction) * prev_.dirty_ratio;
+      if (bw_jump || dr_drop) {
+        ++rounds_;
+        last_round_at_ = sample.time;
+      }
+    }
+
+    // Stop-and-copy: the VM's CPU collapses while bytes keep flowing.
+    if (!stop_and_copy_ && peak_cpu_vm_ > 0.0 &&
+        sample.cpu_vm <= config_.stop_copy_cpu_fraction * peak_cpu_vm_) {
+      stop_and_copy_ = true;
+      stop_and_copy_at_ = sample.time;
+    }
+  }
+
+  prev_ = sample;
+  has_prev_ = true;
+}
+
+}  // namespace wavm3::stream

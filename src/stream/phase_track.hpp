@@ -1,0 +1,81 @@
+// PhaseTracker: online phase-boundary detection over the live sample
+// stream. The phase *annotation* on each sample gives the coarse
+// boundaries (initiation -> transfer -> activation); what the
+// annotation does not carry is the pre-copy structure INSIDE the
+// transfer phase — which round the migration is in, and whether it has
+// entered stop-and-copy. Both are visible in the signals themselves:
+//
+//   * a pre-copy round transition shows as a bandwidth step (each
+//     round re-transmits a shrinking dirty set at a different achieved
+//     rate) and/or a dirty-ratio collapse (the round resets the dirty
+//     bitmap);
+//   * stop-and-copy entry shows as CPU(v,t) collapsing toward zero
+//     while the transfer is still running — the VM is suspended but
+//     bytes keep flowing.
+//
+// LivePredictor uses the round count as a degeneration signal (a
+// migration whose rounds keep climbing is converging toward non-live,
+// the condition the chaos re-plan hook aborts on).
+#pragma once
+
+#include <vector>
+
+#include "models/dataset.hpp"
+
+namespace wavm3::stream {
+
+struct PhaseTrackerConfig {
+  /// Relative bandwidth step (vs the previous sample) that marks a
+  /// round boundary; both readings must be positive.
+  double round_bw_jump_fraction = 0.2;
+  /// Relative dirty-ratio collapse that marks a round boundary.
+  double dirty_drop_fraction = 0.5;
+  /// CPU(v,t) below this fraction of its transfer-phase peak flags
+  /// stop-and-copy entry.
+  double stop_copy_cpu_fraction = 0.05;
+  /// Boundaries closer than this to the previous one are noise at the
+  /// 2 Hz cadence and are not counted.
+  double min_round_s = 1.0;
+};
+
+/// One annotated phase transition as it arrived on the stream.
+struct PhaseBoundary {
+  migration::MigrationPhase phase;  ///< the phase being entered
+  double time = 0.0;
+};
+
+class PhaseTracker {
+ public:
+  PhaseTracker() = default;
+  explicit PhaseTracker(PhaseTrackerConfig config) : config_(config) {}
+
+  /// Feeds one sample (same stream the extractor sees). O(1).
+  void observe(const models::MigrationSample& sample);
+
+  /// Annotated phase transitions, in arrival order.
+  const std::vector<PhaseBoundary>& boundaries() const { return boundaries_; }
+
+  /// Pre-copy rounds observed so far (1 from transfer entry; each
+  /// detected round transition adds one). 0 before the transfer.
+  int rounds_observed() const { return rounds_; }
+
+  bool stop_and_copy_entered() const { return stop_and_copy_; }
+  /// Time of stop-and-copy entry (meaningful only once entered).
+  double stop_and_copy_at() const { return stop_and_copy_at_; }
+
+  const PhaseTrackerConfig& config() const { return config_; }
+
+ private:
+  PhaseTrackerConfig config_;
+  std::vector<PhaseBoundary> boundaries_;
+  models::MigrationSample prev_;
+  bool has_prev_ = false;
+  migration::MigrationPhase phase_ = migration::MigrationPhase::kNormal;
+  int rounds_ = 0;
+  double last_round_at_ = 0.0;
+  double peak_cpu_vm_ = 0.0;
+  bool stop_and_copy_ = false;
+  double stop_and_copy_at_ = 0.0;
+};
+
+}  // namespace wavm3::stream

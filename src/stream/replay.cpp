@@ -1,0 +1,88 @@
+#include "stream/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/feature_batch.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::stream {
+
+ObservationReplay replay_observation(const core::Wavm3Model& model,
+                                     const models::MigrationObservation& obs,
+                                     const ReplayOptions& options) {
+  WAVM3_REQUIRE(!options.fractions.empty(), "replay: need at least one fraction");
+  WAVM3_REQUIRE(std::is_sorted(options.fractions.begin(), options.fractions.end()),
+                "replay: fractions must be ascending");
+
+  ObservationReplay out;
+  out.observed_j = obs.observed_energy();
+  {
+    const models::FeatureBatch full = models::FeatureBatch::of(obs);
+    double batch = 0.0;
+    model.predict_batch(full, std::span<double>(&batch, 1));
+    out.batch_predict_j = batch;
+  }
+
+  IncrementalExtractor x(obs.type, obs.role, options.extractor);
+  x.set_migration_scalars(obs.mem_bytes, obs.data_bytes, obs.avg_bandwidth,
+                          obs.idle_power_watts);
+  const PhasePrior prior = PhasePrior::from_times(obs.times);
+
+  const double span_s = obs.times.me - obs.times.ms;
+  std::size_t i = 0;  // next sample to push
+  for (const double f : options.fractions) {
+    const double cutoff = obs.times.ms + f * span_s;
+    while (i < obs.samples.size() && (f >= 1.0 || obs.samples[i].time <= cutoff)) {
+      x.push(obs.samples[i]);
+      ++i;
+    }
+    if (f >= 1.0) x.finish();
+
+    const RoleForecast rf = predict_role(model, x, prior);
+    ReplayPoint pt;
+    pt.fraction = f;
+    pt.samples = x.samples();
+    pt.forecast_j = rf.energy_j;
+    pt.observed_model_j = rf.observed_model_j;
+    pt.remaining_j = rf.remaining_j;
+    pt.mean_confidence =
+        (rf.phase[0].confidence + rf.phase[1].confidence + rf.phase[2].confidence) / 3.0;
+    out.points.push_back(pt);
+  }
+  return out;
+}
+
+AccuracyCurve accuracy_curve(const core::Wavm3Model& model, const models::Dataset& dataset,
+                             const ReplayOptions& options) {
+  AccuracyCurve curve;
+  curve.fractions = options.fractions;
+  std::vector<double> sq_err(options.fractions.size(), 0.0);
+  double obs_sum = 0.0;
+
+  for (const models::MigrationObservation& obs : dataset.observations) {
+    if (obs.samples.size() < 2) continue;
+    const ObservationReplay rep = replay_observation(model, obs, options);
+    for (std::size_t f = 0; f < rep.points.size(); ++f) {
+      const double e = rep.points[f].forecast_j - rep.observed_j;
+      sq_err[f] += e * e;
+      if (rep.points[f].fraction >= 1.0 && std::abs(rep.batch_predict_j) > 0.0) {
+        curve.parity_max_rel_err =
+            std::max(curve.parity_max_rel_err,
+                     std::abs(rep.points[f].forecast_j - rep.batch_predict_j) /
+                         std::abs(rep.batch_predict_j));
+      }
+    }
+    obs_sum += rep.observed_j;
+    ++curve.observations;
+  }
+
+  const double n = static_cast<double>(std::max<std::size_t>(curve.observations, 1));
+  const double mean_obs = obs_sum / n;
+  for (const double se : sq_err) {
+    curve.nrmse.push_back(mean_obs > 0.0 ? std::sqrt(se / n) / mean_obs : 0.0);
+  }
+  return curve;
+}
+
+}  // namespace wavm3::stream

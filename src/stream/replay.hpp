@@ -1,0 +1,69 @@
+// Replay helpers: drive a recorded trace through the streaming path as
+// if it were arriving live, snapshotting the revised forecast at fixed
+// observed fractions. Shared by the `wavm3 stream-replay` CLI, the
+// bench_stream_accuracy artefact (the ROADMAP's accuracy-vs-observed-
+// fraction curve and its CI gate), and the golden-parity tests.
+//
+// Priors come from the observation's own announced phase timestamps
+// (PhasePrior::from_times) — oracle durations, observed-mean features —
+// so the curve isolates what streaming itself costs: feature
+// extrapolation error, which shrinks to zero as the observed fraction
+// reaches 1 (where the live forecast must match predict_batch to
+// 1e-9).
+#pragma once
+
+#include <vector>
+
+#include "core/wavm3_model.hpp"
+#include "models/dataset.hpp"
+#include "stream/incremental.hpp"
+#include "stream/live_predictor.hpp"
+
+namespace wavm3::stream {
+
+struct ReplayOptions {
+  /// Observed fractions (of [ms, me]) to snapshot at, ascending;
+  /// fraction >= 1 replays the whole trace and finish()es first.
+  std::vector<double> fractions = {0.25, 0.5, 0.75, 1.0};
+  ExtractorConfig extractor;
+};
+
+/// The forecast state at one observed fraction.
+struct ReplayPoint {
+  double fraction = 0.0;
+  std::size_t samples = 0;        ///< samples pushed up to this point
+  double forecast_j = 0.0;        ///< revised total (this role)
+  double observed_model_j = 0.0;  ///< exact-prefix term
+  double remaining_j = 0.0;       ///< extrapolated term
+  double mean_confidence = 0.0;   ///< mean per-phase confidence
+};
+
+/// One observation replayed through the streaming path.
+struct ObservationReplay {
+  std::vector<ReplayPoint> points;  ///< one per requested fraction
+  double observed_j = 0.0;          ///< ground truth (trapezoid of measured power)
+  double batch_predict_j = 0.0;     ///< FeatureBatch::of + predict_batch on the full trace
+};
+
+/// Single pass over the observation's samples, predicting at each
+/// fraction threshold. The model must be fitted for the observation's
+/// (type, role) slice.
+ObservationReplay replay_observation(const core::Wavm3Model& model,
+                                     const models::MigrationObservation& obs,
+                                     const ReplayOptions& options = {});
+
+/// Pooled accuracy over a dataset: NRMSE of the live forecast against
+/// observed energy at each fraction (normalised by the mean observed
+/// energy, the evaluation convention), plus the worst relative
+/// batch-parity error at full observation.
+struct AccuracyCurve {
+  std::vector<double> fractions;
+  std::vector<double> nrmse;          ///< one per fraction
+  std::size_t observations = 0;
+  double parity_max_rel_err = 0.0;    ///< max |live@1.0 - batch| / |batch|
+};
+
+AccuracyCurve accuracy_curve(const core::Wavm3Model& model, const models::Dataset& dataset,
+                             const ReplayOptions& options = {});
+
+}  // namespace wavm3::stream

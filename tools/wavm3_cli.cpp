@@ -13,9 +13,15 @@
 //   wavm3 predict --coeffs coeffs.csv [scenario flags]
 //       Forecast duration, downtime, data and energy of a planned
 //       migration from saved coefficients.
-//   wavm3 trace [scenario flags] [fault flags]
+//   wavm3 trace [scenario flags] [fault flags] [--emit-samples FILE]
 //       Run one engine-simulated migration round by round, optionally
-//       under injected faults, and print the trajectory and outcome.
+//       under injected faults, and print the trajectory and outcome;
+//       --emit-samples dumps the 2 Hz per-role sample stream as a
+//       dataset CSV.
+//   wavm3 stream-replay --dataset data.csv [--observation N]
+//       Replay a recorded trace through the live streaming path,
+//       printing the revised forecast as samples "arrive", then check
+//       the finished stream against the batch prediction.
 //   wavm3 tables
 //       Reproduce every table of the paper in one run.
 //
@@ -23,6 +29,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,7 +39,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "calib/recalibrator.hpp"
@@ -48,6 +57,7 @@
 #include "migration/engine.hpp"
 #include "models/dataset_io.hpp"
 #include "models/evaluation.hpp"
+#include "models/feature_batch.hpp"
 #include "models/huang.hpp"
 #include "models/liu.hpp"
 #include "models/strunk.hpp"
@@ -62,6 +72,7 @@
 #include "serve/query_stream.hpp"
 #include "serve/service.hpp"
 #include "serve/sim_backend.hpp"
+#include "stream/replay.hpp"
 #include "util/rng.hpp"
 #include "stats/diagnostics.hpp"
 #include "stats/metrics.hpp"
@@ -442,6 +453,64 @@ bool dump_global_metrics(const std::string& path) {
   return true;
 }
 
+/// Synthesizes the 2 Hz sample stream one executed migration produced
+/// on both host meters (for `trace --emit-samples`): timestamps on the
+/// meter cadence across [ms, me], phases from the record's realised
+/// timings, features from the closed-form per-phase representatives,
+/// and power from `model` when fitted (0 otherwise — the features are
+/// what the streaming path consumes). Round-trips through the dataset
+/// CSV, so the result feeds `wavm3 stream-replay` directly.
+models::Dataset samples_from_record(const core::MigrationScenario& sc,
+                                    const migration::MigrationRecord& rec,
+                                    const core::Wavm3Model& model) {
+  core::MigrationForecast fc;
+  fc.times = rec.times;
+  fc.total_bytes = rec.total_bytes;
+  fc.precopy_rounds = rec.precopy_rounds;
+  fc.downtime = rec.downtime;
+  fc.degenerated_to_nonlive = rec.degenerated_to_nonlive;
+  fc.bandwidth = rec.total_bytes / std::max(1e-9, rec.times.transfer_duration());
+  const core::PhaseRepresentatives reps = core::representative_features(sc, fc);
+
+  models::Dataset out;
+  out.name = "trace";
+  const double period = 0.5;  // the testbeds' 2 Hz meter cadence
+  for (const auto role : {models::HostRole::kSource, models::HostRole::kTarget}) {
+    models::MigrationObservation obs;
+    obs.experiment = std::string("TRACE/") + migration::to_string(sc.type);
+    obs.testbed = "cli";
+    obs.type = sc.type;
+    obs.role = role;
+    obs.times = rec.times;
+    obs.mem_bytes = sc.vm_mem_bytes;
+    obs.data_bytes = rec.total_bytes;
+    obs.avg_bandwidth = fc.bandwidth;
+    const int grid = static_cast<int>(std::floor(rec.times.total_duration() / period));
+    for (int k = 0; k <= grid + 1; ++k) {
+      // Last grid point short of me gets a closing sample exactly at
+      // me, so the emitted stream covers the full [ms, me] window.
+      const double t = std::min(rec.times.ms + k * period, rec.times.me);
+      migration::MigrationPhase phase = rec.times.phase_at(t);
+      if (phase == migration::MigrationPhase::kNormal) {
+        phase = migration::MigrationPhase::kActivation;  // t == me edge
+      }
+      int p = 0;
+      if (phase == migration::MigrationPhase::kTransfer) p = 1;
+      if (phase == migration::MigrationPhase::kActivation) p = 2;
+      models::MigrationSample s =
+          role == models::HostRole::kSource ? reps.source[p] : reps.target[p];
+      s.time = t;
+      s.phase = phase;
+      s.power_watts =
+          model.is_fitted() ? model.predict_power(reps.coeff_type, role, s) : 0.0;
+      obs.samples.push_back(s);
+      if (t >= rec.times.me) break;
+    }
+    out.observations.push_back(std::move(obs));
+  }
+  return out;
+}
+
 int cmd_trace(const Args& args) {
   // Runs the event-driven engine on the scenario (same flags as
   // `predict`) and prints the executed trajectory — including failures
@@ -503,6 +572,23 @@ int cmd_trace(const Args& args) {
                 fc.source_energy / 1e3, fc.target_energy / 1e3, fc.total_energy() / 1e3,
                 rec.outcome == migration::MigrationOutcome::kCompleted ? ""
                                                                        : " (wasted)");
+  }
+
+  // --emit-samples FILE: dump the 2 Hz per-role sample stream this run
+  // produced, as a dataset CSV ready for `wavm3 stream-replay`.
+  const std::string samples_path = args.get("emit-samples", "");
+  if (!samples_path.empty()) {
+    core::Wavm3Model model;  // unfitted -> power column stays 0
+    if (args.has("coeffs")) {
+      model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+    }
+    const models::Dataset stream_ds = samples_from_record(sc, rec, model);
+    if (!models::save_dataset_csv(stream_ds, samples_path)) {
+      std::fprintf(stderr, "cannot write %s\n", samples_path.c_str());
+      return 1;
+    }
+    std::printf("  samples  : wrote %zu 2 Hz samples per role to %s\n",
+                stream_ds.observations.front().samples.size(), samples_path.c_str());
   }
   return 0;
 }
@@ -1177,6 +1263,109 @@ int cmd_recalibrate(const Args& args) {
   return 0;
 }
 
+int cmd_stream_replay(const Args& args) {
+  // Replays one recorded observation through the serve streaming path
+  // as if its samples were arriving live: open_stream -> submit_sample
+  // (optionally paced against the wall clock) -> predict_live every
+  // --predict-every samples -> finish and check the final revision
+  // against the batch prediction (they must agree to ~1e-9: the same
+  // aggregates price through the same predict_batch arithmetic).
+  const std::string in = args.get("dataset", "dataset.csv");
+  const models::Dataset dataset = models::load_dataset_csv(in);
+  if (dataset.size() == 0) {
+    std::fprintf(stderr, "no observations in %s\n", in.c_str());
+    return 1;
+  }
+  const std::size_t index = static_cast<std::size_t>(
+      std::max(0L, args.get_int("observation", 0)));
+  if (index >= dataset.size()) {
+    std::fprintf(stderr, "--observation %zu out of range (%zu observations)\n", index,
+                 dataset.size());
+    return 1;
+  }
+  const models::MigrationObservation& obs = dataset.observations[index];
+  if (obs.samples.size() < 2) {
+    std::fprintf(stderr, "observation %zu has too few samples to stream\n", index);
+    return 1;
+  }
+
+  core::Wavm3Model model;
+  if (args.has("coeffs")) {
+    model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    const auto [train, test] =
+        dataset.split_stratified(args.get_double("train-fraction", 0.2), args.get_seed());
+    model.fit(train);
+  }
+
+  serve::ServiceConfig config;
+  config.threads = 2;
+  config.stream.extractor.max_gap_s =
+      args.get_double("max-gap", config.stream.extractor.max_gap_s);
+  serve::PredictionService service(model, config);
+
+  const double speedup = args.get_double("speedup", 0.0);  // <= 0: no pacing
+  const std::size_t every =
+      static_cast<std::size_t>(std::max(1L, args.get_int("predict-every", 8)));
+  const std::uint64_t id = 1;
+  service.open_stream(id, obs.type, obs.times);
+
+  std::printf("streaming %s (%s, %s): %zu samples over %.1f s%s\n",
+              obs.experiment.c_str(), migration::to_string(obs.type),
+              models::to_string(obs.role), obs.samples.size(),
+              obs.times.total_duration(),
+              speedup > 0.0 ? util::format(", %.0fx speedup", speedup).c_str() : "");
+
+  const double span_s = obs.times.total_duration();
+  double prev_t = obs.samples.front().time;
+  for (std::size_t i = 0; i < obs.samples.size(); ++i) {
+    const models::MigrationSample& s = obs.samples[i];
+    if (speedup > 0.0 && s.time > prev_t) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>((s.time - prev_t) / speedup));
+    }
+    prev_t = s.time;
+    service.submit_sample(id, obs.role, s);
+    if ((i + 1) % every == 0 || i + 1 == obs.samples.size()) {
+      const stream::LiveForecast fc = service.predict_live(id);
+      const stream::RoleForecast& rf =
+          obs.role == models::HostRole::kSource ? fc.source : fc.target;
+      const double frac =
+          span_s > 0.0 ? std::clamp((s.time - obs.times.ms) / span_s, 0.0, 1.0) : 1.0;
+      std::printf("  rev %3llu @ %5.1f%% : forecast %9.1f J = prefix %9.1f + rest %8.1f"
+                  "  (conf %.2f/%.2f/%.2f)\n",
+                  static_cast<unsigned long long>(fc.revision), frac * 100.0, rf.energy_j,
+                  rf.observed_model_j, rf.remaining_j, rf.phase[0].confidence,
+                  rf.phase[1].confidence, rf.phase[2].confidence);
+    }
+  }
+
+  // Landed everywhere: the live forecast must now equal the batch path.
+  service.stream_registry().find(id)->finish();
+  const stream::LiveForecast final_fc = service.predict_live(id);
+  const stream::RoleForecast& rf =
+      obs.role == models::HostRole::kSource ? final_fc.source : final_fc.target;
+  const models::FeatureBatch batch = models::FeatureBatch::of(obs);
+  double batch_j = 0.0;
+  model.predict_batch(batch, std::span<double>(&batch_j, 1));
+  const double rel_err =
+      std::abs(batch_j) > 0.0 ? std::abs(rf.energy_j - batch_j) / std::abs(batch_j) : 0.0;
+  std::printf("  final @ 100.0%% : forecast %9.1f J  vs batch %9.1f J  (rel err %.2e)\n",
+              rf.energy_j, batch_j, rel_err);
+  std::printf("  observed energy: %9.1f J\n", obs.observed_energy());
+  const auto report = service.close_stream(id);
+  std::printf("  session: %llu samples, %llu revisions%s\n",
+              static_cast<unsigned long long>(report.summary.source_samples +
+                                              report.summary.target_samples),
+              static_cast<unsigned long long>(report.summary.revisions),
+              report.summary.degenerated ? ", degenerated" : "");
+  return rel_err <= 1e-9 ? 0 : 1;
+}
+
 int cmd_help() {
   std::puts(
       "wavm3 - workload-aware VM migration energy model (CLUSTER'15 reproduction)\n"
@@ -1197,6 +1386,10 @@ int cmd_help() {
       "            [--fault-random --fault-seed N --fault-horizon T\n"
       "             --loss-probability P]\n"
       "            [--chrome-trace FILE | --trace-out FILE] [--metrics-out FILE]\n"
+      "            [--emit-samples FILE (2 Hz per-role sample stream, dataset CSV)]\n"
+      "  stream-replay --dataset FILE [--coeffs FILE | --train-fraction F --seed N]\n"
+      "            [--observation N] [--predict-every N] [--speedup X]\n"
+      "            [--max-gap SECONDS]\n"
       "  tables    [--fast] [--seed N]\n"
       "  simulate  [--testbed m|o] [--hosts N] [--vms N] [--hours H]\n"
       "            [--horizon SECONDS] [--seed N]\n"
@@ -1244,6 +1437,7 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "predict") return cmd_predict(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "stream-replay") return cmd_stream_replay(args);
     if (cmd == "tables") return cmd_tables(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "plan") return cmd_plan(args);
