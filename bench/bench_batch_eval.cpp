@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/wavm3_model.hpp"
+#include "kernels/kernels.hpp"
 #include "models/dataset.hpp"
 #include "models/energy_model.hpp"
 #include "models/feature_batch.hpp"
@@ -201,7 +202,8 @@ void print_report() {
   std::filesystem::create_directories("bench_out");
   std::ofstream json("bench_out/bench_batch_eval.json");
   if (json) {
-    json << "{\n  \"rows\": [";
+    json << "{\n  \"backend\": \"" << kernels::to_string(kernels::active_backend())
+         << "\",\n  \"cpu\": \"" << kernels::cpu_features() << "\",\n  \"rows\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const AbRow& r = rows[i];
       json << (i == 0 ? "\n" : ",\n") << "    {\"model\": \"" << r.model

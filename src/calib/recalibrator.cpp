@@ -1,11 +1,13 @@
 #include "calib/recalibrator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <utility>
 
 #include "core/planner.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/trace.hpp"
 #include "stats/linreg.hpp"
 #include "stats/metrics.hpp"
@@ -61,14 +63,16 @@ ForecastColumns forecast_window(const core::Wavm3Model& model,
 
 /// Offset-only least squares given a fixed gain:
 /// argmin_b sum (obs - gain*pred - b*dur)^2.
+/// Residual and reductions go through the kernels layer: axpy with
+/// (-gain) gives obs[i] - gain*pred[i] element-exactly (IEEE negation
+/// commutes with the product), and the two dots share the blocked-4
+/// reduction order with every other sum in the repo.
 double refit_offset(std::span<const double> predicted, std::span<const double> observed,
                     std::span<const double> duration, double gain) {
-  double num = 0.0;
-  double den = 0.0;
-  for (std::size_t i = 0; i < predicted.size(); ++i) {
-    num += duration[i] * (observed[i] - gain * predicted[i]);
-    den += duration[i] * duration[i];
-  }
+  std::vector<double> residual(observed.begin(), observed.end());
+  kernels::axpy(-gain, predicted, residual);
+  const double num = kernels::dot(duration, residual);
+  const double den = kernels::dot(duration, duration);
   return den > 0.0 ? num / den : 0.0;
 }
 
@@ -283,9 +287,9 @@ void OnlineRecalibrator::evaluate_slice(const serve::CoefficientStore::Snapshot&
   // to score it.
   sr.incumbent_tail_nrmse = stats::try_nrmse(pred_tail, obs_tail);
   std::vector<double> cand_tail(tail_n);
-  for (std::size_t i = 0; i < tail_n; ++i) {
-    cand_tail[i] = gain * pred_tail[i] + offset * dur_tail[i];
-  }
+  const std::array<std::span<const double>, 2> cand_cols = {pred_tail, dur_tail};
+  const std::array<double, 2> cand_coeffs = {gain, offset};
+  kernels::apply_design_matrix(cand_cols, cand_coeffs, 0.0, cand_tail);
   sr.candidate_tail_nrmse = stats::try_nrmse(cand_tail, obs_tail);
   const bool improves = sr.incumbent_tail_nrmse.has_value() &&
                         sr.candidate_tail_nrmse.has_value() &&

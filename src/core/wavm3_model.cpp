@@ -3,10 +3,10 @@
 #include <array>
 #include <cmath>
 
+#include "models/design_apply.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/linreg.hpp"
 #include "stats/lm.hpp"
-#include "stats/matrix.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::core {
@@ -75,45 +75,37 @@ const PhaseCoefficients& phase_coeffs(const RoleCoefficients& rc, MigrationPhase
   return rc.initiation;
 }
 
+/// Eq. 4's full design is 11 terms: 5 transfer + 3 initiation + 3
+/// activation regressors against the per-phase integral columns.
+constexpr std::size_t kMaxTerms = 11;
+
 /// The per-phase coefficient vectors laid out against the batch's
 /// integral columns: {alpha..., bias} against {features..., kOne}.
-void append_phase_terms(MigrationPhase phase, const PhaseCoefficients& k,
-                        std::vector<Column>& cols, std::vector<MigrationPhase>& phases,
-                        std::vector<double>& coeffs) {
+/// Appends into fixed-capacity arrays (no per-call allocation — the
+/// serve hot path prices uncached scenarios through here) and returns
+/// the new term count.
+std::size_t append_phase_terms(MigrationPhase phase, const PhaseCoefficients& k,
+                               std::size_t at, std::array<models::DesignTerm, kMaxTerms>& terms,
+                               std::array<double, kMaxTerms>& coeffs) {
   if (phase == MigrationPhase::kTransfer) {
-    for (const Column c : {Column::kCpuHost, Column::kBandwidth, Column::kDirtyRatio,
-                           Column::kCpuVm, Column::kOne}) {
-      cols.push_back(c);
-      phases.push_back(phase);
+    const Column cols[] = {Column::kCpuHost, Column::kBandwidth, Column::kDirtyRatio,
+                           Column::kCpuVm, Column::kOne};
+    const double k5[] = {k.alpha, k.beta, k.gamma, k.delta, k.c};
+    for (std::size_t j = 0; j < 5; ++j) {
+      terms[at] = {cols[j], phase};
+      coeffs[at] = k5[j];
+      ++at;
     }
-    coeffs.insert(coeffs.end(), {k.alpha, k.beta, k.gamma, k.delta, k.c});
   } else {
-    for (const Column c : {Column::kCpuHost, Column::kCpuVm, Column::kOne}) {
-      cols.push_back(c);
-      phases.push_back(phase);
+    const Column cols[] = {Column::kCpuHost, Column::kCpuVm, Column::kOne};
+    const double k3[] = {k.alpha, k.beta, k.c};
+    for (std::size_t j = 0; j < 3; ++j) {
+      terms[at] = {cols[j], phase};
+      coeffs[at] = k3[j];
+      ++at;
     }
-    coeffs.insert(coeffs.end(), {k.alpha, k.beta, k.c});
   }
-}
-
-/// One (type, role) slice's prediction: gather the named integral
-/// columns at the slice rows, multiply by the coefficient vector, and
-/// scatter into `out`.
-void predict_slice(const FeatureBatch& batch, std::span<const std::size_t> rows,
-                   const std::vector<Column>& cols, const std::vector<MigrationPhase>& phases,
-                   const std::vector<double>& coeffs, FeatureBatch::Weighting weighting,
-                   std::span<double> out) {
-  std::vector<double> storage(cols.size() * rows.size());
-  std::vector<std::span<const double>> column_views(cols.size());
-  for (std::size_t j = 0; j < cols.size(); ++j) {
-    const std::span<double> dst(storage.data() + j * rows.size(), rows.size());
-    FeatureBatch::gather(batch.integral(cols[j], phases[j], weighting), rows, dst);
-    column_views[j] = dst;
-  }
-  const stats::Matrix x = stats::Matrix::from_columns(column_views);
-  std::vector<double> predicted(rows.size());
-  x.times(coeffs, predicted);
-  for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i];
+  return at;
 }
 
 }  // namespace
@@ -241,15 +233,16 @@ void Wavm3Model::predict_batch(const FeatureBatch& batch, std::span<double> out)
       if (rows.empty()) continue;
       const Wavm3Coefficients& table = coefficients(type);
       const RoleCoefficients& rc = role == HostRole::kSource ? table.source : table.target;
-      // Eq. 4 as one matrix-vector product: 11 concatenated per-phase
-      // integral columns against the role's coefficient table.
-      std::vector<Column> cols;
-      std::vector<MigrationPhase> phases;
-      std::vector<double> coeffs;
-      append_phase_terms(MigrationPhase::kInitiation, rc.initiation, cols, phases, coeffs);
-      append_phase_terms(MigrationPhase::kTransfer, rc.transfer, cols, phases, coeffs);
-      append_phase_terms(MigrationPhase::kActivation, rc.activation, cols, phases, coeffs);
-      predict_slice(batch, rows, cols, phases, coeffs, FeatureBatch::Weighting::kTotal, out);
+      // Eq. 4 as one design apply: 11 concatenated per-phase integral
+      // columns against the role's coefficient table.
+      std::array<models::DesignTerm, kMaxTerms> terms;
+      std::array<double, kMaxTerms> coeffs;
+      std::size_t n = 0;
+      n = append_phase_terms(MigrationPhase::kInitiation, rc.initiation, n, terms, coeffs);
+      n = append_phase_terms(MigrationPhase::kTransfer, rc.transfer, n, terms, coeffs);
+      n = append_phase_terms(MigrationPhase::kActivation, rc.activation, n, terms, coeffs);
+      models::apply_terms_to_rows(batch, {terms.data(), n}, {coeffs.data(), n}, 0.0,
+                                  FeatureBatch::Weighting::kTotal, rows, out);
     }
   }
 }
@@ -263,12 +256,11 @@ void Wavm3Model::predict_phase_batch(const FeatureBatch& batch, MigrationPhase p
       if (rows.empty()) continue;
       const Wavm3Coefficients& table = coefficients(type);
       const RoleCoefficients& rc = role == HostRole::kSource ? table.source : table.target;
-      std::vector<Column> cols;
-      std::vector<MigrationPhase> phases;
-      std::vector<double> coeffs;
-      append_phase_terms(phase, phase_coeffs(rc, phase), cols, phases, coeffs);
-      predict_slice(batch, rows, cols, phases, coeffs, FeatureBatch::Weighting::kPhasePure,
-                    out);
+      std::array<models::DesignTerm, kMaxTerms> terms;
+      std::array<double, kMaxTerms> coeffs;
+      const std::size_t n = append_phase_terms(phase, phase_coeffs(rc, phase), 0, terms, coeffs);
+      models::apply_terms_to_rows(batch, {terms.data(), n}, {coeffs.data(), n}, 0.0,
+                                  FeatureBatch::Weighting::kPhasePure, rows, out);
     }
   }
 }

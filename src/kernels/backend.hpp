@@ -1,0 +1,33 @@
+// Internal backend vtable shared by dispatch.cpp and the backend TUs.
+// Raw-pointer signatures: the public span API in kernels.hpp validates
+// sizes once, then backends run unchecked. Each backend implements the
+// blocked-4 reduction order documented in kernels.hpp — any deviation
+// is a contract bug, caught by the golden bit-identity suite.
+#pragma once
+
+#include <cstddef>
+
+namespace wavm3::kernels::detail {
+
+struct KernelOps {
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+  /// out[i] = sum_j coeffs[j] * cols[j][i] (ascending j, acc from 0.0)
+  /// + bias last, skipped when bias == 0.0.
+  void (*apply)(const double* const* cols, std::size_t ncols,
+                const double* coeffs, double bias, double* out, std::size_t n);
+  /// Blocked-4 panel sum over n samples (n - 1 panels); timestamps are
+  /// pre-validated non-decreasing by the dispatch wrapper.
+  double (*trapezoid)(const double* t, const double* y, std::size_t n);
+};
+
+/// Always available.
+const KernelOps& scalar_ops();
+
+/// Non-null only when compiled for x86 AND CPUID reports AVX2.
+const KernelOps* avx2_ops();
+
+/// Non-null only when compiled for aarch64 (ASIMD is mandatory there).
+const KernelOps* neon_ops();
+
+}  // namespace wavm3::kernels::detail

@@ -1,0 +1,122 @@
+// AVX2 backend. Four 64-bit lanes map 1:1 onto the contract's four
+// accumulators: a vector accumulator fed consecutive loads puts
+// element i into lane i % 4, which is exactly the scalar backend's
+// acc[i & 3] partition, and the horizontal combine extracts lanes and
+// sums them in the fixed (l0 + l1) + (l2 + l3) order. Multiplies and
+// adds stay separate intrinsics — never FMA — and the TU compiles with
+// -ffp-contract=off, so every intermediate rounds exactly as the
+// scalar backend rounds it.
+#include "kernels/backend.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace wavm3::kernels::detail {
+
+namespace {
+
+double reduce_fixed(__m256d vacc, const double* a, const double* b,
+                    std::size_t i, std::size_t n) {
+  alignas(32) double acc[4];
+  _mm256_store_pd(acc, vacc);
+  for (; i < n; ++i) acc[i & 3] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vacc = _mm256_add_pd(vacc,
+                         _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  return reduce_fixed(vacc, a, b, i, n);
+}
+
+void axpy_avx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void apply_avx2(const double* const* cols, std::size_t ncols,
+                const double* coeffs, double bias, double* out, std::size_t n) {
+  const bool add_bias = bias != 0.0;
+  const __m256d vbias = _mm256_set1_pd(bias);
+  std::size_t i = 0;
+  // Element-wise kernel: no cross-lane reduction, so the 8-wide unroll
+  // below cannot change any per-element rounding — each out[i] is still
+  // sum_j coeffs[j] * cols[j][i] in ascending j, bias last.
+  for (; i + 8 <= n; i += 8) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (std::size_t j = 0; j < ncols; ++j) {
+      const __m256d vc = _mm256_set1_pd(coeffs[j]);
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(vc, _mm256_loadu_pd(cols[j] + i)));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(vc, _mm256_loadu_pd(cols[j] + i + 4)));
+    }
+    if (add_bias) {
+      acc0 = _mm256_add_pd(acc0, vbias);
+      acc1 = _mm256_add_pd(acc1, vbias);
+    }
+    _mm256_storeu_pd(out + i, acc0);
+    _mm256_storeu_pd(out + i + 4, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t j = 0; j < ncols; ++j) {
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(coeffs[j]),
+                                             _mm256_loadu_pd(cols[j] + i)));
+    }
+    if (add_bias) acc = _mm256_add_pd(acc, vbias);
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < ncols; ++j) acc += coeffs[j] * cols[j][i];
+    out[i] = add_bias ? acc + bias : acc;
+  }
+}
+
+double trapezoid_avx2(const double* t, const double* y, std::size_t n) {
+  if (n < 2) return 0.0;
+  const std::size_t panels = n - 1;
+  const __m256d half = _mm256_set1_pd(0.5);
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t p = 0;
+  for (; p + 4 <= panels; p += 4) {
+    const __m256d ysum = _mm256_add_pd(_mm256_loadu_pd(y + p), _mm256_loadu_pd(y + p + 1));
+    const __m256d dt = _mm256_sub_pd(_mm256_loadu_pd(t + p + 1), _mm256_loadu_pd(t + p));
+    // Same association as the scalar panel: (0.5 * (y0 + y1)) * dt.
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(_mm256_mul_pd(half, ysum), dt));
+  }
+  alignas(32) double acc[4];
+  _mm256_store_pd(acc, vacc);
+  for (; p < panels; ++p) {
+    acc[p & 3] += 0.5 * (y[p] + y[p + 1]) * (t[p + 1] - t[p]);
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+}  // namespace
+
+const KernelOps* avx2_ops() {
+  if (!__builtin_cpu_supports("avx2")) return nullptr;
+  static const KernelOps ops{dot_avx2, axpy_avx2, apply_avx2, trapezoid_avx2};
+  return &ops;
+}
+
+}  // namespace wavm3::kernels::detail
+
+#else  // non-x86: backend compiled out, dispatch sees "unsupported".
+
+namespace wavm3::kernels::detail {
+const KernelOps* avx2_ops() { return nullptr; }
+}  // namespace wavm3::kernels::detail
+
+#endif

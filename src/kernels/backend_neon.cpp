@@ -1,0 +1,116 @@
+// NEON backend (aarch64). float64x2 has two lanes, so the contract's
+// four accumulators are emulated with TWO vector accumulators: acc01
+// holds contract lanes {0, 1} (elements i % 4 in {0, 1}) and acc23
+// holds {2, 3}. Consecutive pair loads preserve the acc[i & 3]
+// partition exactly, and the combine extracts the four lanes and sums
+// (l0 + l1) + (l2 + l3) like every other backend. Multiply and add are
+// separate intrinsics (no vfmaq) and the TU compiles with
+// -ffp-contract=off, so rounding matches the scalar backend bit for
+// bit.
+#include "kernels/backend.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace wavm3::kernels::detail {
+
+namespace {
+
+double reduce_fixed(float64x2_t acc01, float64x2_t acc23, const double* a,
+                    const double* b, std::size_t i, std::size_t n) {
+  double acc[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                   vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  for (; i < n; ++i) acc[i & 3] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+double dot_neon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    acc23 = vaddq_f64(acc23, vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+  }
+  return reduce_fixed(acc01, acc23, a, b, i, n);
+}
+
+void axpy_neon(double a, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t prod = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void apply_neon(const double* const* cols, std::size_t ncols,
+                const double* coeffs, double bias, double* out, std::size_t n) {
+  const bool add_bias = bias != 0.0;
+  const float64x2_t vbias = vdupq_n_f64(bias);
+  std::size_t i = 0;
+  // Element-wise: no reduction, so any vector width preserves the
+  // per-element ascending-j, bias-last order.
+  for (; i + 4 <= n; i += 4) {
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    for (std::size_t j = 0; j < ncols; ++j) {
+      const float64x2_t vc = vdupq_n_f64(coeffs[j]);
+      acc01 = vaddq_f64(acc01, vmulq_f64(vc, vld1q_f64(cols[j] + i)));
+      acc23 = vaddq_f64(acc23, vmulq_f64(vc, vld1q_f64(cols[j] + i + 2)));
+    }
+    if (add_bias) {
+      acc01 = vaddq_f64(acc01, vbias);
+      acc23 = vaddq_f64(acc23, vbias);
+    }
+    vst1q_f64(out + i, acc01);
+    vst1q_f64(out + i + 2, acc23);
+  }
+  for (; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < ncols; ++j) acc += coeffs[j] * cols[j][i];
+    out[i] = add_bias ? acc + bias : acc;
+  }
+}
+
+double trapezoid_neon(const double* t, const double* y, std::size_t n) {
+  if (n < 2) return 0.0;
+  const std::size_t panels = n - 1;
+  const float64x2_t half = vdupq_n_f64(0.5);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t p = 0;
+  for (; p + 4 <= panels; p += 4) {
+    const float64x2_t ys0 = vaddq_f64(vld1q_f64(y + p), vld1q_f64(y + p + 1));
+    const float64x2_t ys1 = vaddq_f64(vld1q_f64(y + p + 2), vld1q_f64(y + p + 3));
+    const float64x2_t dt0 = vsubq_f64(vld1q_f64(t + p + 1), vld1q_f64(t + p));
+    const float64x2_t dt1 = vsubq_f64(vld1q_f64(t + p + 3), vld1q_f64(t + p + 2));
+    acc01 = vaddq_f64(acc01, vmulq_f64(vmulq_f64(half, ys0), dt0));
+    acc23 = vaddq_f64(acc23, vmulq_f64(vmulq_f64(half, ys1), dt1));
+  }
+  double acc[4] = {vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+                   vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+  for (; p < panels; ++p) {
+    acc[p & 3] += 0.5 * (y[p] + y[p + 1]) * (t[p + 1] - t[p]);
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+}  // namespace
+
+const KernelOps* neon_ops() {
+  static const KernelOps ops{dot_neon, axpy_neon, apply_neon, trapezoid_neon};
+  return &ops;
+}
+
+}  // namespace wavm3::kernels::detail
+
+#else  // non-aarch64: backend compiled out, dispatch sees "unsupported".
+
+namespace wavm3::kernels::detail {
+const KernelOps* neon_ops() { return nullptr; }
+}  // namespace wavm3::kernels::detail
+
+#endif

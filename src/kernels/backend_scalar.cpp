@@ -1,0 +1,48 @@
+// Scalar reference backend. This TU is the baseline the bench A/B and
+// the forced-scalar CI job measure, so its CMake rule adds
+// -fno-tree-vectorize -fno-tree-slp-vectorize on top of the library's
+// -ffp-contract=off: the loops below must stay genuinely scalar even
+// at -O2, or "SIMD vs scalar" comparisons measure nothing.
+#include "kernels/backend.hpp"
+
+namespace wavm3::kernels::detail {
+
+namespace {
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc[i & 3] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+void axpy_scalar(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void apply_scalar(const double* const* cols, std::size_t ncols,
+                  const double* coeffs, double bias, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < ncols; ++j) acc += coeffs[j] * cols[j][i];
+    out[i] = bias == 0.0 ? acc : acc + bias;
+  }
+}
+
+double trapezoid_scalar(const double* t, const double* y, std::size_t n) {
+  if (n < 2) return 0.0;
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  const std::size_t panels = n - 1;
+  for (std::size_t p = 0; p < panels; ++p) {
+    acc[p & 3] += 0.5 * (y[p] + y[p + 1]) * (t[p + 1] - t[p]);
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+}  // namespace
+
+const KernelOps& scalar_ops() {
+  static const KernelOps ops{dot_scalar, axpy_scalar, apply_scalar, trapezoid_scalar};
+  return ops;
+}
+
+}  // namespace wavm3::kernels::detail

@@ -1,0 +1,227 @@
+// Backend resolution and the span-validated public API. Dispatch is a
+// pair of relaxed atomics (backend tag + ops vtable pointer) resolved
+// once from CPUID and WAVM3_FORCE_SCALAR; set_backend() re-pins them
+// for tests, the CLI --force-scalar flag, and bench A/B runs. Reads
+// are wait-free, so the serve worker pool can hammer kernels from many
+// threads with no synchronization cost.
+#include "kernels/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "kernels/backend.hpp"
+#include "util/error.hpp"
+
+namespace wavm3::kernels {
+
+namespace {
+
+using detail::KernelOps;
+
+bool env_forces_scalar() {
+  const char* v = std::getenv("WAVM3_FORCE_SCALAR");
+  // Any value but unset / empty / literal "0" forces the scalar
+  // backend — mirrors how boolean env toggles read elsewhere in the
+  // repo (truthy unless explicitly off).
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+const KernelOps* ops_for(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return &detail::scalar_ops();
+    case Backend::kAvx2: return detail::avx2_ops();
+    case Backend::kNeon: return detail::neon_ops();
+  }
+  return nullptr;
+}
+
+Backend resolve_startup() {
+  if (env_forces_scalar()) return Backend::kScalar;
+  if (detail::avx2_ops() != nullptr) return Backend::kAvx2;
+  if (detail::neon_ops() != nullptr) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+struct Dispatch {
+  std::atomic<Backend> backend;
+  std::atomic<const KernelOps*> ops;
+  Dispatch() {
+    const Backend b = resolve_startup();
+    backend.store(b, std::memory_order_relaxed);
+    ops.store(ops_for(b), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& dispatch() {
+  static Dispatch d;
+  return d;
+}
+
+const KernelOps& ops() {
+  return *dispatch().ops.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+  }
+  return "unknown";
+}
+
+Backend active_backend() {
+  return dispatch().backend.load(std::memory_order_relaxed);
+}
+
+bool backend_supported(Backend b) { return ops_for(b) != nullptr; }
+
+bool set_backend(Backend b) {
+  const KernelOps* o = ops_for(b);
+  if (o == nullptr) return false;
+  dispatch().ops.store(o, std::memory_order_relaxed);
+  dispatch().backend.store(b, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_backend() { set_backend(resolve_startup()); }
+
+std::string cpu_features() {
+  std::string out;
+  const auto flag = [&out](const char* name, bool on) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += on ? "=1" : "=0";
+  };
+#if defined(__x86_64__) || defined(__i386__)
+  flag("sse2", __builtin_cpu_supports("sse2"));
+  flag("avx", __builtin_cpu_supports("avx"));
+  flag("avx2", __builtin_cpu_supports("avx2"));
+  flag("fma", __builtin_cpu_supports("fma"));
+  flag("avx512f", __builtin_cpu_supports("avx512f"));
+#elif defined(__aarch64__)
+  flag("neon", true);
+#else
+  flag("scalar_only", true);
+#endif
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  WAVM3_REQUIRE(a.size() == b.size(), "kernels: dot size mismatch");
+  return ops().dot(a.data(), b.data(), a.size());
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  WAVM3_REQUIRE(x.size() == y.size(), "kernels: axpy size mismatch");
+  ops().axpy(a, x.data(), y.data(), x.size());
+}
+
+void apply_design_matrix(std::span<const std::span<const double>> columns,
+                         std::span<const double> coeffs, double bias,
+                         std::span<double> out) {
+  WAVM3_REQUIRE(columns.size() == coeffs.size(),
+                "kernels: apply_design_matrix column/coefficient count mismatch");
+  WAVM3_REQUIRE(columns.size() <= kMaxApplyColumns,
+                "kernels: apply_design_matrix design too wide");
+  const double* col_ptrs[kMaxApplyColumns];
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    WAVM3_REQUIRE(columns[j].size() == out.size(),
+                  "kernels: apply_design_matrix column/output size mismatch");
+    col_ptrs[j] = columns[j].data();
+  }
+  ops().apply(col_ptrs, columns.size(), coeffs.data(), bias, out.data(), out.size());
+}
+
+double trapezoid(std::span<const double> t, std::span<const double> y) {
+  WAVM3_REQUIRE(t.size() == y.size(), "trapezoid: time/value size mismatch");
+  if (t.size() < 2) return 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    WAVM3_REQUIRE(t[i] >= t[i - 1], "trapezoid: timestamps must be non-decreasing");
+  }
+  return ops().trapezoid(t.data(), y.data(), t.size());
+}
+
+double trapezoid_panel(double t0, double y0, double t1, double y1) {
+  // Must stay out-of-line in this -ffp-contract=off TU — see the
+  // header. Expression order matches every backend's panel.
+  return 0.5 * (y0 + y1) * (t1 - t0);
+}
+
+double interp_at(std::span<const double> t, std::span<const double> y, double x) {
+  WAVM3_REQUIRE(t.size() == y.size(), "interp_at: time/value size mismatch");
+  WAVM3_REQUIRE(!t.empty(), "interp_at: empty trace");
+  if (x <= t.front()) return y.front();
+  if (x >= t.back()) return y.back();
+  // upper_bound: at a repeated timestamp the later sample wins (a
+  // stalled meter followed by a step reads post-step at the step).
+  const auto it = std::upper_bound(t.begin(), t.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - t.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (x - t[lo]) / (t[hi] - t[lo]);  // t[lo] <= x < t[hi]
+  return y[lo] * (1.0 - f) + y[hi] * f;
+}
+
+double window_trapezoid(std::span<const double> t, std::span<const double> y,
+                        double t0, double t1) {
+  WAVM3_REQUIRE(t.size() == y.size(), "window_trapezoid: time/value size mismatch");
+  WAVM3_REQUIRE(t1 >= t0, "window_trapezoid: inverted window");
+  if (t.size() < 2) return 0.0;
+  const double a = std::max(t0, t.front());
+  const double b = std::min(t1, t.back());
+  if (b <= a) return 0.0;
+  const double ya = interp_at(t, y, a);
+  const double yb = interp_at(t, y, b);
+  // Interior samples strictly inside (a, b): [upper_bound(a),
+  // lower_bound(b)). Same bounds the panel walk used historically, so
+  // duplicate-timestamp boundaries resolve identically.
+  const auto fit = std::upper_bound(t.begin(), t.end(), a);
+  const auto lit = std::lower_bound(fit, t.end(), b);
+  const std::size_t fi = static_cast<std::size_t>(fit - t.begin());
+  const std::size_t li = static_cast<std::size_t>(lit - t.begin());
+  if (fi >= li) {
+    // Window falls between two samples: one interpolated panel.
+    return trapezoid_panel(a, ya, b, yb);
+  }
+  // Left partial panel + blocked interior + right partial panel,
+  // summed in that fixed order.
+  double area = trapezoid_panel(a, ya, t[fi], y[fi]);
+  area += ops().trapezoid(t.data() + fi, y.data() + fi, li - fi);
+  area += trapezoid_panel(t[li - 1], y[li - 1], b, yb);
+  return area;
+}
+
+double window_mean(std::span<const double> t, std::span<const double> y,
+                   double t0, double t1) {
+  if (t.size() < 2) return t.size() == 1 ? y.front() : 0.0;
+  const double a = std::max(t0, t.front());
+  const double b = std::min(t1, t.back());
+  if (b <= a) {
+    // Zero-width overlap: the window degenerates to a point sample.
+    if (b == a) return interp_at(t, y, a);
+    return 0.0;
+  }
+  return window_trapezoid(t, y, t0, t1) / (b - a);
+}
+
+void Scratch::require(std::size_t doubles) {
+  if (buf_.size() < doubles) buf_.resize(doubles);
+}
+
+std::span<double> Scratch::take(std::size_t n) {
+  WAVM3_REQUIRE(used_ + n <= buf_.size(),
+                "kernels: scratch overflow — require() the worst case first");
+  std::span<double> s(buf_.data() + used_, n);
+  used_ += n;
+  return s;
+}
+
+Scratch& tls_scratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+}  // namespace wavm3::kernels

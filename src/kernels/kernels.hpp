@@ -1,0 +1,197 @@
+// Runtime-dispatched numeric kernels: the one implementation of the
+// dot / axpy / design-matrix-apply / trapezoid inner loops that the
+// stats, models, stream, and serve layers all build on. Backends
+// (scalar, AVX2, NEON) are selected once at startup from CPUID and the
+// WAVM3_FORCE_SCALAR override, and can be re-pinned at runtime for
+// tests and A/B benchmarks.
+//
+// ## Fixed-reduction-order parity contract
+//
+// Every reduction in this library — dot products and trapezoid panel
+// sums — uses the SAME blocked-4 accumulation order in every backend:
+//
+//   double acc[4] = {0, 0, 0, 0};
+//   for (i = 0; i < n; ++i) acc[i % 4] += term(i);
+//   result = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+//
+// A 4-lane SIMD backend that loads consecutive elements and keeps one
+// vector accumulator performs exactly this partition (lane j sums the
+// terms with i % 4 == j), the scalar backend performs it explicitly,
+// and a 2-lane backend (NEON float64x2) emulates 4 lanes with two
+// vector accumulators. Tails continue into acc[i % 4] and the final
+// combine is always (acc0 + acc1) + (acc2 + acc3). The consequence —
+// and the contract callers may rely on, regression-pinned by the
+// golden suite in tests/kernels_test.cpp — is that scalar and SIMD
+// results are BIT-IDENTICAL, not merely close, for every input
+// including denormals and catastrophic cancellation.
+//
+// Element-wise kernels (axpy, apply_design_matrix) have no cross-lane
+// reduction; their per-element operation order is fixed instead (see
+// each function) which makes them bit-identical across backends at any
+// vector width automatically.
+//
+// Two build rules keep the contract honest (enforced in
+// src/kernels/CMakeLists.txt):
+//  - every TU here compiles with -ffp-contract=off, and the SIMD
+//    backends use separate multiply/add intrinsics (never FMA), so no
+//    backend can fuse a*b+c into a differently-rounded fma(a,b,c);
+//  - the scalar backend additionally compiles with
+//    -fno-tree-vectorize, so the forced-scalar baseline measured by
+//    bench_kernels is genuinely scalar code.
+//
+// Streaming callers that cannot present a whole array use
+// trapezoid_panel() + PanelAccumulator, whose add/finalize order is
+// the same blocked-4 scheme — an accumulator fed the panels of
+// trapezoid(t, y) left to right reproduces trapezoid(t, y) bit-for-bit
+// (this is how src/stream/ keeps live extraction bit-identical to the
+// batch FeatureBatch path by construction).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavm3::kernels {
+
+/// Dispatch backends. kAvx2 is available on x86-64 hosts whose CPUID
+/// reports AVX2; kNeon on aarch64 (ASIMD is architecturally
+/// mandatory); kScalar everywhere.
+enum class Backend { kScalar, kAvx2, kNeon };
+
+/// Stable lower-case name ("scalar", "avx2", "neon") for logs and
+/// bench JSON.
+const char* to_string(Backend b);
+
+/// The backend every kernel call currently dispatches to. Resolved
+/// once on first use: WAVM3_FORCE_SCALAR (env, any value but "" / "0")
+/// pins scalar; otherwise the widest supported SIMD backend wins.
+Backend active_backend();
+
+/// True when `b` can run on this host (compiled in + CPU support).
+bool backend_supported(Backend b);
+
+/// Re-pin dispatch to `b` (tests, CLI --force-scalar, bench A/B).
+/// Returns false — leaving dispatch unchanged — when the backend is
+/// not supported on this host.
+bool set_backend(Backend b);
+
+/// Restore the startup resolution (CPUID + WAVM3_FORCE_SCALAR).
+void reset_backend();
+
+/// Human-readable CPU feature summary (e.g. "sse2=1 avx=1 avx2=1
+/// fma=1 avx512f=0") for bench provenance; pairs with
+/// to_string(active_backend()) in bench JSON.
+std::string cpu_features();
+
+/// Reduction block width of the parity contract above. Every backend
+/// reduces as if through this many accumulators regardless of its
+/// hardware vector width.
+inline constexpr std::size_t kReductionLanes = 4;
+
+/// Maximum column count apply_design_matrix accepts (generous: the
+/// widest design in the repo is WAVM3's 11 phase-expanded terms).
+inline constexpr std::size_t kMaxApplyColumns = 32;
+
+/// Blocked-4 dot product of equally sized spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y[i] += a * x[i], element-wise (a * x[i] rounded first, then one
+/// add — never fused). Spans must be equal length; y must not alias x.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// Fused design-matrix apply: out[i] = (sum_j coeffs[j] * columns[j][i]
+/// accumulated in ascending j with the sum starting at 0.0) + bias,
+/// with the bias added LAST and skipped entirely when bias == 0.0.
+/// Term order and bias-last placement are part of the bit-parity
+/// contract — the four energy models' predict paths reproduce their
+/// historical per-row loops exactly through this call. `out` must not
+/// alias any column; columns.size() == coeffs.size() <=
+/// kMaxApplyColumns; every column has out.size() rows.
+void apply_design_matrix(std::span<const std::span<const double>> columns,
+                         std::span<const double> coeffs, double bias,
+                         std::span<double> out);
+
+/// Trapezoidal integral of y(t): the blocked-4 sum of panels
+/// 0.5 * (y[p] + y[p+1]) * (t[p+1] - t[p]). Semantics are identical to
+/// the stats::trapezoid wrapper (which now delegates here): times must
+/// be non-decreasing (WAVM3_REQUIRE), fewer than two samples integrate
+/// to 0, duplicate timestamps collapse to the last value.
+double trapezoid(std::span<const double> t, std::span<const double> y);
+
+/// One trapezoid panel, 0.5 * (y0 + y1) * (t1 - t0), evaluated with
+/// exactly the operation order and rounding of trapezoid()'s panels.
+/// Deliberately OUT-OF-LINE in a -ffp-contract=off TU: were it inlined
+/// into a caller compiled with contraction enabled, the compiler could
+/// fuse the panel product into the caller's accumulate and break
+/// bit-parity with the array kernel.
+double trapezoid_panel(double t0, double y0, double t1, double y1);
+
+/// y at time x by linear interpolation, clamped to the sampled extent;
+/// duplicate timestamps resolve to the later sample (upper_bound).
+/// Same semantics as the stats::interp_at wrapper.
+double interp_at(std::span<const double> t, std::span<const double> y, double x);
+
+/// Trapezoid integral restricted to [t0, t1] with interpolated
+/// boundary panels: left partial panel + trapezoid() over the interior
+/// samples + right partial panel, summed in that fixed order. Window
+/// clamping, empty-overlap-yields-0, and duplicate-timestamp semantics
+/// match the stats::window_trapezoid wrapper.
+double window_trapezoid(std::span<const double> t, std::span<const double> y,
+                        double t0, double t1);
+
+/// Mean of y over the clamped window; degenerate windows follow the
+/// stats::window_mean wrapper's rules (point sample on zero width).
+double window_mean(std::span<const double> t, std::span<const double> y,
+                   double t0, double t1);
+
+/// Streaming twin of trapezoid(): feed panels left to right and sum()
+/// finalizes in the contract's fixed order, so an accumulator given
+/// trapezoid_panel(t[p], y[p], t[p+1], y[p+1]) for p = 0..n-2 yields
+/// exactly trapezoid(t, y). Methods are add-only and inline-safe (a
+/// lone += cannot be contracted).
+class PanelAccumulator {
+ public:
+  void add(double panel) { acc_[n_++ & 3] += panel; }
+  double sum() const { return (acc_[0] + acc_[1]) + (acc_[2] + acc_[3]); }
+  std::size_t panels() const { return n_; }
+  void reset() {
+    acc_[0] = acc_[1] = acc_[2] = acc_[3] = 0.0;
+    n_ = 0;
+  }
+
+ private:
+  double acc_[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t n_ = 0;
+};
+
+/// Grow-only double arena for allocation-free hot paths: require() the
+/// worst-case footprint once (allocating only while the high-water
+/// mark still grows — e.g. serve sizes it from batch_max_size during
+/// warmup), then take() spans and release_all() per request with zero
+/// heap traffic. take() never reallocates — it refuses (contract
+/// violation) instead of invalidating previously taken spans.
+class Scratch {
+ public:
+  /// Ensure capacity for `doubles` total; allocates only on growth.
+  void require(std::size_t doubles);
+  /// Carve `n` doubles from the arena. Aborts via WAVM3_REQUIRE if the
+  /// arena was not require()d large enough.
+  std::span<double> take(std::size_t n);
+  /// Return every outstanding span to the arena (no destructor runs;
+  /// the storage is reused by the next take()).
+  void release_all() noexcept { used_ = 0; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t used() const noexcept { return used_; }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t used_ = 0;
+};
+
+/// Per-thread scratch arena shared by the model predict paths and the
+/// serve workers — one warm arena per worker thread, sized by the
+/// largest request it has seen.
+Scratch& tls_scratch();
+
+}  // namespace wavm3::kernels

@@ -1,0 +1,88 @@
+#include "models/design_apply.hpp"
+
+#include "util/error.hpp"
+
+namespace wavm3::models {
+
+namespace {
+
+/// Arena private to apply_design_to_rows' gather path — distinct from
+/// predict_scratch() so growing one can never dangle spans taken from
+/// the other.
+kernels::Scratch& apply_scratch() {
+  thread_local kernels::Scratch scratch;
+  return scratch;
+}
+
+bool consecutive(std::span<const std::size_t> rows) {
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i] != rows[0] + i) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void apply_design_to_rows(std::span<const std::span<const double>> columns,
+                          std::span<const double> coeffs, double bias,
+                          std::span<const std::size_t> rows, std::span<double> out) {
+  const std::size_t n = rows.size();
+  if (n == 0) return;
+  const std::size_t ncols = columns.size();
+  WAVM3_REQUIRE(ncols <= kernels::kMaxApplyColumns, "apply_design_to_rows: design too wide");
+
+  if (consecutive(rows)) {
+    // Contiguous slice (every whole-batch slice and every single-row
+    // stream batch): evaluate dense on column subspans straight into
+    // the output window — no gather, no scratch, no scatter.
+    WAVM3_REQUIRE(rows[0] + n <= out.size(), "apply_design_to_rows: row out of range");
+    std::span<const double> views[kernels::kMaxApplyColumns];
+    for (std::size_t j = 0; j < ncols; ++j) {
+      WAVM3_REQUIRE(rows[0] + n <= columns[j].size(),
+                    "apply_design_to_rows: row out of range");
+      views[j] = columns[j].subspan(rows[0], n);
+    }
+    kernels::apply_design_matrix({views, ncols}, coeffs, bias, out.subspan(rows[0], n));
+    return;
+  }
+
+  // Scattered slice: gather each column at the rows, apply dense, and
+  // scatter the result. The arena grows to this request's footprint
+  // once; steady-state calls reuse it with zero heap traffic.
+  auto& scratch = apply_scratch();
+  scratch.release_all();
+  scratch.require((ncols + 1) * n);
+  std::span<const double> views[kernels::kMaxApplyColumns];
+  for (std::size_t j = 0; j < ncols; ++j) {
+    const std::span<double> dst = scratch.take(n);
+    FeatureBatch::gather(columns[j], rows, dst);
+    views[j] = dst;
+  }
+  const std::span<double> predicted = scratch.take(n);
+  kernels::apply_design_matrix({views, ncols}, coeffs, bias, predicted);
+  for (std::size_t i = 0; i < n; ++i) {
+    WAVM3_ASSERT(rows[i] < out.size(), "apply_design_to_rows: row out of range");
+    out[rows[i]] = predicted[i];
+  }
+  scratch.release_all();
+}
+
+void apply_terms_to_rows(const FeatureBatch& batch, std::span<const DesignTerm> terms,
+                         std::span<const double> coeffs, double bias,
+                         FeatureBatch::Weighting w, std::span<const std::size_t> rows,
+                         std::span<double> out) {
+  WAVM3_REQUIRE(terms.size() <= kernels::kMaxApplyColumns,
+                "apply_terms_to_rows: design too wide");
+  std::span<const double> columns[kernels::kMaxApplyColumns];
+  for (std::size_t j = 0; j < terms.size(); ++j) {
+    columns[j] = batch.integral(terms[j].column, terms[j].phase, w);
+  }
+  apply_design_to_rows({columns, terms.size()}, coeffs, bias, rows, out);
+}
+
+kernels::Scratch& predict_scratch() {
+  thread_local kernels::Scratch scratch;
+  return scratch;
+}
+
+}  // namespace wavm3::models

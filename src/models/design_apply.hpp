@@ -1,0 +1,57 @@
+// The one predict_batch evaluation path shared by every linear energy
+// model (WAVM3, HUANG, LIU, STRUNK): resolve a slice's design columns,
+// run kernels::apply_design_matrix over the slice rows, and scatter
+// the predictions back — replacing four near-identical
+// gather/Matrix::times/scatter loops with a single kernel call site.
+//
+// Allocation discipline: nothing here allocates in steady state. Slice
+// rows that are consecutive (every full-batch slice, and every
+// single-row stream batch) evaluate in place on column subspans with
+// no gather at all; scattered rows gather into a per-thread
+// kernels::Scratch arena that grows to the worst case once and is
+// reused thereafter. Models that need derived regressor columns
+// (HUANG's whole-migration integrals, LIU/STRUNK's unit conversions)
+// build them in the separate predict_scratch() arena, so the two
+// arenas never invalidate each other's spans mid-request.
+#pragma once
+
+#include <span>
+
+#include "kernels/kernels.hpp"
+#include "models/feature_batch.hpp"
+
+namespace wavm3::models {
+
+/// One term of a linear design over FeatureBatch per-phase integral
+/// columns.
+struct DesignTerm {
+  FeatureBatch::Column column;
+  migration::MigrationPhase phase;
+};
+
+/// out[rows[i]] = (sum_j coeffs[j] * columns[j][rows[i]] in ascending
+/// j) + bias, bias added last and skipped when 0.0 — the
+/// kernels::apply_design_matrix contract, which reproduces the
+/// historical per-row accumulation of every model bit-for-bit.
+/// `columns` are full-length batch columns (all the same length);
+/// `rows` index into them; `out` is full-length. Only touches out at
+/// `rows`.
+void apply_design_to_rows(std::span<const std::span<const double>> columns,
+                          std::span<const double> coeffs, double bias,
+                          std::span<const std::size_t> rows, std::span<double> out);
+
+/// Same, resolving `terms` to `batch`'s integral columns under `w`.
+void apply_terms_to_rows(const FeatureBatch& batch, std::span<const DesignTerm> terms,
+                         std::span<const double> coeffs, double bias,
+                         FeatureBatch::Weighting w, std::span<const std::size_t> rows,
+                         std::span<double> out);
+
+/// Per-thread arena for model-derived regressor columns (HUANG's
+/// whole-migration integrals, LIU/STRUNK's rescaled scalars). Callers
+/// release_all() + require() their whole footprint up front, take()
+/// spans, and release_all() when done; apply_design_to_rows uses its
+/// own private arena, so taking from this one across the apply call is
+/// safe.
+kernels::Scratch& predict_scratch();
+
+}  // namespace wavm3::models

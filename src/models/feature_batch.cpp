@@ -1,6 +1,6 @@
 #include "models/feature_batch.hpp"
 
-#include "stats/integrate.hpp"
+#include "kernels/kernels.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::models {
@@ -63,6 +63,53 @@ FeatureBatch FeatureBatch::of(const MigrationObservation& obs) {
   return FeatureBatch(std::span<const MigrationObservation* const>(&ptr, 1));
 }
 
+FeatureBatch::RowAccumulator::RowAccumulator(migration::MigrationType type, HostRole role) {
+  row_.type = type;
+  row_.role = role;
+}
+
+void FeatureBatch::RowAccumulator::set_scalars(double mem_bytes, double data_bytes,
+                                               double avg_bandwidth, double idle_power) {
+  row_.mem_bytes = mem_bytes;
+  row_.data_bytes = data_bytes;
+  row_.avg_bandwidth = avg_bandwidth;
+  row_.idle_power = idle_power;
+}
+
+void FeatureBatch::RowAccumulator::add_pair(const MigrationSample& a,
+                                            const MigrationSample& b) {
+  WAVM3_REQUIRE(b.time >= a.time, "trapezoid: timestamps must be non-decreasing");
+  const double half = 0.5 * (b.time - a.time);
+  const std::size_t pa = effective_phase_index(a.phase);
+  const std::size_t pb = effective_phase_index(b.phase);
+  for (std::size_t col = 0; col < kColumns; ++col) {
+    const Column c = static_cast<Column>(col);
+    const double va = column_value(c, a);
+    const double vb = column_value(c, b);
+    // kTotal: each endpoint's half-trapezoid lands in its own
+    // effective phase; summed over phases this is the plain
+    // unfiltered trapezoid.
+    row_.integrals[0][col][pa] += half * va;
+    row_.integrals[0][col][pb] += half * vb;
+    // kPhasePure: only pairs fully inside one phase, the strict
+    // integral observed_phase_energy() computes. half*(va+vb) is
+    // bit-identical to 0.5*(va+vb)*dt because scaling by 0.5 is exact.
+    if (a.phase == b.phase && a.phase != MigrationPhase::kNormal) {
+      row_.integrals[1][col][phase_index(a.phase)] += half * (va + vb);
+    }
+  }
+  // Observed energy: the same blocked panel sum kernels::trapezoid
+  // computes — trapezoid_panel is out-of-line in a -ffp-contract=off
+  // TU so the panel rounds identically here and in the array kernel.
+  energy_.add(kernels::trapezoid_panel(a.time, a.power_watts, b.time, b.power_watts));
+}
+
+FeatureBatch::RowAggregates FeatureBatch::RowAccumulator::row() const {
+  RowAggregates out = row_;
+  out.observed_energy = energy_.sum();
+  return out;
+}
+
 FeatureBatch FeatureBatch::from_rows(std::span<const RowAggregates> rows) {
   FeatureBatch fb;
   fb.n_ = rows.size();
@@ -111,8 +158,6 @@ void FeatureBatch::build(std::span<const MigrationObservation* const> observatio
     samp_.assign((kColumns - 1) * n_samples_, 0.0);
   }
 
-  std::vector<double> scratch_t;
-  std::vector<double> scratch_p;
   std::size_t sample_base = 0;
   for (std::size_t r = 0; r < n_; ++r) {
     const MigrationObservation* obs = observations[r];
@@ -127,40 +172,19 @@ void FeatureBatch::build(std::span<const MigrationObservation* const> observatio
     mig_[2 * n_ + r] = obs->avg_bandwidth;
     mig_[3 * n_ + r] = obs->idle_power_watts;
 
+    // One shared pair-accumulator drives both the phase-bucketed
+    // integrals and the observed-energy panel sum (arithmetically
+    // identical to MigrationObservation::observed_energy()); the
+    // streaming extractor runs the very same member function online.
     const auto& s = obs->samples;
-    // Observed energy: the unfiltered trapezoid over the samples,
-    // arithmetically identical to MigrationObservation::observed_energy().
-    scratch_t.resize(s.size());
-    scratch_p.resize(s.size());
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      scratch_t[i] = s[i].time;
-      scratch_p[i] = s[i].power_watts;
-    }
-    mig_[4 * n_ + r] = stats::trapezoid(scratch_t, scratch_p);
-
-    for (std::size_t i = 1; i < s.size(); ++i) {
-      const MigrationSample& a = s[i - 1];
-      const MigrationSample& b = s[i];
-      const double half = 0.5 * (b.time - a.time);
-      const std::size_t pa = effective_phase_index(a.phase);
-      const std::size_t pb = effective_phase_index(b.phase);
+    RowAccumulator acc(obs->type, obs->role);
+    for (std::size_t i = 1; i < s.size(); ++i) acc.add_pair(s[i - 1], s[i]);
+    mig_[4 * n_ + r] = acc.observed_energy();
+    const RowAggregates& agg = acc.partial();
+    for (std::size_t w = 0; w < kWeightings; ++w) {
       for (std::size_t col = 0; col < kColumns; ++col) {
-        const Column c = static_cast<Column>(col);
-        const double va = column_value(c, a);
-        const double vb = column_value(c, b);
-        // kTotal: each endpoint's half-trapezoid lands in its own
-        // effective phase; summed over phases this is the plain
-        // unfiltered trapezoid.
-        const std::size_t base = (0 * kColumns + col) * kPhases;
-        agg_[(base + pa) * n_ + r] += half * va;
-        agg_[(base + pb) * n_ + r] += half * vb;
-        // kPhasePure: only pairs fully inside one phase, the strict
-        // integral observed_phase_energy() computes. half*(va+vb) is
-        // bit-identical to 0.5*(va+vb)*dt because scaling by 0.5 is
-        // exact.
-        if (a.phase == b.phase && a.phase != MigrationPhase::kNormal) {
-          const std::size_t strict = (1 * kColumns + col) * kPhases + phase_index(a.phase);
-          agg_[strict * n_ + r] += half * (va + vb);
+        for (std::size_t p = 0; p < kPhases; ++p) {
+          agg_[((w * kColumns + col) * kPhases + p) * n_ + r] = agg.integrals[w][col][p];
         }
       }
     }

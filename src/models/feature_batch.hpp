@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/kernels.hpp"
 #include "models/dataset.hpp"
 
 namespace wavm3::models {
@@ -103,6 +104,53 @@ class FeatureBatch {
   /// yields bit-identical columns — the golden-parity contract the
   /// stream tests pin.
   static FeatureBatch from_rows(std::span<const RowAggregates> rows);
+
+  /// The ONE implementation of the consecutive-sample-pair update that
+  /// fills a RowAggregates: build() drives it over completed traces and
+  /// stream::IncrementalExtractor drives it online, so stream-vs-batch
+  /// bit-parity holds BY CONSTRUCTION — both paths execute the same
+  /// compiled code, in the same order, per pair.
+  ///
+  /// Floating-point contract (regression-pinned by stream_test's golden
+  /// parity suite):
+  ///   * kTotal aggregates add half*va and half*vb into the endpoints'
+  ///     effective phases (kNormal falls back to initiation);
+  ///   * kPhasePure adds half*(va+vb) only when both endpoints share a
+  ///     non-normal phase (bit-identical to 0.5*(va+vb)*dt — scaling
+  ///     by 0.5 is exact);
+  ///   * observed energy accumulates kernels::trapezoid_panel into a
+  ///     kernels::PanelAccumulator, which finalises to exactly
+  ///     stats::trapezoid over the same samples (the blocked-4
+  ///     reduction-order contract in kernels/kernels.hpp).
+  class RowAccumulator {
+   public:
+    RowAccumulator() = default;
+    RowAccumulator(migration::MigrationType type, HostRole role);
+
+    /// Migration-level scalars (header data, not derived from samples).
+    void set_scalars(double mem_bytes, double data_bytes, double avg_bandwidth,
+                     double idle_power);
+
+    /// Accumulate one consecutive sample pair (b must not precede a —
+    /// WAVM3_REQUIRE, matching the trapezoid monotonicity contract).
+    void add_pair(const MigrationSample& a, const MigrationSample& b);
+
+    /// Snapshot with the observed-energy panel sum finalised — feed to
+    /// from_rows() to price through predict_batch.
+    RowAggregates row() const;
+
+    /// Finalised observed power integral so far (joules), bit-identical
+    /// to stats::trapezoid over the pairs fed in.
+    double observed_energy() const { return energy_.sum(); }
+
+    /// The in-progress aggregates (observed_energy field NOT finalised
+    /// — read it through observed_energy()/row() instead).
+    const RowAggregates& partial() const { return row_; }
+
+   private:
+    RowAggregates row_;
+    kernels::PanelAccumulator energy_;
+  };
 
   std::size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }

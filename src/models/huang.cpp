@@ -1,6 +1,8 @@
 #include "models/huang.hpp"
 
-#include "stats/matrix.hpp"
+#include <algorithm>
+
+#include "models/design_apply.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::models {
@@ -12,19 +14,18 @@ FeatureBatch::Column regressor_column(HuangModel::CpuRegressor r) {
                                                  : FeatureBatch::Column::kCpuVm;
 }
 
-/// Sums the three per-phase kTotal integrals of `col` at `rows` — the
-/// unfiltered trapezoid integral over the whole migration.
-std::vector<double> total_integral(const FeatureBatch& batch, FeatureBatch::Column col,
-                                   std::span<const std::size_t> rows) {
+/// Fills `dst` (full batch length) with the sum of the three per-phase
+/// kTotal integrals of `col` — the unfiltered trapezoid integral over
+/// the whole migration. Copy initiation, then axpy transfer and
+/// activation on top: the historical per-phase add order, element for
+/// element (a * x with a == 1.0 is exact).
+void fill_total_integral(const FeatureBatch& batch, FeatureBatch::Column col,
+                         std::span<double> dst) {
   using migration::MigrationPhase;
-  std::vector<double> out(rows.size());
-  FeatureBatch::gather(batch.integral(col, MigrationPhase::kInitiation), rows, out);
-  std::vector<double> scratch(rows.size());
-  for (const MigrationPhase p : {MigrationPhase::kTransfer, MigrationPhase::kActivation}) {
-    FeatureBatch::gather(batch.integral(col, p), rows, scratch);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scratch[i];
-  }
-  return out;
+  const std::span<const double> init = batch.integral(col, MigrationPhase::kInitiation);
+  std::copy(init.begin(), init.end(), dst.begin());
+  kernels::axpy(1.0, batch.integral(col, MigrationPhase::kTransfer), dst);
+  kernels::axpy(1.0, batch.integral(col, MigrationPhase::kActivation), dst);
 }
 
 }  // namespace
@@ -71,21 +72,26 @@ double HuangModel::predict_power(HostRole role, const MigrationSample& sample) c
 
 void HuangModel::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
   WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  if (batch.empty()) return;
+  // E = alpha * integral(CPU dt) + C * duration, one design apply over
+  // the two whole-migration derived columns (built once per batch in
+  // the per-thread arena — allocation-free in steady state).
+  auto& scratch = predict_scratch();
+  scratch.release_all();
+  scratch.require(2 * batch.size());
+  const std::span<double> cpu = scratch.take(batch.size());
+  const std::span<double> duration = scratch.take(batch.size());
+  fill_total_integral(batch, regressor_column(regressor_), cpu);
+  fill_total_integral(batch, FeatureBatch::Column::kOne, duration);
   for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
     const std::span<const std::size_t> rows = batch.slice(role);
     if (rows.empty()) continue;
     const Coefficients c = coefficients(role);
-    // E = alpha * integral(CPU dt) + C * duration, one product over the
-    // two whole-migration integral columns.
-    const std::vector<double> cpu = total_integral(batch, regressor_column(regressor_), rows);
-    const std::vector<double> duration =
-        total_integral(batch, FeatureBatch::Column::kOne, rows);
     const std::span<const double> columns[] = {cpu, duration};
-    const stats::Matrix x = stats::Matrix::from_columns(columns);
-    std::vector<double> predicted(rows.size());
-    x.times(std::vector<double>{c.alpha, c.c}, predicted);
-    for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i];
+    const double coeffs[] = {c.alpha, c.c};
+    apply_design_to_rows(columns, coeffs, 0.0, rows, out);
   }
+  scratch.release_all();
 }
 
 void HuangModel::apply_idle_bias_correction(double idle_delta_watts) {

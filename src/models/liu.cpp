@@ -1,7 +1,7 @@
 #include "models/liu.hpp"
 
+#include "models/design_apply.hpp"
 #include "stats/linreg.hpp"
-#include "stats/matrix.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::models {
@@ -46,17 +46,25 @@ LiuModel::Coefficients LiuModel::coefficients(HostRole role) const {
 
 void LiuModel::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
   WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  if (batch.empty()) return;
+  // One derived column (DATA in GB) built in the per-thread arena,
+  // then one design apply per role with the intercept as the bias
+  // term (added after the product, as the historical scatter loop did).
+  auto& scratch = predict_scratch();
+  scratch.release_all();
+  scratch.require(batch.size());
+  const std::span<double> data = scratch.take(batch.size());
+  const std::span<const double> bytes = batch.data_bytes();
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = bytes[i] / kGb;
   for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
     const std::span<const std::size_t> rows = batch.slice(role);
     if (rows.empty()) continue;
     const Coefficients c = coefficients(role);
-    const std::vector<double> data = data_gb(batch, rows);
     const std::span<const double> columns[] = {data};
-    const stats::Matrix x = stats::Matrix::from_columns(columns);
-    std::vector<double> predicted(rows.size());
-    x.times(std::vector<double>{c.alpha_per_gb}, predicted);
-    for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i] + c.c;
+    const double coeffs[] = {c.alpha_per_gb};
+    apply_design_to_rows(columns, coeffs, c.c, rows, out);
   }
+  scratch.release_all();
 }
 
 }  // namespace wavm3::models

@@ -1,7 +1,7 @@
 #include "models/strunk.hpp"
 
+#include "models/design_apply.hpp"
 #include "stats/linreg.hpp"
-#include "stats/matrix.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -55,17 +55,28 @@ StrunkModel::Coefficients StrunkModel::coefficients(HostRole role) const {
 
 void StrunkModel::predict_batch(const FeatureBatch& batch, std::span<double> out) const {
   WAVM3_REQUIRE(out.size() == batch.size(), "predict_batch: output size mismatch");
+  if (batch.empty()) return;
+  // The two rescaled regressor columns built once in the per-thread
+  // arena, then one design apply per role with the intercept as the
+  // bias term (added after the product, matching the historical loop).
+  auto& scratch = predict_scratch();
+  scratch.release_all();
+  scratch.require(2 * batch.size());
+  const std::span<double> mem = scratch.take(batch.size());
+  const std::span<double> bw = scratch.take(batch.size());
+  const std::span<const double> mem_bytes = batch.mem_bytes();
+  const std::span<const double> bandwidth = batch.avg_bandwidth();
+  for (std::size_t i = 0; i < mem.size(); ++i) mem[i] = mem_bytes[i] / util::gib(1);
+  for (std::size_t i = 0; i < bw.size(); ++i) bw[i] = bandwidth[i] / kMbs;
   for (const HostRole role : {HostRole::kSource, HostRole::kTarget}) {
     const std::span<const std::size_t> rows = batch.slice(role);
     if (rows.empty()) continue;
     const Coefficients c = coefficients(role);
-    const auto [mem, bw] = regressors(batch, rows);
     const std::span<const double> columns[] = {mem, bw};
-    const stats::Matrix x = stats::Matrix::from_columns(columns);
-    std::vector<double> predicted(rows.size());
-    x.times(std::vector<double>{c.alpha_per_gib, c.beta_per_mbs}, predicted);
-    for (std::size_t i = 0; i < rows.size(); ++i) out[rows[i]] = predicted[i] + c.c;
+    const double coeffs[] = {c.alpha_per_gib, c.beta_per_mbs};
+    apply_design_to_rows(columns, coeffs, c.c, rows, out);
   }
+  scratch.release_all();
 }
 
 }  // namespace wavm3::models

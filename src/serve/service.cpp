@@ -5,7 +5,6 @@
 #include <cmath>
 #include <stdexcept>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "obs/export.hpp"
@@ -308,13 +307,11 @@ std::optional<std::future<core::MigrationForecast>> PredictionService::try_submi
 void PredictionService::run_batch_chunk(const CoefficientStore::Snapshot& snap,
                                         std::span<BatchWorkItem> chunk,
                                         std::chrono::steady_clock::time_point enqueued,
-                                        double deadline_s,
-                                        std::vector<BatchItem>& results) {
+                                        double deadline_s) {
   WAVM3_OBS_SPAN(span, "serve", "batch_chunk");
   const std::uint64_t started_ns = obs::now_ns();
   h_batch_size_.observe(static_cast<double>(chunk.size()));
   for (BatchWorkItem& item : chunk) {
-    BatchItem result;
     try {
       if (deadline_s > 0.0) {
         const double waited =
@@ -331,83 +328,131 @@ void PredictionService::run_batch_chunk(const CoefficientStore::Snapshot& snap,
       }
       EvalResult computed = compute(*snap.model, item.canonical);
       if (computed.cacheable && cache_ != nullptr) cache_->put(item.key, computed.forecast);
-      result.forecast = std::move(computed.forecast);
+      item.result.forecast = std::move(computed.forecast);
     } catch (const PredictError& e) {
-      result.error = e;
+      item.result.error = e;
     } catch (const std::exception& e) {
-      result.error = PredictError(PredictErrorCode::kBackendFailure, e.what());
+      item.result.error = PredictError(PredictErrorCode::kBackendFailure, e.what());
     }
-    for (const std::size_t slot : item.slots) results[slot] = result;
   }
   const std::uint64_t elapsed_ns = obs::now_ns() - started_ns;
   const double amortized = static_cast<double>(elapsed_ns) / static_cast<double>(chunk.size());
   for (std::size_t i = 0; i < chunk.size(); ++i) h_batch_item_latency_.observe(amortized);
 }
 
-std::vector<PredictionService::BatchItem> PredictionService::predict_batch_results(
-    const std::vector<core::MigrationScenario>& scenarios) {
+PredictionService::BatchScratch& PredictionService::batch_scratch() {
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+namespace {
+/// Slot marker: answered inline from the cache, no work item.
+constexpr std::size_t kCacheHit = static_cast<std::size_t>(-1);
+}  // namespace
+
+void PredictionService::predict_batch_results(
+    std::span<const core::MigrationScenario> scenarios, std::span<BatchItem> results) {
+  WAVM3_REQUIRE(results.size() == scenarios.size(),
+                "predict_batch: results size mismatch");
   const LatencyTimer timer(metrics_, ep_batch_);
-  std::vector<BatchItem> results(scenarios.size());
-  if (scenarios.empty()) return results;
+  if (scenarios.empty()) return;
 
   // One snapshot for the whole batch: every miss is computed — and
   // cached — under the same coefficient version, even if a reload
   // lands mid-batch.
   const CoefficientStore::Snapshot snap = store_.snapshot();
 
-  // Inline phase: canonicalize, probe the cache, and deduplicate the
-  // misses (a repeated scenario is computed once and fanned out).
-  std::vector<BatchWorkItem> work;
-  std::unordered_map<ScenarioKey, std::size_t, ScenarioKeyHash> dedup;
+  // Per-thread grow-only workspace: clearing keeps the capacity, so a
+  // steady-state batch reuses every buffer. The dedup table is open
+  // addressing over a power-of-two slot vector (an unordered_map here
+  // would allocate a node per insert, every call).
+  BatchScratch& scratch = batch_scratch();
+  scratch.work.clear();
+  scratch.item_of.resize(scenarios.size());
+  std::size_t table_size = scratch.dedup.size();
+  if (table_size < 2 * scenarios.size()) {
+    table_size = 16;
+    while (table_size < 2 * scenarios.size()) table_size *= 2;
+    scratch.dedup.resize(table_size);
+  }
+  std::fill(scratch.dedup.begin(), scratch.dedup.end(), 0);
+  const std::size_t mask = table_size - 1;
+
+  // Inline phase: canonicalize, deduplicate (a repeated scenario is
+  // computed once and fanned out), and probe the cache.
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     core::MigrationScenario canonical =
         canonicalize(scenarios[i], config_.quantization_step);
-    ScenarioKey key(snap.version, canonical);
-    const auto found = dedup.find(key);
-    if (found != dedup.end()) {
-      work[found->second].slots.push_back(i);
+    const ScenarioKey key(snap.version, canonical);
+    std::size_t probe = ScenarioKeyHash{}(key) & mask;
+    std::size_t found = kCacheHit;
+    while (scratch.dedup[probe] != 0) {
+      const std::size_t w = scratch.dedup[probe] - 1;
+      if (scratch.work[w].key == key) {
+        found = w;
+        break;
+      }
+      probe = (probe + 1) & mask;
+    }
+    if (found != kCacheHit) {
+      scratch.item_of[i] = found;
       continue;
     }
     if (cache_ != nullptr) {
       if (std::optional<core::MigrationForecast> hit = cache_->get(key)) {
+        results[i] = BatchItem{};
         results[i].forecast = std::move(*hit);
+        scratch.item_of[i] = kCacheHit;
         continue;
       }
     }
-    dedup.emplace(key, work.size());
-    work.push_back(BatchWorkItem{std::move(canonical), key, {i}});
+    scratch.item_of[i] = scratch.work.size();
+    scratch.dedup[probe] = scratch.work.size() + 1;
+    scratch.work.push_back(BatchWorkItem{std::move(canonical), key, BatchItem{}});
   }
-  if (work.empty()) return results;
+  if (scratch.work.empty()) return;
 
   // Fan the misses out in chunks of batch_max_size, one worker task
   // per chunk; per-chunk promises both signal completion and publish
   // the workers' writes to this thread.
   const double deadline_s = config_.default_deadline_s;
   const std::chrono::steady_clock::time_point enqueued = std::chrono::steady_clock::now();
-  std::vector<std::future<void>> completions;
-  for (std::size_t begin = 0; begin < work.size(); begin += config_.batch_max_size) {
-    const std::size_t count = std::min(config_.batch_max_size, work.size() - begin);
-    const std::span<BatchWorkItem> chunk(work.data() + begin, count);
+  scratch.completions.clear();
+  for (std::size_t begin = 0; begin < scratch.work.size();
+       begin += config_.batch_max_size) {
+    const std::size_t count = std::min(config_.batch_max_size, scratch.work.size() - begin);
+    const std::span<BatchWorkItem> chunk(scratch.work.data() + begin, count);
     std::promise<void> done;
-    completions.push_back(done.get_future());
-    const bool queued =
-        pool_.submit([this, &snap, chunk, enqueued, deadline_s, &results,
-                      done = std::move(done)]() mutable {
-          run_batch_chunk(snap, chunk, enqueued, deadline_s, results);
+    scratch.completions.push_back(done.get_future());
+    const bool queued = pool_.submit(
+        [this, &snap, chunk, enqueued, deadline_s, done = std::move(done)]() mutable {
+          run_batch_chunk(snap, chunk, enqueued, deadline_s);
           done.set_value();
         });
     if (!queued) {
-      completions.pop_back();
-      for (const BatchWorkItem& item : chunk) {
-        for (const std::size_t slot : item.slots) {
-          rejected_after_shutdown_.inc();
-          results[slot].error =
-              PredictError(PredictErrorCode::kShutdown, "prediction service is shut down");
-        }
+      scratch.completions.pop_back();
+      for (BatchWorkItem& item : chunk) {
+        rejected_after_shutdown_.inc();
+        item.result.error =
+            PredictError(PredictErrorCode::kShutdown, "prediction service is shut down");
       }
     }
   }
-  for (std::future<void>& f : completions) f.get();
+  for (std::future<void>& f : scratch.completions) f.get();
+  scratch.completions.clear();
+
+  // Fan each computed item out to every input slot that mapped to it.
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::size_t w = scratch.item_of[i];
+    if (w != kCacheHit) results[i] = scratch.work[w].result;
+  }
+}
+
+std::vector<PredictionService::BatchItem> PredictionService::predict_batch_results(
+    const std::vector<core::MigrationScenario>& scenarios) {
+  std::vector<BatchItem> results(scenarios.size());
+  predict_batch_results(std::span<const core::MigrationScenario>(scenarios),
+                        std::span<BatchItem>(results));
   return results;
 }
 

@@ -195,7 +195,20 @@ class PredictionService {
   /// config().batch_max_size scenarios each, all under one coefficient
   /// snapshot. Per-item failures (deadline, backend, shutdown) land as
   /// typed PredictError values in their slots; the rest of the batch
-  /// still completes. Results are index-aligned with `scenarios`.
+  /// still completes. `results` must have scenarios.size() slots and is
+  /// index-aligned with `scenarios`.
+  ///
+  /// This span core is the zero-allocation steady-state entry point
+  /// (pinned by tests/serve_alloc_test.cpp): the work list, dedup
+  /// table, and slot mapping live in a grow-only per-thread workspace,
+  /// so once the workspace has grown to the batch shape and every
+  /// scenario hits the warmed cache, a call performs no heap
+  /// allocation at all. Misses still allocate (futures and pool jobs),
+  /// bounded and amortized by the cache.
+  void predict_batch_results(std::span<const core::MigrationScenario> scenarios,
+                             std::span<BatchItem> results);
+
+  /// Convenience wrapper allocating the result vector.
   std::vector<BatchItem> predict_batch_results(
       const std::vector<core::MigrationScenario>& scenarios);
 
@@ -333,21 +346,33 @@ class PredictionService {
   /// Cache-then-compute against the current coefficient snapshot.
   core::MigrationForecast evaluate(const core::MigrationScenario& scenario);
 
-  /// One deduplicated scenario of one predict_batch worker task plus
-  /// the result slots it fans out to.
+  /// One deduplicated scenario of one predict_batch worker task. The
+  /// worker fills `result`; the caller fans it out to every input slot
+  /// mapped to this item after the chunk completes (duplicates share
+  /// one evaluation).
   struct BatchWorkItem {
     core::MigrationScenario canonical;
     ScenarioKey key;
-    std::vector<std::size_t> slots;  ///< indices into the caller's batch
+    BatchItem result;
   };
+
+  /// Grow-only per-thread workspace of predict_batch_results. Cleared
+  /// (but never shrunk) every call — after the first call of a given
+  /// shape the inline phase allocates nothing.
+  struct BatchScratch {
+    std::vector<BatchWorkItem> work;
+    std::vector<std::size_t> item_of;    ///< per input slot: work index or kCacheHit
+    std::vector<std::size_t> dedup;      ///< open-addressing table: work index + 1
+    std::vector<std::future<void>> completions;
+  };
+  static BatchScratch& batch_scratch();
 
   /// Worker-side body of one predict_batch chunk: per-item deadline
   /// check, compute under the shared `snap`, per-item cache fill, and
-  /// batch metrics.
+  /// batch metrics. Results land in the chunk items themselves.
   void run_batch_chunk(const CoefficientStore::Snapshot& snap,
                        std::span<BatchWorkItem> chunk,
-                       std::chrono::steady_clock::time_point enqueued, double deadline_s,
-                       std::vector<BatchItem>& results);
+                       std::chrono::steady_clock::time_point enqueued, double deadline_s);
 
   /// The configured backend (planner, or engine simulation behind the
   /// retry/breaker/degradation ladder).

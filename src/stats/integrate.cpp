@@ -1,11 +1,19 @@
 #include "stats/integrate.hpp"
 
-#include <algorithm>
 #include <cmath>
 
-#include "util/error.hpp"
+#include "kernels/kernels.hpp"
 
 namespace wavm3::stats {
+
+// The quadrature itself lives in src/kernels/ (runtime-dispatched
+// scalar/AVX2/NEON with a fixed blocked-4 reduction order), so every
+// consumer — batch FeatureBatch columns, the streaming extractor's
+// panel accumulator, PowerTrace windows — shares one bit-identical
+// implementation. These wrappers pin the documented stats semantics
+// (monotonicity contract, duplicate-timestamp collapse, window
+// clamping) which the kernels reproduce exactly; the contract checks
+// run inside the kernel entry points.
 
 bool is_non_decreasing(std::span<const double> t) {
   for (std::size_t i = 0; i < t.size(); ++i) {
@@ -16,65 +24,21 @@ bool is_non_decreasing(std::span<const double> t) {
 }
 
 double trapezoid(std::span<const double> t, std::span<const double> y) {
-  WAVM3_REQUIRE(t.size() == y.size(), "trapezoid: time/value size mismatch");
-  if (t.size() < 2) return 0.0;
-  double area = 0.0;
-  for (std::size_t i = 1; i < t.size(); ++i) {
-    WAVM3_REQUIRE(t[i] >= t[i - 1], "trapezoid: timestamps must be non-decreasing");
-    area += 0.5 * (y[i - 1] + y[i]) * (t[i] - t[i - 1]);
-  }
-  return area;
+  return kernels::trapezoid(t, y);
 }
 
 double interp_at(std::span<const double> t, std::span<const double> y, double x) {
-  WAVM3_REQUIRE(t.size() == y.size(), "interp_at: time/value size mismatch");
-  WAVM3_REQUIRE(!t.empty(), "interp_at: empty trace");
-  if (x <= t.front()) return y.front();
-  if (x >= t.back()) return y.back();
-  // upper_bound: at a repeated timestamp the later sample wins (a
-  // stalled meter followed by a step reads post-step at the step).
-  const auto it = std::upper_bound(t.begin(), t.end(), x);
-  const std::size_t hi = static_cast<std::size_t>(it - t.begin());
-  const std::size_t lo = hi - 1;
-  const double f = (x - t[lo]) / (t[hi] - t[lo]);  // t[lo] <= x < t[hi]
-  return y[lo] * (1.0 - f) + y[hi] * f;
+  return kernels::interp_at(t, y, x);
 }
 
 double window_trapezoid(std::span<const double> t, std::span<const double> y,
                         double t0, double t1) {
-  WAVM3_REQUIRE(t.size() == y.size(), "window_trapezoid: time/value size mismatch");
-  WAVM3_REQUIRE(t1 >= t0, "window_trapezoid: inverted window");
-  if (t.size() < 2) return 0.0;
-  const double a = std::max(t0, t.front());
-  const double b = std::min(t1, t.back());
-  if (b <= a) return 0.0;
-
-  double area = 0.0;
-  double prev_t = a;
-  double prev_y = interp_at(t, y, a);
-  // Walk interior samples strictly inside (a, b).
-  const auto first = std::upper_bound(t.begin(), t.end(), a);
-  for (auto it = first; it != t.end() && *it < b; ++it) {
-    const std::size_t i = static_cast<std::size_t>(it - t.begin());
-    area += 0.5 * (prev_y + y[i]) * (*it - prev_t);
-    prev_t = *it;
-    prev_y = y[i];
-  }
-  area += 0.5 * (prev_y + interp_at(t, y, b)) * (b - prev_t);
-  return area;
+  return kernels::window_trapezoid(t, y, t0, t1);
 }
 
 double window_mean(std::span<const double> t, std::span<const double> y,
                    double t0, double t1) {
-  if (t.size() < 2) return t.size() == 1 ? y.front() : 0.0;
-  const double a = std::max(t0, t.front());
-  const double b = std::min(t1, t.back());
-  if (b <= a) {
-    // Zero-width overlap: the window degenerates to a point sample.
-    if (b == a) return interp_at(t, y, a);
-    return 0.0;
-  }
-  return window_trapezoid(t, y, t0, t1) / (b - a);
+  return kernels::window_mean(t, y, t0, t1);
 }
 
 }  // namespace wavm3::stats

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.hpp"
 #include "util/error.hpp"
 
 namespace wavm3::stats {
@@ -56,12 +57,20 @@ Matrix Matrix::multiply(const Matrix& rhs) const {
 }
 
 Matrix Matrix::gram() const {
+  // Row-major upper-triangle accumulation as one kernels::axpy per
+  // (sample row, pivot column): the axpy's element-wise y[j] += a*x[j]
+  // performs exactly the adds of the historical inner j loop in the
+  // same sequence, so normal-equation fits are bit-identical to the
+  // pre-kernels implementation on every backend.
   Matrix out(cols_, cols_);
+  const std::span<const double> data(data_);
   for (std::size_t r = 0; r < rows_; ++r) {
+    const auto row = data.subspan(r * cols_, cols_);
     for (std::size_t i = 0; i < cols_; ++i) {
-      const double a = at(r, i);
+      const double a = row[i];
       if (a == 0.0) continue;
-      for (std::size_t j = i; j < cols_; ++j) out.at(i, j) += a * at(r, j);
+      kernels::axpy(a, row.subspan(i),
+                    std::span<double>(out.data()).subspan(i * cols_ + i, cols_ - i));
     }
   }
   for (std::size_t i = 0; i < cols_; ++i)
@@ -71,9 +80,13 @@ Matrix Matrix::gram() const {
 
 std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const {
   WAVM3_REQUIRE(v.size() == rows_, "vector length must equal row count");
+  // One axpy per row: out[c] += v[r] * at(r, c), the historical
+  // element order.
   std::vector<double> out(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += at(r, c) * v[r];
+  const std::span<const double> data(data_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    kernels::axpy(v[r], data.subspan(r * cols_, cols_), out);
+  }
   return out;
 }
 
@@ -86,10 +99,11 @@ std::vector<double> Matrix::times(const std::vector<double>& v) const {
 void Matrix::times(std::span<const double> v, std::span<double> out) const {
   WAVM3_REQUIRE(v.size() == cols_, "vector length must equal column count");
   WAVM3_REQUIRE(out.size() == rows_, "output length must equal row count");
+  // Rows are contiguous in the row-major layout, so each output is one
+  // blocked kernel dot against the coefficient vector.
+  const std::span<const double> data(data_);
   for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
-    out[r] = acc;
+    out[r] = kernels::dot(data.subspan(r * cols_, cols_), v);
   }
 }
 
@@ -105,15 +119,11 @@ Matrix Matrix::from_columns(std::span<const std::span<const double>> columns) {
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  WAVM3_REQUIRE(a.size() == b.size(), "dot: length mismatch");
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return kernels::dot(a, b);
 }
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
-  WAVM3_REQUIRE(x.size() == y.size(), "axpy: length mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  kernels::axpy(a, x, y);
 }
 
 double Matrix::frobenius_norm() const {

@@ -80,9 +80,11 @@ std::vector<double> gaussian_solve(Matrix a, std::vector<double> b);
 
 // BLAS-1 style kernels over contiguous columns, the primitives the
 // columnar (SoA) prediction path composes its matrix-vector products
-// from without gathering rows first.
+// from without gathering rows first. Both forward to the
+// runtime-dispatched src/kernels/ implementations (scalar/AVX2/NEON,
+// fixed blocked-4 reduction order — see kernels/kernels.hpp).
 
-/// Inner product of two equal-length columns.
+/// Inner product of two equal-length columns (blocked-4 reduction).
 double dot(std::span<const double> a, std::span<const double> b);
 
 /// y += a * x elementwise (equal lengths).

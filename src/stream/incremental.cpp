@@ -31,18 +31,6 @@ std::size_t effective_phase_index(MigrationPhase p) {
   return p == MigrationPhase::kNormal ? 0 : phase_index(p);
 }
 
-double column_value(FeatureBatch::Column col, const MigrationSample& s) {
-  switch (col) {
-    case FeatureBatch::Column::kCpuHost: return s.cpu_host;
-    case FeatureBatch::Column::kCpuVm: return s.cpu_vm;
-    case FeatureBatch::Column::kDirtyRatio: return s.dirty_ratio;
-    case FeatureBatch::Column::kBandwidth: return s.bandwidth;
-    case FeatureBatch::Column::kPower: return s.power_watts;
-    case FeatureBatch::Column::kOne: return 1.0;
-  }
-  return 0.0;
-}
-
 /// Linear interpolation of every signal between two samples; the
 /// synthetic point holds `a`'s phase (zero-order phase hold — we only
 /// *know* the phase at real samples).
@@ -63,47 +51,18 @@ MigrationSample lerp_sample(const MigrationSample& a, const MigrationSample& b, 
 
 IncrementalExtractor::IncrementalExtractor(migration::MigrationType type,
                                            models::HostRole role, ExtractorConfig config)
-    : config_(config) {
+    : config_(config), acc_(type, role) {
   WAVM3_REQUIRE(config_.nominal_dt_s > 0.0, "stream: nominal cadence must be positive");
   WAVM3_REQUIRE(config_.interpolate_above_s >= config_.nominal_dt_s,
                 "stream: interpolation threshold below the nominal cadence");
   WAVM3_REQUIRE(config_.max_gap_s >= config_.interpolate_above_s,
                 "stream: max gap below the interpolation threshold");
-  row_.type = type;
-  row_.role = role;
 }
 
 void IncrementalExtractor::set_migration_scalars(double mem_bytes, double data_bytes,
                                                  double avg_bandwidth,
                                                  double idle_power_watts) {
-  row_.mem_bytes = mem_bytes;
-  row_.data_bytes = data_bytes;
-  row_.avg_bandwidth = avg_bandwidth;
-  row_.idle_power = idle_power_watts;
-}
-
-void IncrementalExtractor::accumulate_pair(const models::MigrationSample& a,
-                                           const models::MigrationSample& b) {
-  // EXACT operation order of FeatureBatch::build(): any reassociation
-  // here breaks the 1e-9 golden parity the stream tests pin.
-  const double half = 0.5 * (b.time - a.time);
-  const std::size_t pa = effective_phase_index(a.phase);
-  const std::size_t pb = effective_phase_index(b.phase);
-  for (std::size_t col = 0; col < FeatureBatch::kColumns; ++col) {
-    const auto c = static_cast<FeatureBatch::Column>(col);
-    const double va = column_value(c, a);
-    const double vb = column_value(c, b);
-    row_.integrals[0][col][pa] += half * va;
-    row_.integrals[0][col][pb] += half * vb;
-    if (a.phase == b.phase && a.phase != MigrationPhase::kNormal) {
-      row_.integrals[1][col][phase_index(a.phase)] += half * (va + vb);
-    }
-  }
-  // Observed energy uses stats::trapezoid's association —
-  // 0.5*(ya+yb)*dt, not half*ya + half*yb — because the batch path
-  // computes this column through stats::trapezoid, not the aggregate
-  // loop, and both must stay bit-identical to their batch twin.
-  row_.observed_energy += 0.5 * (a.power_watts + b.power_watts) * (b.time - a.time);
+  acc_.set_scalars(mem_bytes, data_bytes, avg_bandwidth, idle_power_watts);
 }
 
 void IncrementalExtractor::push(const models::MigrationSample& sample) {
@@ -132,14 +91,14 @@ void IncrementalExtractor::push(const models::MigrationSample& sample) {
       for (std::size_t k = 1; k < n; ++k) {
         const double t = prev_.time + dt * (static_cast<double>(k) / static_cast<double>(n));
         const models::MigrationSample mid = lerp_sample(prev_, sample, t);
-        accumulate_pair(left, mid);
+        acc_.add_pair(left, mid);
         left = mid;
         ++synthetic_samples_;
       }
-      accumulate_pair(left, sample);
+      acc_.add_pair(left, sample);
       ++gaps_bridged_;
     } else {
-      accumulate_pair(prev_, sample);
+      acc_.add_pair(prev_, sample);
     }
   } else {
     first_time_ = sample.time;
@@ -156,7 +115,8 @@ void IncrementalExtractor::push(const models::MigrationSample& sample) {
 double IncrementalExtractor::integral(models::FeatureBatch::Column col, std::size_t phase,
                                       models::FeatureBatch::Weighting w) const {
   WAVM3_REQUIRE(phase < FeatureBatch::kPhases, "stream: phase index out of range");
-  return row_.integrals[static_cast<std::size_t>(w)][static_cast<std::size_t>(col)][phase];
+  return acc_.partial()
+      .integrals[static_cast<std::size_t>(w)][static_cast<std::size_t>(col)][phase];
 }
 
 double IncrementalExtractor::phase_coverage(std::size_t phase) const {
@@ -169,7 +129,8 @@ double IncrementalExtractor::phase_entered_at(std::size_t phase) const {
 }
 
 models::FeatureBatch IncrementalExtractor::to_batch() const {
-  return FeatureBatch::from_rows(std::span<const FeatureBatch::RowAggregates>(&row_, 1));
+  const FeatureBatch::RowAggregates snapshot = acc_.row();
+  return FeatureBatch::from_rows(std::span<const FeatureBatch::RowAggregates>(&snapshot, 1));
 }
 
 }  // namespace wavm3::stream

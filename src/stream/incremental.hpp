@@ -7,16 +7,13 @@
 // and maintains, in O(1) per sample,
 //
 //   * the per-phase trapezoid-integral aggregates of every FeatureBatch
-//     column, in both weightings (kTotal and kPhasePure), using the
-//     EXACT floating-point operation order of FeatureBatch::build() —
-//     half*va / half*vb into the endpoints' effective phases, and
-//     half*(va+vb) for phase-pure panels — so a finished stream is
-//     bit-compatible with the batch path (golden-parity pinned to
-//     1e-9 in tests/stream_test.cpp);
-//   * the observed-energy trapezoid in stats::trapezoid's own
-//     association, 0.5*(ya+yb)*dt (deliberately a *different*
-//     reassociation than the aggregates — matching each batch-side
-//     computation bit-for-bit requires keeping both);
+//     column, in both weightings (kTotal and kPhasePure), plus the
+//     observed-energy trapezoid, all via FeatureBatch::RowAccumulator —
+//     the ONE compiled pair-update FeatureBatch::build() itself drives,
+//     so a finished stream is bit-compatible with the batch path BY
+//     CONSTRUCTION (golden-parity pinned to 1e-9 in
+//     tests/stream_test.cpp; the FP contract lives on RowAccumulator
+//     in models/feature_batch.hpp);
 //   * phase progress (first/last time per phase, deepest phase seen),
 //     which LivePredictor uses to decide which phases have landed.
 //
@@ -81,14 +78,14 @@ class IncrementalExtractor {
   std::uint64_t gaps_bridged() const { return gaps_bridged_; }
   std::uint64_t synthetic_samples() const { return synthetic_samples_; }
 
-  migration::MigrationType type() const { return row_.type; }
-  models::HostRole role() const { return row_.role; }
+  migration::MigrationType type() const { return acc_.partial().type; }
+  models::HostRole role() const { return acc_.partial().role; }
   const ExtractorConfig& config() const { return config_; }
 
   /// Observed power integral over the pushed samples so far (joules),
   /// bit-identical to the batch observed_energy column on the same
   /// samples.
-  double observed_energy() const { return row_.observed_energy; }
+  double observed_energy() const { return acc_.observed_energy(); }
 
   /// kTotal integral of one column restricted to one dense phase
   /// (0 initiation, 1 transfer, 2 activation).
@@ -111,18 +108,17 @@ class IncrementalExtractor {
   /// NaN when that phase has produced no sample yet.
   double phase_entered_at(std::size_t phase) const;
 
-  /// The accumulated aggregate state, FeatureBatch layout — feed to
+  /// The accumulated aggregate state, FeatureBatch layout, with the
+  /// observed-energy panel sum finalised — feed to
   /// FeatureBatch::from_rows to price through predict_batch.
-  const models::FeatureBatch::RowAggregates& row() const { return row_; }
+  models::FeatureBatch::RowAggregates row() const { return acc_.row(); }
 
   /// Single-row batch over the current state.
   models::FeatureBatch to_batch() const;
 
  private:
-  void accumulate_pair(const models::MigrationSample& a, const models::MigrationSample& b);
-
   ExtractorConfig config_;
-  models::FeatureBatch::RowAggregates row_;
+  models::FeatureBatch::RowAccumulator acc_;
   models::MigrationSample prev_;
   std::size_t samples_ = 0;
   bool finished_ = false;

@@ -1,0 +1,162 @@
+// Steady-state allocation pin for the serving hot path: once the
+// result cache is warm and the per-thread batch workspace has grown to
+// the request shape, the span-based predict_batch_results() core and
+// the predict() cache-hit path must perform ZERO heap allocations.
+// Enforced with a counting global operator new in its own test binary
+// (tests/CMakeLists.txt) so the counter cannot interfere with the
+// other suites.
+//
+// Under ASan/TSan the sanitizer runtime intercepts the allocator and
+// this counter never fires — the suite skips itself there (the CI
+// sanitizer jobs run the functional suites instead).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "serve/service.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = nullptr;
+  if (posix_memalign(&p, a < sizeof(void*) ? sizeof(void*) : a, size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace wavm3::serve {
+namespace {
+
+using migration::MigrationType;
+
+bool sanitizers_active() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+/// Same synthetic fitted model as serve_test.cpp's make_model().
+core::Wavm3Model make_model() {
+  core::Wavm3Model m;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    const double t = type == MigrationType::kLive ? 1.0 : 0.7;
+    core::Wavm3Coefficients table;
+    table.source.initiation = {2.1 * t, 1.3, 0.0, 0.0, 210.0};
+    table.source.transfer = {2.4 * t, 1.1e-7, 55.0, 1.9, 205.0};
+    table.source.activation = {2.2 * t, 1.2, 0.0, 0.0, 208.0};
+    table.target.initiation = {1.9 * t, 0.8, 0.0, 0.0, 200.0};
+    table.target.transfer = {2.0 * t, 0.9e-7, 12.0, 0.7, 198.0};
+    table.target.activation = {2.1 * t, 1.0, 0.0, 0.0, 202.0};
+    m.set_coefficients(type, table);
+  }
+  return m;
+}
+
+core::MigrationScenario make_scenario(int i) {
+  core::MigrationScenario sc;
+  sc.type = i % 3 == 0 ? MigrationType::kNonLive : MigrationType::kLive;
+  sc.vm_mem_bytes = util::gib(1.0 + i % 8);
+  sc.vm_cpu_vcpus = 1.0 + i % 4;
+  const double mem_pages = sc.vm_mem_bytes / util::kPageSize;
+  sc.vm_working_set_pages = mem_pages * 0.25;
+  sc.vm_dirty_pages_per_s = sc.vm_working_set_pages * (0.05 + 0.09 * (i % 10));
+  sc.source_cpu_load = 2.0 + i % 20;
+  sc.target_cpu_load = 1.0 + i % 15;
+  return sc;
+}
+
+TEST(ServeAllocation, WarmBatchPathAllocatesNothing) {
+  if (sanitizers_active()) GTEST_SKIP() << "allocator intercepted by a sanitizer";
+  ServiceConfig config;
+  config.threads = 2;
+  config.cache_capacity = 4096;
+  PredictionService service(make_model(), config);
+
+  constexpr int kBatch = 64;
+  std::vector<core::MigrationScenario> scenarios;
+  scenarios.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) scenarios.push_back(make_scenario(i));
+  std::vector<PredictionService::BatchItem> results(scenarios.size());
+  const std::span<const core::MigrationScenario> in(scenarios);
+  const std::span<PredictionService::BatchItem> out(results);
+
+  // Warmup: the first call computes and caches every miss and grows
+  // the per-thread workspace; the second confirms an all-hit pass.
+  service.predict_batch_results(in, out);
+  service.predict_batch_results(in, out);
+  for (const auto& item : results) ASSERT_TRUE(item.ok());
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    service.predict_batch_results(in, out);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "steady-state predict_batch_results must not allocate";
+  for (const auto& item : results) EXPECT_TRUE(item.ok());
+}
+
+TEST(ServeAllocation, WarmPredictHitAllocatesNothing) {
+  if (sanitizers_active()) GTEST_SKIP() << "allocator intercepted by a sanitizer";
+  ServiceConfig config;
+  config.threads = 1;
+  config.cache_capacity = 64;
+  PredictionService service(make_model(), config);
+
+  const core::MigrationScenario sc = make_scenario(1);
+  core::MigrationForecast warm = service.predict(sc);  // miss: compute + fill
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  core::MigrationForecast hit = service.predict(sc);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "a cache-hit predict() must not allocate";
+  EXPECT_EQ(hit.source_energy, warm.source_energy);
+  EXPECT_EQ(hit.target_energy, warm.target_energy);
+}
+
+}  // namespace
+}  // namespace wavm3::serve
