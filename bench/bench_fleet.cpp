@@ -1,0 +1,379 @@
+// Fleet serving bench (src/rpc/): a 4-node loopback fleet driven by an
+// open-loop load generator — Zipf-skewed scenario popularity over a
+// 64-entry catalogue, nonhomogeneous Poisson arrivals with a diurnal
+// rate cycle — under a seeded node-loss storm, with coefficient
+// publishes fired mid-storm. Reports:
+//
+//   * fleet latency p50/p99/p999 and the ratio against a direct
+//     single-service baseline (codec + routing + failover overhead);
+//   * epoch propagation under node loss: per-publish all-or-nothing
+//     (after every publish attempt all *reachable* nodes serve the
+//     same committed epoch — fleet-wide converge or roll back
+//     everywhere) and final staleness convergence once the storm ends;
+//   * failover and error counts (replication 2 with at most one node
+//     down must answer every request).
+//
+// Emits bench_out/bench_fleet.json for the ctest gate
+// (check_fleet.cmake) and registers google-benchmark timings of the
+// routed predict hot path.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "faults/node_outage.hpp"
+#include "obs/metrics.hpp"
+#include "rpc/fleet.hpp"
+#include "rpc/node.hpp"
+#include "rpc/transport.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace wavm3;
+using migration::MigrationType;
+
+constexpr int kNodes = 4;
+constexpr std::size_t kReplication = 2;
+constexpr std::uint64_t kSeed = 2015;
+constexpr int kCatalogue = 64;       // distinct scenarios
+constexpr double kZipfS = 1.1;       // popularity skew exponent
+constexpr double kHorizonS = 10.0;   // virtual storm/load timeline
+constexpr double kBaseRateHz = 2000; // mean arrival rate
+constexpr double kDiurnalAmp = 0.8;  // rate swings +-80% over the cycle
+constexpr double kDiurnalPeriodS = 5.0;
+constexpr int kPublishes = 6;        // publish attempts spread over the run
+
+core::Wavm3Model make_model(double scale = 1.0) {
+  core::Wavm3Model m;
+  for (const MigrationType type : {MigrationType::kNonLive, MigrationType::kLive}) {
+    const double t = type == MigrationType::kLive ? 1.0 : 0.7;
+    core::Wavm3Coefficients table;
+    table.source.initiation = {2.1 * scale * t, 1.3 * scale, 0.0, 0.0, 210.0 * scale};
+    table.source.transfer = {2.4 * scale * t, 1.1e-7 * scale, 55.0 * scale,
+                             1.9 * scale, 205.0 * scale};
+    table.source.activation = {2.2 * scale * t, 1.2 * scale, 0.0, 0.0, 208.0 * scale};
+    table.target.initiation = {1.9 * scale * t, 0.8 * scale, 0.0, 0.0, 200.0 * scale};
+    table.target.transfer = {2.0 * scale * t, 0.9e-7 * scale, 12.0 * scale,
+                             0.7 * scale, 198.0 * scale};
+    table.target.activation = {2.1 * scale * t, 1.0 * scale, 0.0, 0.0, 202.0 * scale};
+    m.set_coefficients(type, table);
+  }
+  return m;
+}
+
+core::MigrationScenario make_scenario(int i) {
+  core::MigrationScenario sc;
+  sc.type = i % 3 == 0 ? MigrationType::kNonLive : MigrationType::kLive;
+  sc.vm_mem_bytes = util::gib(1.0 + i % 8);
+  sc.vm_cpu_vcpus = 1.0 + i % 4;
+  const double mem_pages = sc.vm_mem_bytes / util::kPageSize;
+  sc.vm_working_set_pages = mem_pages * 0.25;
+  sc.vm_dirty_pages_per_s = sc.vm_working_set_pages * (0.05 + 0.09 * (i % 10));
+  sc.source_cpu_load = 2.0 + i % 20;
+  sc.target_cpu_load = 1.0 + i % 15;
+  return sc;
+}
+
+/// Zipf CDF over catalogue ranks: P(k) proportional to 1/(k+1)^s.
+std::vector<double> zipf_cdf(int n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+int zipf_draw(const std::vector<double>& cdf, util::RngStream& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<int>(it - cdf.begin());
+}
+
+/// Diurnal arrival rate at virtual time t.
+double rate_at(double t) {
+  return kBaseRateHz * (1.0 + kDiurnalAmp * std::sin(2.0 * M_PI * t / kDiurnalPeriodS));
+}
+
+double percentile(std::vector<double>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted_ns.size() - 1);
+  return sorted_ns[static_cast<std::size_t>(idx + 0.5)];
+}
+
+struct FleetRun {
+  std::uint64_t requests = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  int publishes = 0;
+  int converged = 0;
+  int rolled_back = 0;
+  bool all_or_nothing_ok = true;
+  bool staleness_converged = false;
+  std::uint64_t final_epoch = 0;
+  std::size_t node_loss_events = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t errors = 0;
+};
+
+/// After any publish attempt every reachable node must serve the same
+/// committed epoch — converged everywhere or rolled back everywhere.
+bool reachable_nodes_agree(rpc::FleetClient& client) {
+  const rpc::FleetStatus status = client.status();
+  return status.epoch_lag == 0;
+}
+
+FleetRun run_fleet() {
+  obs::MetricRegistry registry;
+  rpc::LoopbackTransport transport(kSeed);
+  const auto model = std::make_shared<const core::Wavm3Model>(make_model());
+  std::vector<std::unique_ptr<rpc::FleetNode>> nodes;
+  for (int n = 0; n < kNodes; ++n) {
+    rpc::FleetNodeConfig cfg;
+    cfg.node_id = n;
+    cfg.registry = &registry;
+    cfg.service.threads = 1;
+    cfg.service.fidelity = serve::Fidelity::kClosedForm;
+    nodes.push_back(std::make_unique<rpc::FleetNode>(model, cfg));
+    transport.register_node(n, nodes.back().get());
+  }
+  rpc::FleetClientConfig ccfg;
+  ccfg.replication = kReplication;
+  ccfg.registry = &registry;
+  // Storm windows last ~1 virtual second but fractions of a wall-clock
+  // second; a short open window lets half-open probes readmit a
+  // recovered node promptly instead of parking it for the default 5 s.
+  ccfg.breaker.failure_threshold = 3;
+  ccfg.breaker.open_duration_s = 1e-4;
+  rpc::FleetClient client(transport, ccfg);
+  for (int n = 0; n < kNodes; ++n) client.add_node(n);
+
+  // Seeded storm: at most one node down at a time, so a 2-replica
+  // slice always keeps a live owner and every request must be
+  // answerable via failover.
+  faults::NodeOutageOptions storm;
+  storm.horizon_s = kHorizonS;
+  storm.outages_per_node = 2;
+  storm.min_down_s = 0.4;
+  storm.max_down_s = 1.2;
+  storm.max_concurrent_down = 1;
+  const faults::NodeOutagePlan plan = faults::NodeOutagePlan::random(kNodes, storm, kSeed);
+
+  // Open-loop arrival timeline: nonhomogeneous Poisson by thinning
+  // against the diurnal peak rate.
+  const util::RngFactory rngs(kSeed);
+  util::RngStream arrivals = rngs.stream("fleet/arrivals");
+  util::RngStream popularity = rngs.stream("fleet/zipf");
+  const std::vector<double> cdf = zipf_cdf(kCatalogue, kZipfS);
+  std::vector<core::MigrationScenario> catalogue;
+  catalogue.reserve(kCatalogue);
+  for (int i = 0; i < kCatalogue; ++i) catalogue.push_back(make_scenario(i));
+
+  const double peak_rate = kBaseRateHz * (1.0 + kDiurnalAmp);
+  std::vector<double> arrival_t;
+  for (double t = 0.0;;) {
+    t += -std::log(1.0 - arrivals.uniform()) / peak_rate;
+    if (t >= kHorizonS) break;
+    if (arrivals.uniform() <= rate_at(t) / peak_rate) arrival_t.push_back(t);
+  }
+
+  // Publish attempts are pinned to virtual instants spread over the
+  // storm; each ships a slightly perturbed model so every epoch is a
+  // distinct coefficient set.
+  std::vector<double> publish_t;
+  for (int p = 0; p < kPublishes; ++p) {
+    publish_t.push_back(kHorizonS * (static_cast<double>(p) + 0.5) /
+                        static_cast<double>(kPublishes));
+  }
+
+  FleetRun run;
+  run.node_loss_events = plan.outages().size();
+  std::vector<double> latency_ns;
+  latency_ns.reserve(arrival_t.size());
+  std::size_t next_publish = 0;
+  for (std::size_t i = 0; i < arrival_t.size(); ++i) {
+    const double t = arrival_t[i];
+    for (int n = 0; n < kNodes; ++n) transport.set_down(n, plan.down(n, t));
+    while (next_publish < publish_t.size() && publish_t[next_publish] <= t) {
+      const core::Wavm3Model next =
+          make_model(1.0 + 0.01 * static_cast<double>(next_publish + 1));
+      const rpc::PublishReport report = client.publish(next);
+      ++run.publishes;
+      if (report.converged) {
+        ++run.converged;
+      } else {
+        ++run.rolled_back;
+      }
+      run.all_or_nothing_ok = run.all_or_nothing_ok && reachable_nodes_agree(client);
+      ++next_publish;
+    }
+    const core::MigrationScenario& sc = catalogue[zipf_draw(cdf, popularity)];
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      benchmark::DoNotOptimize(client.predict(sc));
+      latency_ns.push_back(std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    } catch (const std::exception&) {
+      ++run.errors;
+    }
+  }
+  run.requests = latency_ns.size();
+  run.failovers = client.failovers();
+
+  // Storm over: every node back up. A final publish must converge
+  // fleet-wide and erase any staleness a mid-storm rollback left.
+  for (int n = 0; n < kNodes; ++n) transport.set_down(n, false);
+  const rpc::PublishReport last =
+      client.publish(make_model(1.0 + 0.01 * (kPublishes + 1)));
+  ++run.publishes;
+  if (last.converged) {
+    ++run.converged;
+  } else {
+    ++run.rolled_back;
+  }
+  run.all_or_nothing_ok = run.all_or_nothing_ok && reachable_nodes_agree(client);
+  const rpc::FleetStatus status = client.status();
+  bool all_reachable_at_final = last.converged;
+  for (const rpc::NodeStatus& ns : status.nodes) {
+    all_reachable_at_final = all_reachable_at_final && ns.reachable &&
+                             ns.status.committed_epoch == last.epoch;
+  }
+  run.staleness_converged = all_reachable_at_final && status.epoch_lag == 0;
+  run.final_epoch = client.committed_epoch();
+
+  std::sort(latency_ns.begin(), latency_ns.end());
+  run.p50_us = percentile(latency_ns, 0.50) / 1e3;
+  run.p99_us = percentile(latency_ns, 0.99) / 1e3;
+  run.p999_us = percentile(latency_ns, 0.999) / 1e3;
+  return run;
+}
+
+/// Direct single-service baseline over the same Zipf mix: what the
+/// fleet path's codec + routing + breaker cost is compared against.
+double single_node_p99_us() {
+  serve::ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.fidelity = serve::Fidelity::kClosedForm;
+  serve::PredictionService service(make_model(), cfg);
+  const util::RngFactory rngs(kSeed);
+  util::RngStream popularity = rngs.stream("fleet/zipf");
+  const std::vector<double> cdf = zipf_cdf(kCatalogue, kZipfS);
+  std::vector<core::MigrationScenario> catalogue;
+  for (int i = 0; i < kCatalogue; ++i) catalogue.push_back(make_scenario(i));
+  std::vector<double> latency_ns;
+  latency_ns.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const core::MigrationScenario& sc = catalogue[zipf_draw(cdf, popularity)];
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(service.predict(sc));
+    latency_ns.push_back(std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+  }
+  std::sort(latency_ns.begin(), latency_ns.end());
+  return percentile(latency_ns, 0.99) / 1e3;
+}
+
+void print_report() {
+  std::printf("=============================================================\n");
+  std::printf("fleet bench: %d nodes, replication %zu, seed %llu\n", kNodes,
+              kReplication, static_cast<unsigned long long>(kSeed));
+  std::printf("Zipf(s=%.1f) over %d scenarios, diurnal open-loop ~%.0f Hz, "
+              "%.0f s virtual horizon\n",
+              kZipfS, kCatalogue, kBaseRateHz, kHorizonS);
+  std::printf("=============================================================\n\n");
+
+  const FleetRun run = run_fleet();
+  const double single_p99 = single_node_p99_us();
+  const double ratio = single_p99 > 0.0 ? run.p99_us / single_p99 : 0.0;
+
+  std::printf("requests %llu, errors %llu, failovers %llu, node-loss events %zu\n",
+              static_cast<unsigned long long>(run.requests),
+              static_cast<unsigned long long>(run.errors),
+              static_cast<unsigned long long>(run.failovers), run.node_loss_events);
+  std::printf("latency: fleet p50 %.1f us, p99 %.1f us, p999 %.1f us; "
+              "single-node p99 %.1f us (ratio %.2fx)\n",
+              run.p50_us, run.p99_us, run.p999_us, single_p99, ratio);
+  std::printf("epochs: %d publishes -> %d converged, %d rolled back; final epoch "
+              "%llu; all-or-nothing %s; staleness converged %s\n\n",
+              run.publishes, run.converged, run.rolled_back,
+              static_cast<unsigned long long>(run.final_epoch),
+              run.all_or_nothing_ok ? "ok" : "VIOLATED",
+              run.staleness_converged ? "yes" : "NO");
+
+  std::filesystem::create_directories("bench_out");
+  std::ofstream json("bench_out/bench_fleet.json");
+  if (json) {
+    json << "{\n"
+         << "  \"nodes\": " << kNodes << ",\n"
+         << "  \"replication\": " << kReplication << ",\n"
+         << "  \"seed\": " << kSeed << ",\n"
+         << "  \"requests\": " << run.requests << ",\n"
+         << "  \"errors\": " << run.errors << ",\n"
+         << "  \"failovers\": " << run.failovers << ",\n"
+         << "  \"node_loss_events\": " << run.node_loss_events << ",\n"
+         << "  \"fleet_p50_us\": " << run.p50_us << ",\n"
+         << "  \"fleet_p99_us\": " << run.p99_us << ",\n"
+         << "  \"fleet_p999_us\": " << run.p999_us << ",\n"
+         << "  \"single_p99_us\": " << single_p99 << ",\n"
+         << "  \"p99_ratio\": " << ratio << ",\n"
+         << "  \"publishes\": " << run.publishes << ",\n"
+         << "  \"converged_publishes\": " << run.converged << ",\n"
+         << "  \"rolled_back_publishes\": " << run.rolled_back << ",\n"
+         << "  \"final_epoch\": " << run.final_epoch << ",\n"
+         << "  \"all_or_nothing_ok\": " << (run.all_or_nothing_ok ? 1 : 0) << ",\n"
+         << "  \"staleness_converged\": " << (run.staleness_converged ? 1 : 0) << "\n"
+         << "}\n";
+    std::printf("wrote bench_out/bench_fleet.json\n\n");
+  }
+}
+
+// google-benchmark registration: the routed predict hot path through a
+// healthy 4-node fleet (codec round trip + ring lookup + breaker).
+void BM_FleetPredict(benchmark::State& state) {
+  rpc::LoopbackTransport transport;
+  const auto model = std::make_shared<const core::Wavm3Model>(make_model());
+  std::vector<std::unique_ptr<rpc::FleetNode>> nodes;
+  for (int n = 0; n < kNodes; ++n) {
+    rpc::FleetNodeConfig cfg;
+    cfg.node_id = n;
+    cfg.service.threads = 1;
+    cfg.service.fidelity = serve::Fidelity::kClosedForm;
+    nodes.push_back(std::make_unique<rpc::FleetNode>(model, cfg));
+    transport.register_node(n, nodes.back().get());
+  }
+  rpc::FleetClient client(transport, rpc::FleetClientConfig{});
+  for (int n = 0; n < kNodes; ++n) client.add_node(n);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.predict(make_scenario(i++ % kCatalogue)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetPredict);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

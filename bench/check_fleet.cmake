@@ -1,0 +1,78 @@
+# Gate script for the fleet serving bench: parses the artefact
+# bench_fleet emits and fails if
+#   * the load generator produced no answered requests, or any request
+#     errored (replication 2 under a max-one-node-down storm must
+#     always find a live replica),
+#   * the all-or-nothing epoch property was violated: after any publish
+#     attempt some reachable node served a different committed epoch
+#     than the rest (partial convergence — the exact hazard the
+#     two-phase publish exists to prevent),
+#   * the fleet did not end staleness-converged: once the storm ends a
+#     publish must land the same epoch on every node,
+#   * no publish round converged at all (the protocol never made
+#     progress), or the storm injected no node loss (the bench would be
+#     testing nothing), or
+#   * the fleet p99 is more than 50x the direct single-service p99 —
+#     a loose ceiling on codec + routing + breaker overhead that still
+#     catches a quadratic hot path or an accidental sleep.
+# Run as `cmake -DARTIFACT=... -P check_fleet.cmake`
+# (the bench_fleet_gate ctest entry).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED ARTIFACT)
+  message(FATAL_ERROR "pass -DARTIFACT=<path to bench_fleet.json>")
+endif()
+if(NOT EXISTS "${ARTIFACT}")
+  message(FATAL_ERROR "artefact not found: ${ARTIFACT} (run bench_fleet first)")
+endif()
+
+file(READ "${ARTIFACT}" _json)
+string(JSON _requests GET "${_json}" requests)
+string(JSON _errors GET "${_json}" errors)
+string(JSON _all_or_nothing GET "${_json}" all_or_nothing_ok)
+string(JSON _staleness GET "${_json}" staleness_converged)
+string(JSON _converged GET "${_json}" converged_publishes)
+string(JSON _node_loss GET "${_json}" node_loss_events)
+string(JSON _ratio GET "${_json}" p99_ratio)
+
+if(_requests EQUAL 0)
+  message(FATAL_ERROR "fleet bench answered no requests")
+endif()
+
+if(NOT _errors EQUAL 0)
+  message(FATAL_ERROR
+    "${_errors} requests errored: with replication 2 and at most one "
+    "node down, every request must fail over to a live replica")
+endif()
+
+if(NOT _all_or_nothing EQUAL 1)
+  message(FATAL_ERROR
+    "all-or-nothing epoch property violated: some publish attempt left "
+    "reachable nodes serving different committed epochs")
+endif()
+
+if(NOT _staleness EQUAL 1)
+  message(FATAL_ERROR
+    "fleet did not converge on coefficient staleness after the storm: "
+    "the post-storm publish must land one epoch on every node")
+endif()
+
+if(_converged EQUAL 0)
+  message(FATAL_ERROR
+    "no publish round converged: the epoch protocol made no progress")
+endif()
+
+if(_node_loss EQUAL 0)
+  message(FATAL_ERROR
+    "the seeded storm injected no node loss; the bench exercised nothing")
+endif()
+
+if(_ratio GREATER 50)
+  message(FATAL_ERROR
+    "fleet p99 is ${_ratio}x the single-service p99 (gate: <= 50x): "
+    "codec/routing overhead regressed")
+endif()
+
+message(STATUS "fleet gate passed: ${_requests} requests, 0 errors, "
+               "all-or-nothing ok, staleness converged, ${_converged} "
+               "converged publishes, ${_node_loss} outages, p99 ratio ${_ratio}x")

@@ -197,10 +197,12 @@ bool OnlineRecalibrator::check_swap_watch(PassReport& report) {
       *post_nrmse > config_.rollback_nrmse_factor * std::max(watch_->expected_nrmse, 1e-9);
   if (regressed) {
     if (store_.version() == watch_->published_version) {
-      store_.swap(watch_->prev_model);
+      const std::shared_ptr<const core::Wavm3Model> restored = watch_->prev_model;
+      const std::uint64_t version = store_.swap(restored);
       c_rollbacks_.inc();
       report.rolled_back = true;
       WAVM3_OBS_INSTANT("calib", "rollback");
+      if (config_.on_publish) config_.on_publish(restored, version, /*rollback=*/true);
     }
     cooldown_until_ingested_ = buffer_.total_ingested() + config_.cooldown_samples;
     watch_.reset();
@@ -353,13 +355,15 @@ PassReport OnlineRecalibrator::run_pass_locked() {
     report.swap_conflict = true;
     return report;
   }
-  report.published_version =
-      store_.swap(std::make_shared<const core::Wavm3Model>(std::move(next)));
+  const auto published = std::make_shared<const core::Wavm3Model>(std::move(next));
+  report.published_version = store_.swap(published);
   report.swapped = true;
   c_swaps_.inc();
   WAVM3_OBS_INSTANT("calib", "coeff_swap");
   watch_ = SwapWatch{snap.model, report.published_version, buffer_.last_seq(),
                      expected_nrmse, std::move(swapped_slices)};
+  if (config_.on_publish) config_.on_publish(published, report.published_version,
+                                             /*rollback=*/false);
   return report;
 }
 

@@ -40,6 +40,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -80,6 +81,17 @@ struct RecalibratorConfig {
   /// Registry the calib_* metrics live in (e.g. the owning service's
   /// obs_registry()). Null = the recalibrator owns a private one.
   obs::MetricRegistry* registry = nullptr;
+  /// Fired after the gated-publish machinery changes the live model:
+  /// once per accepted-candidate swap (rollback = false) and once per
+  /// post-swap watch rollback (rollback = true). Arguments: the model
+  /// now live, the store version it published as, and the rollback
+  /// flag. Runs on the calling thread while the pass lock is held —
+  /// keep it bounded and never re-enter run_pass()/record() from it.
+  /// The fleet layer (src/rpc/) uses this to propagate a node-local
+  /// recalibration cluster-wide via an epoch publish.
+  std::function<void(const std::shared_ptr<const core::Wavm3Model>&, std::uint64_t,
+                     bool)>
+      on_publish;
 };
 
 /// What one pass decided for one slice window.

@@ -210,6 +210,13 @@ void Wavm3Model::set_coefficients(MigrationType type, const Wavm3Coefficients& t
   fits_[type] = table;
 }
 
+std::vector<MigrationType> Wavm3Model::fitted_types() const {
+  std::vector<MigrationType> types;
+  types.reserve(fits_.size());
+  for (const auto& [type, table] : fits_) types.push_back(type);
+  return types;
+}
+
 const Wavm3Coefficients& Wavm3Model::coefficients(MigrationType type) const {
   const auto it = fits_.find(type);
   WAVM3_REQUIRE(it != fits_.end(), "WAVM3: not fitted for this migration type");

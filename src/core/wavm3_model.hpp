@@ -17,6 +17,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "models/energy_model.hpp"
 
@@ -104,6 +105,11 @@ class Wavm3Model final : public models::EnergyModel {
   /// Installs a coefficient table directly (e.g. loaded from disk or
   /// published tables), making the model usable without fit().
   void set_coefficients(migration::MigrationType type, const Wavm3Coefficients& table);
+
+  /// Migration types with a fitted/installed table, in enum order.
+  /// The enumeration side of coefficients(): serialization (src/rpc/
+  /// epoch publishes) walks this to ship every table.
+  std::vector<migration::MigrationType> fitted_types() const;
 
   const Options& options() const { return options_; }
 

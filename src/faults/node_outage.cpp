@@ -1,0 +1,64 @@
+#include "faults/node_outage.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wavm3::faults {
+
+NodeOutagePlan& NodeOutagePlan::add(const NodeOutage& outage) {
+  WAVM3_REQUIRE(outage.node >= 0, "node id must be non-negative");
+  WAVM3_REQUIRE(outage.down_until_s >= outage.down_from_s,
+                "outage window must not end before it starts");
+  if (outage.down_until_s > outage.down_from_s) outages_.push_back(outage);
+  return *this;
+}
+
+bool NodeOutagePlan::down(int node, double t) const {
+  return std::any_of(outages_.begin(), outages_.end(), [&](const NodeOutage& o) {
+    return o.node == node && t >= o.down_from_s && t < o.down_until_s;
+  });
+}
+
+int NodeOutagePlan::down_count(double t) const {
+  int count = 0;
+  for (const NodeOutage& o : outages_) {
+    if (t >= o.down_from_s && t < o.down_until_s) ++count;
+  }
+  return count;
+}
+
+NodeOutagePlan NodeOutagePlan::random(int nodes, const NodeOutageOptions& options,
+                                      std::uint64_t seed) {
+  WAVM3_REQUIRE(nodes >= 0, "node count must be non-negative");
+  WAVM3_REQUIRE(options.horizon_s > 0.0, "storm horizon must be positive");
+  WAVM3_REQUIRE(options.min_down_s > 0.0 && options.max_down_s >= options.min_down_s,
+                "outage durations must be positive and ordered");
+  WAVM3_REQUIRE(options.max_concurrent_down >= 1,
+                "max_concurrent_down must allow at least one outage");
+  NodeOutagePlan plan;
+  const util::RngFactory rngs(seed);
+  for (int node = 0; node < nodes; ++node) {
+    util::RngStream rng = rngs.stream("node_outage/" + std::to_string(node));
+    for (int i = 0; i < options.outages_per_node; ++i) {
+      const double duration = rng.uniform(options.min_down_s, options.max_down_s);
+      const double start = rng.uniform(0.0, std::max(0.0, options.horizon_s - duration));
+      NodeOutage candidate{node, start, start + duration};
+      // Enforce the concurrency cap against what is already scheduled:
+      // overlap is worst at the window edges and at existing outage
+      // boundaries inside it, so checking those instants is exact.
+      bool fits = plan.down_count(candidate.down_from_s) < options.max_concurrent_down;
+      for (const NodeOutage& o : plan.outages_) {
+        if (!fits) break;
+        if (o.down_from_s > candidate.down_from_s && o.down_from_s < candidate.down_until_s) {
+          fits = plan.down_count(o.down_from_s) + 1 > options.max_concurrent_down ? false : fits;
+        }
+      }
+      if (fits && !plan.down(candidate.node, candidate.down_from_s)) plan.add(candidate);
+    }
+  }
+  return plan;
+}
+
+}  // namespace wavm3::faults

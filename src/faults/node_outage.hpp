@@ -1,0 +1,63 @@
+// Node-level outage schedules for fleet serving (src/rpc/).
+//
+// Where FaultPlan degrades *links* feeding the migration engine, a
+// NodeOutagePlan takes whole serving *nodes* down for time windows —
+// the failure mode that matters to the fleet router and the epoch
+// publish protocol. Same design rules as FaultPlan: schedules are pure
+// data, the seeded builder derives a whole storm from one seed, and
+// replaying the same plan yields the same trajectory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wavm3::faults {
+
+/// Node `node` is unreachable during [down_from_s, down_until_s).
+struct NodeOutage {
+  int node = 0;
+  double down_from_s = 0.0;
+  double down_until_s = 0.0;
+};
+
+/// Knobs of the seeded storm builder.
+struct NodeOutageOptions {
+  double horizon_s = 10.0;        ///< outages are placed in [0, horizon)
+  int outages_per_node = 1;       ///< expected count per node
+  double min_down_s = 0.5;
+  double max_down_s = 2.0;
+  /// At most this many nodes down at any instant. Keeps a seeded storm
+  /// from ever partitioning a majority away (the bench asserts the
+  /// all-or-nothing publish property on the *live* nodes, which needs
+  /// at least one node live to be meaningful).
+  int max_concurrent_down = 1;
+};
+
+/// A deterministic schedule of node outages.
+class NodeOutagePlan {
+ public:
+  NodeOutagePlan() = default;
+
+  NodeOutagePlan& add(const NodeOutage& outage);
+
+  /// True when `node` is inside one of its down windows at time `t`.
+  bool down(int node, double t) const;
+
+  /// Number of nodes down at time `t`.
+  int down_count(double t) const;
+
+  const std::vector<NodeOutage>& outages() const { return outages_; }
+  bool empty() const { return outages_.empty(); }
+
+  /// Deterministic seeded storm over nodes [0, nodes): the same
+  /// (nodes, options, seed) triple always yields the same plan.
+  /// Candidate windows that would exceed max_concurrent_down are
+  /// dropped, so the realised count can undershoot outages_per_node.
+  static NodeOutagePlan random(int nodes, const NodeOutageOptions& options,
+                               std::uint64_t seed);
+
+ private:
+  std::vector<NodeOutage> outages_;
+};
+
+}  // namespace wavm3::faults

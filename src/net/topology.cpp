@@ -12,7 +12,16 @@ std::pair<std::string, std::string> Topology::key(const std::string& a, const st
 
 void Topology::connect(const std::string& host_a, const std::string& host_b, LinkSpec spec) {
   WAVM3_REQUIRE(host_a != host_b, "cannot connect a host to itself");
-  links_[key(host_a, host_b)] = std::make_unique<Link>(std::move(spec));
+  auto pair = key(host_a, host_b);
+  // Reject re-registration instead of silently replacing: the first
+  // link may carry live fault state, and two call sites connecting the
+  // same pair with different specs is a topology-construction bug. A
+  // memoised default link for the pair is not a registration — an
+  // explicit spec overrides it.
+  WAVM3_REQUIRE(explicit_pairs_.find(pair) == explicit_pairs_.end(),
+                "host pair is already connected");
+  links_[pair] = std::make_unique<Link>(std::move(spec));
+  explicit_pairs_.insert(std::move(pair));
 }
 
 Link* Topology::link_between(const std::string& host_a, const std::string& host_b) {

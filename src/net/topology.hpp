@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -24,8 +25,13 @@ namespace wavm3::net {
 ///     origins of dcsim used to build eagerly.
 class Topology {
  public:
-  /// Registers a bidirectional link between two hosts. Replaces any
-  /// previous link between the pair.
+  /// Registers a bidirectional link between two hosts. Self-links
+  /// (host_a == host_b) and duplicate explicit registration of the
+  /// same pair are rejected with util::ContractError — a second
+  /// connect() silently overwriting the first would discard that
+  /// link's accumulated fault state mid-run. An explicit connect()
+  /// does replace a lazily materialised *default* link for the pair:
+  /// defaults are memoised fallbacks, not registrations.
   void connect(const std::string& host_a, const std::string& host_b, LinkSpec spec);
 
   /// Declares the spec every unconnected pair falls back to. Each pair
@@ -49,6 +55,11 @@ class Topology {
   // with a default spec set, every pair is connected; the map entry is
   // just the memoised Link instance.
   mutable std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+  // Pairs registered through connect(). Distinguishes an explicit
+  // link from a memoised default occupying the same links_ slot, so
+  // duplicate connect() is rejected while connect() over a
+  // materialised default still succeeds.
+  std::set<std::pair<std::string, std::string>> explicit_pairs_;
   std::optional<LinkSpec> default_spec_;
 };
 

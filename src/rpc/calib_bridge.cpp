@@ -1,0 +1,19 @@
+#include "rpc/calib_bridge.hpp"
+
+namespace wavm3::rpc {
+
+std::shared_ptr<calib::OnlineRecalibrator> attach_fleet_recalibration(
+    FleetNode& node, FleetClient& client, calib::RecalibratorConfig config) {
+  // The callback runs on a service worker thread with the pass lock
+  // held; FleetClient::publish serializes rounds internally and calls
+  // straight through the transport, so the only cost here is one
+  // prepare/commit sweep. It must never re-enter the recalibrator —
+  // publish() does not, it only touches node epoch state and stores.
+  config.on_publish = [&client](const std::shared_ptr<const core::Wavm3Model>& model,
+                                std::uint64_t /*version*/, bool /*rollback*/) {
+    client.publish(*model);
+  };
+  return calib::attach(node.service(), config);
+}
+
+}  // namespace wavm3::rpc

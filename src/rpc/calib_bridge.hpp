@@ -1,0 +1,36 @@
+// Glue between a node-local online recalibrator and fleet-wide epoch
+// propagation.
+//
+// attach_fleet_recalibration() wires calib::attach() onto a FleetNode's
+// service and sets RecalibratorConfig::on_publish so that every gated
+// swap the recalibrator makes locally is immediately re-published
+// through the FleetClient as a fresh epoch: prepare/commit lands the
+// same tables on every node (including the origin — its store version
+// bumps again, which keeps epoch bookkeeping uniform across the
+// fleet). A calib watch *rollback* propagates the same way, publishing
+// the restored model fleet-wide.
+//
+// Trade-off, documented on purpose: the fleet re-commit on the origin
+// node supersedes the recalibrator's own post-swap watch (the store
+// version moved on), so the node-local watch rollback is disarmed for
+// fleet-published candidates. Fleet convergence is all-or-nothing
+// instead (the client's 2-phase round), and drift that survives a bad
+// candidate re-manifests in the next pass windows and triggers a fresh
+// candidate — the steady-state correction loop the calib tests pin.
+#pragma once
+
+#include <memory>
+
+#include "calib/recalibrator.hpp"
+#include "rpc/fleet.hpp"
+#include "rpc/node.hpp"
+
+namespace wavm3::rpc {
+
+/// Attaches an online recalibrator to `node`'s service whose publishes
+/// propagate fleet-wide through `client`. The client and node must
+/// outlive the returned recalibrator's activity.
+std::shared_ptr<calib::OnlineRecalibrator> attach_fleet_recalibration(
+    FleetNode& node, FleetClient& client, calib::RecalibratorConfig config = {});
+
+}  // namespace wavm3::rpc

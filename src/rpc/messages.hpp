@@ -1,0 +1,113 @@
+// Typed messages of the fleet serving protocol, with strict binary
+// codecs over rpc/wire.
+//
+// Request/response pairs:
+//   kPredictRequest  -> kPredictResponse | kErrorResponse
+//   kEpochPrepare    -> kEpochAck
+//   kEpochCommit     -> kEpochAck
+//   kEpochRollback   -> kEpochAck
+//   kStatusRequest   -> kStatusResponse
+//
+// Scenarios ride the serve::scenario_fields() flattening (33 doubles),
+// coefficient tables ship as (type id, 30 doubles) blocks — 2 roles x
+// 3 phases x {alpha, beta, gamma, delta, c} in fixed order. Every
+// decode_* validates the frame type and the payload schema, throwing
+// RpcError on any defect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/wavm3_model.hpp"
+#include "rpc/wire.hpp"
+
+namespace wavm3::rpc {
+
+enum class MsgType : std::uint16_t {
+  kPredictRequest = 1,
+  kPredictResponse = 2,
+  kErrorResponse = 3,
+  kEpochPrepare = 4,
+  kEpochCommit = 5,
+  kEpochRollback = 6,
+  kEpochAck = 7,
+  kStatusRequest = 8,
+  kStatusResponse = 9,
+};
+
+struct PredictRequest {
+  core::MigrationScenario scenario;
+};
+
+struct PredictResponse {
+  core::MigrationForecast forecast;
+  std::uint64_t epoch = 0;          ///< node's committed coefficient epoch
+  std::uint64_t coeff_version = 0;  ///< node-local store version
+};
+
+/// Service- or protocol-level failure, carried instead of a response.
+/// Codes below kRpcErrorCodeBase are serve::PredictErrorCode values;
+/// codes at/above it are RpcErrorCode + kRpcErrorCodeBase.
+inline constexpr std::uint16_t kRpcErrorCodeBase = 0x100;
+
+struct ErrorResponse {
+  std::uint16_t code = 0;
+  std::string detail;
+};
+
+struct EpochPrepare {
+  std::uint64_t epoch = 0;
+  /// Full coefficient set, one table per fitted migration type.
+  std::vector<std::pair<migration::MigrationType, core::Wavm3Coefficients>> tables;
+};
+
+struct EpochCommit {
+  std::uint64_t epoch = 0;
+};
+
+struct EpochRollback {
+  std::uint64_t epoch = 0;
+};
+
+struct EpochAck {
+  std::uint64_t epoch = 0;
+  bool accepted = false;
+  std::string reason;  ///< empty when accepted
+};
+
+struct StatusResponse {
+  std::uint64_t committed_epoch = 0;
+  std::uint64_t staged_epoch = 0;  ///< 0 = nothing staged
+  std::uint64_t coeff_version = 0;
+  std::uint64_t requests_served = 0;
+};
+
+std::vector<std::uint8_t> encode_predict_request(const PredictRequest& msg);
+PredictRequest decode_predict_request(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_predict_response(const PredictResponse& msg);
+PredictResponse decode_predict_response(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_error_response(const ErrorResponse& msg);
+ErrorResponse decode_error_response(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_epoch_prepare(const EpochPrepare& msg);
+EpochPrepare decode_epoch_prepare(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_epoch_commit(const EpochCommit& msg);
+EpochCommit decode_epoch_commit(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_epoch_rollback(const EpochRollback& msg);
+EpochRollback decode_epoch_rollback(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_epoch_ack(const EpochAck& msg);
+EpochAck decode_epoch_ack(const FrameView& frame);
+
+std::vector<std::uint8_t> encode_status_request();
+std::vector<std::uint8_t> encode_status_response(const StatusResponse& msg);
+StatusResponse decode_status_response(const FrameView& frame);
+
+}  // namespace wavm3::rpc

@@ -1,0 +1,129 @@
+// Length-prefixed binary framing for the fleet serving protocol.
+//
+// A frame is a fixed 16-byte little-endian header followed by the
+// payload:
+//
+//   offset  size  field
+//   0       4     magic       0x57564D33 ("WVM3" big-endian in memory)
+//   4       2     version     protocol version, currently 1
+//   6       2     type        MsgType discriminant
+//   8       4     payload_len bytes after the header, <= kMaxPayloadBytes
+//   12      4     crc         CRC-32 (IEEE, reflected) of the payload
+//
+// Decoding is strict and total: every malformed input — truncated at
+// any boundary, oversize length prefix, wrong magic/version, corrupted
+// CRC — produces a typed RpcError and never reads out of bounds. The
+// codec helpers (WireWriter/WireReader) serialize scalars little-endian
+// byte-by-byte, so frames are byte-identical across hosts regardless of
+// native endianness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace wavm3::rpc {
+
+enum class RpcErrorCode {
+  kTruncated,         ///< input shorter than the header or the declared payload
+  kOversize,          ///< payload_len exceeds kMaxPayloadBytes
+  kBadMagic,          ///< first 4 bytes are not a frame at all
+  kBadVersion,        ///< protocol version mismatch
+  kBadCrc,            ///< payload checksum mismatch
+  kBadType,           ///< frame type is not the one the decoder expected
+  kMalformedPayload,  ///< payload shorter/longer than its message schema
+  kNodeDown,          ///< transport: target node unreachable
+  kTimeout,           ///< transport: call did not complete in time
+  kRemoteError,       ///< peer answered with an error frame
+};
+
+const char* to_string(RpcErrorCode code);
+
+/// Typed RPC failure. what() is "<code>: <detail>".
+class RpcError : public std::runtime_error {
+ public:
+  RpcError(RpcErrorCode code, const std::string& detail);
+  RpcErrorCode code() const { return code_; }
+
+ private:
+  RpcErrorCode code_;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x57564D33U;  // "WVM3"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Generous for coefficient tables (30 doubles per type) and scenario
+/// batches, tight enough that a corrupted length prefix cannot ask the
+/// decoder to allocate gigabytes.
+inline constexpr std::size_t kMaxPayloadBytes = 1U << 20U;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Decoded view into a validated frame. `payload` aliases the input
+/// buffer — it is valid only as long as the buffer outlives it.
+struct FrameView {
+  std::uint16_t type = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Builds a frame around `payload`. Throws RpcError(kOversize) when the
+/// payload exceeds kMaxPayloadBytes.
+std::vector<std::uint8_t> encode_frame(std::uint16_t type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Validates and splits a frame. Throws RpcError on any defect;
+/// guarantees no read past `frame.size()`. Trailing bytes after the
+/// declared payload are a defect too (kMalformedPayload): a frame is a
+/// complete datagram, not a stream prefix.
+FrameView decode_frame(std::span<const std::uint8_t> frame);
+
+/// Little-endian scalar serializer for message payloads.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  /// Wraps everything written so far into a frame of the given type.
+  std::vector<std::uint8_t> frame(std::uint16_t type) const;
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian deserializer. Every read throws
+/// RpcError(kMalformedPayload) instead of running past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Schema-completeness check: a payload with trailing bytes was
+  /// encoded by a different (newer?) schema — reject rather than
+  /// silently ignore.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wavm3::rpc

@@ -43,6 +43,16 @@ class ShardedLruCache {
   /// exactly `capacity`: each gets floor(capacity/shards) slots and
   /// the remainder is spread one slot each over the leading shards, so
   /// the cache can never hold more entries than configured.
+  ///
+  /// Edge-case semantics, made explicit:
+  ///   * capacity == 0 or shards == 0 is rejected (ContractError) —
+  ///     a zero-capacity cache should be expressed by not building one
+  ///     (PredictionService skips construction when cache_capacity==0).
+  ///   * capacity < shards collapses the shard count to `capacity`,
+  ///     so every *populated* shard holds at least one entry and no
+  ///     shard ever has capacity 0. A zero-capacity shard would make
+  ///     put() evict the entry it just inserted (or worse, evict from
+  ///     an empty order list); clamping removes that state entirely.
   explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8) {
     WAVM3_REQUIRE(capacity > 0, "cache capacity must be positive");
     WAVM3_REQUIRE(shards > 0, "cache needs at least one shard");

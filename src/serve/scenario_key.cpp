@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "util/error.hpp"
+
 namespace wavm3::serve {
 
 namespace {
@@ -73,6 +75,50 @@ std::array<double, kScenarioFieldCount> scenario_fields(const core::MigrationSce
       b.min_efficiency,
       b.cpu_for_wire_speed,
   };
+}
+
+core::MigrationScenario scenario_from_fields(
+    const std::array<double, kScenarioFieldCount>& f) {
+  const int type = static_cast<int>(f[0]);
+  WAVM3_REQUIRE(static_cast<double>(type) == f[0] && type >= 0 &&
+                    type <= static_cast<int>(migration::MigrationType::kPostCopy),
+                "scenario type field does not encode a MigrationType");
+  core::MigrationScenario sc;
+  sc.type = static_cast<migration::MigrationType>(type);
+  sc.vm_mem_bytes = f[1];
+  sc.vm_cpu_vcpus = f[2];
+  sc.vm_dirty_pages_per_s = f[3];
+  sc.vm_working_set_pages = f[4];
+  sc.source_cpu_load = f[5];
+  sc.source_cpu_capacity = f[6];
+  sc.target_cpu_load = f[7];
+  sc.target_cpu_capacity = f[8];
+  sc.link_payload_rate = f[9];
+  migration::MigrationConfig& m = sc.migration;
+  m.initiation_duration = f[10];
+  m.stop_threshold_bytes = f[11];
+  m.max_precopy_rounds = static_cast<int>(f[12]);
+  m.max_transfer_factor = f[13];
+  m.postcopy_state_bytes = f[14];
+  m.adaptive_rate_limit = f[15] != 0.0;
+  m.min_rate_bytes = f[16];
+  m.rate_increment_bytes = f[17];
+  m.guest_traffic_claim = f[18];
+  m.contention_floor = f[19];
+  m.sender_cpu_base = f[20];
+  m.sender_cpu_per_rate = f[21];
+  m.receiver_cpu_base = f[22];
+  m.receiver_cpu_per_rate = f[23];
+  m.initiation_cpu = f[24];
+  m.activation_cpu = f[25];
+  m.compression_ratio = f[26];
+  m.compression_cpu = f[27];
+  m.source_cleanup_duration = f[28];
+  m.target_resume_duration = f[29];
+  m.resume_point_fraction = f[30];
+  sc.bandwidth.min_efficiency = f[31];
+  sc.bandwidth.cpu_for_wire_speed = f[32];
+  return sc;
 }
 
 core::MigrationScenario canonicalize(const core::MigrationScenario& sc,

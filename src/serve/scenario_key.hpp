@@ -32,6 +32,14 @@ inline constexpr std::size_t kScenarioFieldCount = 33;
 /// Flattens every semantically relevant field, in a fixed order.
 std::array<double, kScenarioFieldCount> scenario_fields(const core::MigrationScenario& sc);
 
+/// Inverse of scenario_fields(): rebuilds the scenario from the flat
+/// array. Round-trips bit-exactly — the pair doubles as the wire
+/// serialization for src/rpc/. The type field must encode a valid
+/// MigrationType (ContractError otherwise); fields scenario_fields()
+/// does not carry (postcopy_restart_duration) keep their defaults.
+core::MigrationScenario scenario_from_fields(
+    const std::array<double, kScenarioFieldCount>& fields);
+
 /// Returns `sc` with its workload features snapped to the geometric
 /// grid of relative pitch `quantization_step` (0 = identity).
 core::MigrationScenario canonicalize(const core::MigrationScenario& sc,

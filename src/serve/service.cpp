@@ -81,6 +81,8 @@ PredictionService::PredictionService(std::shared_ptr<const core::Wavm3Model> mod
   WAVM3_REQUIRE(config_.backend_backoff_initial_s >= 0.0 &&
                     config_.backend_backoff_multiplier >= 1.0,
                 "backoff must not shrink");
+  WAVM3_REQUIRE(config_.backend_backoff_max_s >= 0.0,
+                "backoff cap must be non-negative");
   if (config_.cache_capacity > 0) {
     cache_ = std::make_unique<
         ShardedLruCache<ScenarioKey, core::MigrationForecast, ScenarioKeyHash>>(
@@ -120,6 +122,11 @@ double PredictionService::backoff_delay(int attempt) {
     const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
     delay *= 1.0 - jitter + 2.0 * jitter * unit;
   }
+  // Cap after jitter so the bound is hard. The !(delay <= cap) form
+  // also catches the inf that pow() overflows to at high attempt
+  // counts — inf compares false against any finite cap.
+  const double cap = config_.backend_backoff_max_s;
+  if (cap > 0.0 && !(delay <= cap)) delay = cap;
   return delay;
 }
 

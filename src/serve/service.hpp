@@ -85,6 +85,11 @@ struct ServiceConfig {
   int backend_max_retries = 2;
   double backend_backoff_initial_s = 0.002;
   double backend_backoff_multiplier = 2.0;
+  /// Hard ceiling on any single backoff sleep, applied after jitter.
+  /// pow(multiplier, attempt-1) overflows toward inf within a few
+  /// dozen attempts of a 2x multiplier; without the cap a large retry
+  /// budget turns into an unbounded sleep. 0 disables the cap.
+  double backend_backoff_max_s = 30.0;
   /// +/- fraction of each backoff delay (0 = none, 1 = full). Jitter
   /// is drawn from a seeded stream, so runs are reproducible.
   double backend_backoff_jitter = 0.5;

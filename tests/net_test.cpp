@@ -89,19 +89,44 @@ TEST(Topology, SymmetricLookup) {
   EXPECT_EQ(topo.link_count(), 1u);
 }
 
-TEST(Topology, ReconnectReplacesLink) {
+// Regression: a second connect() for the same pair used to silently
+// replace the first link (discarding its fault state). It must be
+// rejected in both orientations — the registry is symmetric.
+TEST(Topology, DuplicateConnectRejected) {
   Topology topo;
   topo.connect("a", "b", gigabit());
+  Link* original = topo.link_between("a", "b");
   LinkSpec fast = gigabit();
   fast.wire_rate = util::gbit_per_s(10);
-  topo.connect("b", "a", fast);
+  EXPECT_THROW(topo.connect("a", "b", fast), util::ContractError);
+  EXPECT_THROW(topo.connect("b", "a", fast), util::ContractError);
+  // The original registration survives the rejected attempts.
   EXPECT_EQ(topo.link_count(), 1u);
-  EXPECT_DOUBLE_EQ(topo.link_between("a", "b")->spec().wire_rate, util::gbit_per_s(10));
+  EXPECT_EQ(topo.link_between("a", "b"), original);
+  EXPECT_DOUBLE_EQ(topo.link_between("a", "b")->spec().wire_rate, gigabit().wire_rate);
 }
 
 TEST(Topology, SelfLoopRejected) {
   Topology topo;
   EXPECT_THROW(topo.connect("a", "a", gigabit()), util::ContractError);
+  // Still rejected when a default spec would otherwise make every
+  // pair reachable.
+  topo.set_default_link(gigabit());
+  EXPECT_THROW(topo.connect("a", "a", gigabit()), util::ContractError);
+}
+
+// connect() over a lazily materialised default link is an override,
+// not a duplicate: only explicit registrations count. A second
+// explicit connect() after the override is again rejected.
+TEST(Topology, ConnectOverMaterializedDefaultSucceedsOnce) {
+  Topology topo;
+  topo.set_default_link(gigabit());
+  ASSERT_NE(topo.link_between("a", "b"), nullptr);  // memoise the default
+  LinkSpec fast = gigabit();
+  fast.wire_rate = util::gbit_per_s(10);
+  topo.connect("a", "b", fast);
+  EXPECT_DOUBLE_EQ(topo.link_between("a", "b")->spec().wire_rate, util::gbit_per_s(10));
+  EXPECT_THROW(topo.connect("a", "b", gigabit()), util::ContractError);
 }
 
 TEST(Topology, DefaultLinkMaterializesPerPair) {

@@ -267,6 +267,38 @@ TEST(LruCache, TotalBudgetIsNeverExceededByShardRemainders) {
   EXPECT_EQ(tiny.shard_count(), 3u);
 }
 
+TEST(LruCache, CapacityBelowShardCountCollapsesShards) {
+  // capacity < shards must collapse the shard count rather than hand
+  // out zero-capacity shards (which would silently drop every insert
+  // that hashes into them). Each surviving shard holds >= 1 entry.
+  ShardedLruCache<int, int> cache(3, 8);
+  EXPECT_EQ(cache.shard_count(), 3u);
+  for (int i = 0; i < 64; ++i) cache.put(i, i * 7);
+  EXPECT_LE(cache.size(), 3u);
+  EXPECT_GE(cache.size(), 1u);
+  // A freshly inserted key is always retrievable: its shard has
+  // capacity for at least one entry, so the insert cannot be a no-op.
+  cache.put(999, 999 * 7);
+  const auto hit = cache.get(999);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 999 * 7);
+  // The extreme case: one entry total still behaves as a 1-slot LRU.
+  ShardedLruCache<int, int> one(1, 16);
+  EXPECT_EQ(one.shard_count(), 1u);
+  one.put(1, 10);
+  one.put(2, 20);
+  EXPECT_LE(one.size(), 1u);
+  EXPECT_FALSE(one.get(1).has_value());
+  EXPECT_EQ(one.get(2).value_or(-1), 20);
+}
+
+TEST(LruCache, ZeroCapacityOrZeroShardsRejected) {
+  using Cache = ShardedLruCache<int, int>;
+  EXPECT_THROW(Cache(0, 8), util::ContractError);
+  EXPECT_THROW(Cache(8, 0), util::ContractError);
+  EXPECT_THROW(Cache(0, 0), util::ContractError);
+}
+
 TEST(LruCache, ConcurrentMixedAccessIsSafe) {
   ShardedLruCache<int, int> cache(256, 8);
   std::vector<std::thread> threads;
@@ -1204,6 +1236,43 @@ TEST(PredictionService, ClearFeedbackSinkStopsDelivery) {
   EXPECT_FALSE(service.record_feedback(make_scenario(2), MigrationFeedback{1.0, 1.0, 1.0}));
   service.shutdown(DrainMode::kDrain);
   EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(PredictionService, BackoffDelayIsCappedAtHighAttemptCounts) {
+  // Regression: pow(multiplier, attempt-1) overflows toward inf within
+  // a few dozen attempts of a 2x multiplier. Without the cap a large
+  // retry budget turned one failing request into an effectively
+  // unbounded sleep. With the cap, 60 retries at multiplier 2 complete
+  // promptly: 2^59 * 1e-6 s would otherwise be ~18k years.
+  const core::Wavm3Model model = make_model();
+  ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.fidelity = Fidelity::kSimulated;
+  cfg.backend_max_retries = 60;
+  cfg.backend_backoff_initial_s = 1e-6;
+  cfg.backend_backoff_multiplier = 2.0;
+  cfg.backend_backoff_max_s = 1e-4;
+  cfg.breaker.failure_threshold = 1000;  // keep the breaker out of the way
+  cfg.simulated_backend = [](const core::Wavm3Model&,
+                             const core::MigrationScenario&) -> core::MigrationForecast {
+    throw std::runtime_error("injected backend failure");
+  };
+  PredictionService service(model, cfg);
+  const auto start = std::chrono::steady_clock::now();
+  const core::MigrationForecast fc = service.predict(make_scenario(0));
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  // 61 attempts, each backoff capped at 1e-4 s: well under a second
+  // even on a loaded CI box.
+  EXPECT_LT(elapsed_s, 30.0);
+  expect_forecast_eq(fc, core::MigrationPlanner(model).forecast(make_scenario(0)));
+  EXPECT_GE(service.stats().resilience.backend_retries, 60u);
+}
+
+TEST(PredictionService, NegativeBackoffCapRejected) {
+  ServiceConfig cfg;
+  cfg.backend_backoff_max_s = -1.0;
+  EXPECT_THROW(PredictionService(make_model(), cfg), util::ContractError);
 }
 
 TEST(PredictionService, ConcurrentFailingBackendIsSafe) {

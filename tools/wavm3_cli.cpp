@@ -54,6 +54,7 @@
 #include "exp/campaign.hpp"
 #include "exp/tables.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/node_outage.hpp"
 #include "migration/engine.hpp"
 #include "models/dataset_io.hpp"
 #include "models/evaluation.hpp"
@@ -69,6 +70,9 @@
 #include "plan/fleet.hpp"
 #include "plan/planner.hpp"
 #include "plan/strategy.hpp"
+#include "rpc/fleet.hpp"
+#include "rpc/node.hpp"
+#include "rpc/transport.hpp"
 #include "serve/coeff_store.hpp"
 #include "serve/query_stream.hpp"
 #include "serve/service.hpp"
@@ -1129,6 +1133,163 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
+int cmd_fleet_bench(const Args& args) {
+  // Sharded fleet serving demo (src/rpc/): N loopback nodes behind the
+  // consistent-hash FleetClient, driven by a Zipf-skewed scenario mix,
+  // with mid-run epoch publishes and (optionally) a seeded node-loss
+  // storm. Prints routed-predict latency percentiles, failover counts
+  // and the epoch propagation outcome.
+  core::Wavm3Model model;
+  if (args.has("coeffs")) {
+    model = core::load_coefficients_csv(args.get("coeffs", "coeffs.csv"));
+    if (!model.is_fitted()) {
+      std::fprintf(stderr, "could not load coefficients\n");
+      return 1;
+    }
+  } else {
+    util::set_log_level(util::LogLevel::kWarn);
+    std::puts("no --coeffs given; fitting on a fast simulated campaign...");
+    const exp::CampaignResult campaign =
+        exp::run_campaign(testbed_by_name(args.get("testbed", "m")),
+                          exp::fast_campaign_options(), args.get_seed());
+    model.fit(campaign.dataset);
+  }
+
+  const auto positive = [&args](const char* key, long fallback) {
+    const long v = args.get_int(key, fallback);
+    if (v < 1) {
+      std::fprintf(stderr, "--%s must be positive, got %ld\n", key, v);
+      std::exit(2);
+    }
+    return v;
+  };
+  const int node_count = static_cast<int>(positive("nodes", 4));
+  const std::size_t replicas = static_cast<std::size_t>(positive("replicas", 2));
+  const long requests = positive("requests", 8000);
+  const int threads = static_cast<int>(positive("threads", 1));
+  const int publishes = static_cast<int>(
+      std::max(0L, args.get_int("publishes", 3)));
+  const bool node_loss = args.has("node-loss");
+  const std::uint64_t seed = args.get_seed();
+
+  obs::MetricRegistry registry;
+  rpc::LoopbackTransport transport(seed);
+  const auto shared = std::make_shared<const core::Wavm3Model>(model);
+  std::vector<std::unique_ptr<rpc::FleetNode>> nodes;
+  for (int n = 0; n < node_count; ++n) {
+    rpc::FleetNodeConfig ncfg;
+    ncfg.node_id = n;
+    ncfg.registry = &registry;
+    ncfg.service.threads = threads;
+    ncfg.service.fidelity = serve::Fidelity::kClosedForm;
+    nodes.push_back(std::make_unique<rpc::FleetNode>(shared, ncfg));
+    transport.register_node(n, nodes.back().get());
+  }
+  rpc::FleetClientConfig ccfg;
+  ccfg.replication = replicas;
+  ccfg.registry = &registry;
+  ccfg.breaker.failure_threshold = 3;
+  ccfg.breaker.open_duration_s = 1e-4;
+  rpc::FleetClient client(transport, ccfg);
+  for (int n = 0; n < node_count; ++n) client.add_node(n);
+
+  // Virtual 10 s timeline: request i arrives at t = i/requests * 10.
+  const double horizon_s = 10.0;
+  faults::NodeOutagePlan plan;
+  if (node_loss) {
+    faults::NodeOutageOptions storm;
+    storm.horizon_s = horizon_s;
+    storm.outages_per_node = 2;
+    storm.min_down_s = 0.4;
+    storm.max_down_s = 1.2;
+    storm.max_concurrent_down = 1;
+    plan = faults::NodeOutagePlan::random(node_count, storm, seed);
+  }
+
+  // Zipf-skewed popularity over a 64-entry catalogue drawn from the
+  // diurnal workload generator.
+  serve::QueryStreamOptions qopts;
+  qopts.repeat_fraction = 0.0;
+  serve::QueryStreamGenerator stream =
+      serve::QueryStreamGenerator::diurnal(qopts, seed);
+  const std::vector<core::MigrationScenario> catalogue = stream.generate(64);
+  std::vector<double> cdf(catalogue.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < cdf.size(); ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), 1.1);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  util::RngStream zipf(seed + 7);
+
+  std::printf("fleet-bench: %d nodes, replication %zu, %ld requests, "
+              "%d publishes, node loss %s, seed %llu\n\n",
+              node_count, replicas, requests, publishes,
+              node_loss ? "on" : "off", static_cast<unsigned long long>(seed));
+
+  std::vector<double> latency_ns;
+  latency_ns.reserve(static_cast<std::size_t>(requests));
+  long errors = 0;
+  int published = 0;
+  int converged = 0;
+  for (long i = 0; i < requests; ++i) {
+    const double t = horizon_s * static_cast<double>(i) / static_cast<double>(requests);
+    for (int n = 0; n < node_count; ++n) transport.set_down(n, plan.down(n, t));
+    if (publishes > 0 && i == (published + 1) * requests / (publishes + 1)) {
+      const rpc::PublishReport report = client.publish(model);
+      ++published;
+      if (report.converged) ++converged;
+    }
+    const double u = zipf.uniform();
+    const std::size_t pick = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      (void)client.predict(catalogue[pick]);
+      latency_ns.push_back(std::chrono::duration<double, std::nano>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  }
+  for (int n = 0; n < node_count; ++n) transport.set_down(n, false);
+  if (publishes > 0) {
+    const rpc::PublishReport last = client.publish(model);
+    ++published;
+    if (last.converged) ++converged;
+  }
+
+  std::sort(latency_ns.begin(), latency_ns.end());
+  const auto pct = [&](double p) {
+    if (latency_ns.empty()) return 0.0;
+    const double idx = p * static_cast<double>(latency_ns.size() - 1);
+    return latency_ns[static_cast<std::size_t>(idx + 0.5)] / 1e3;
+  };
+  const rpc::FleetStatus status = client.status();
+  std::printf("answered %zu / %ld (%ld errors), failovers %llu\n",
+              latency_ns.size(), requests, errors,
+              static_cast<unsigned long long>(client.failovers()));
+  std::printf("latency : p50 %.1f us, p99 %.1f us, p999 %.1f us\n", pct(0.50),
+              pct(0.99), pct(0.999));
+  std::printf("epochs  : %d publishes, %d converged, fleet epoch %llu, lag %llu\n",
+              published, converged,
+              static_cast<unsigned long long>(client.committed_epoch()),
+              static_cast<unsigned long long>(status.epoch_lag));
+  for (const rpc::NodeStatus& ns : status.nodes) {
+    std::printf("node %-3d: %s, epoch %llu, served %llu\n", ns.node,
+                ns.reachable ? "up" : "DOWN",
+                static_cast<unsigned long long>(ns.status.committed_epoch),
+                static_cast<unsigned long long>(ns.status.requests_served));
+  }
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    if (!write_text_file(metrics_path, obs::prometheus_text(registry))) return 1;
+    std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_recalibrate(const Args& args) {
   // Offline demonstration of the online recalibration loop
   // (src/calib/): streams synthetic migration feedback against a
@@ -1416,6 +1577,9 @@ int cmd_help() {
       "            [--recalibrate] [--feedback-bias W] [--pass-interval N]\n"
       "            [--bias-threshold W]\n"
       "            [--trace-out FILE] [--metrics-out FILE (.json|.csv|.prom)]\n"
+      "  fleet-bench [--coeffs FILE | --testbed m|o] [--nodes N] [--replicas N]\n"
+      "            [--requests N] [--threads N] [--publishes N] [--node-loss]\n"
+      "            [--seed N] [--metrics-out FILE]\n"
       "  recalibrate [--coeffs FILE | --testbed m|o] [--samples N] [--shift-at N]\n"
       "            [--bias-watts W] [--noise F] [--window N] [--pass-interval N]\n"
       "            [--nrmse-threshold F] [--bias-threshold W] [--drift-min-samples N]\n"
@@ -1464,6 +1628,7 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
+    if (cmd == "fleet-bench") return cmd_fleet_bench(args);
     if (cmd == "recalibrate") return cmd_recalibrate(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "help" || cmd == "--help") return cmd_help();
